@@ -1,0 +1,107 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation, and (optionally) times each regeneration with the Bechamel
+   test definitions.
+
+   Usage:
+     dune exec bench/main.exe              # regenerate everything
+     dune exec bench/main.exe -- fig5      # one experiment
+     dune exec bench/main.exe -- --quick   # smaller sweeps
+     dune exec bench/main.exe -- --csv DIR # also write fig4/5/6 as CSV
+     dune exec bench/main.exe -- --bechamel
+         # wall-clock timing of each experiment's simulation run (one
+         # Bechamel Test.make per table/figure; single-shot sampling, since
+         # each iteration is a complete deterministic simulation)
+
+   Simulated results are deterministic: re-running prints identical
+   numbers. *)
+
+let fmt = Format.std_formatter
+let null_fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+(* One Bechamel test per table/figure: each run executes the experiment's
+   full simulation (output suppressed).  The long sweeps (fig4-6) run in
+   quick mode under timing so the harness stays snappy. *)
+let experiment_runs =
+  [
+    ("fig4", fun () -> ignore (Report.Figures.fig4 ~quick:true null_fmt));
+    ("fig5", fun () -> ignore (Report.Figures.fig5 ~quick:true null_fmt));
+    ("fig6", fun () -> ignore (Report.Figures.fig6 ~quick:true null_fmt));
+    ("fig7", fun () -> Report.Figures.run "fig7" null_fmt);
+    ("tab1", fun () -> ignore (Report.Figures.tab1 ~quick:true null_fmt));
+    ("fig1", fun () -> ignore (Report.Figures.fig1 ~quick:true null_fmt));
+    ("sec2", fun () -> Report.Figures.run "sec2" null_fmt);
+    ("sec3", fun () -> Report.Figures.run "sec3" null_fmt);
+    ("ext1", fun () -> Report.Figures.run "ext1" null_fmt);
+    ("ext2", fun () -> Report.Figures.run "ext2" null_fmt);
+    ("ext3", fun () -> Report.Figures.run "ext3" null_fmt);
+    ("ext4", fun () -> Report.Figures.run "ext4" null_fmt);
+    ("stress", fun () -> Report.Figures.run "stress" null_fmt);
+  ]
+
+let bechamel_tests =
+  List.map
+    (fun (id, fn) -> Bechamel.Test.make ~name:id (Bechamel.Staged.stage fn))
+    experiment_runs
+
+(* Bechamel's OLS analysis needs many iterations; a complete deterministic
+   simulation per iteration makes single-shot wall-clock sampling the
+   sensible measurement, so we time each test's closure directly (the
+   Test.make definitions above stay usable with the full Bechamel
+   driver). *)
+let run_bechamel () =
+  assert (List.length bechamel_tests = List.length experiment_runs);
+  List.iter
+    (fun (name, fn) ->
+      let t0 = Unix.gettimeofday () in
+      fn ();
+      let t1 = Unix.gettimeofday () in
+      Format.printf "bechamel %-10s %8.2f s/run@." name (t1 -. t0))
+    experiment_runs
+
+let csv_dir args =
+  let rec go = function
+    | "--csv" :: dir :: _ -> Some dir
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go args
+
+let write_csv dir name series =
+  let path = Filename.concat dir (name ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (Report.Render.series_csv ~x_label:"size_bytes" series);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let csv = csv_dir args in
+  let ids =
+    let rec strip = function
+      | "--csv" :: _ :: rest -> strip rest
+      | a :: rest when String.length a > 2 && String.sub a 0 2 = "--" ->
+          strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
+  in
+  if List.mem "--bechamel" args then run_bechamel ()
+  else begin
+    let to_run = if ids = [] then Report.Figures.all_ids else ids in
+    let maybe_csv name series =
+      match csv with Some dir -> write_csv dir name series | None -> ()
+    in
+    List.iter
+      (fun id ->
+        match id with
+        | "fig4" -> maybe_csv "fig4" (Report.Figures.fig4 ~quick fmt)
+        | "fig5" -> maybe_csv "fig5" (Report.Figures.fig5 ~quick fmt)
+        | "fig6" -> maybe_csv "fig6" (Report.Figures.fig6 ~quick fmt)
+        | "tab1" -> ignore (Report.Figures.tab1 ~quick fmt)
+        | "fig1" -> ignore (Report.Figures.fig1 ~quick fmt)
+        | other -> Report.Figures.run other fmt)
+      to_run;
+    Format.fprintf fmt "@."
+  end

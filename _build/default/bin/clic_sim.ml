@@ -1,0 +1,142 @@
+(* clic-sim: command-line driver for the CLIC reproduction.
+
+   Subcommands:
+     latency    ping-pong latency of any stack
+     bandwidth  NetPIPE-style bandwidth of any stack at one message size
+     stream     one-way saturation stream with CPU/interrupt statistics
+     figure     regenerate a paper figure/table by id
+     list       list experiment ids *)
+
+open Cmdliner
+open Cluster
+
+let stacks = [ "clic"; "tcp"; "mpi-clic"; "mpi-tcp"; "pvm" ]
+
+let stack_arg =
+  let doc =
+    Printf.sprintf "Communication stack: %s." (String.concat ", " stacks)
+  in
+  Arg.(value & opt (enum (List.map (fun s -> (s, s)) stacks)) "clic"
+       & info [ "s"; "stack" ] ~docv:"STACK" ~doc)
+
+let mtu_arg =
+  Arg.(value & opt int 1500
+       & info [ "m"; "mtu" ] ~docv:"BYTES" ~doc:"Link MTU (1500 or 9000).")
+
+let size_arg =
+  Arg.(value & opt int 1024
+       & info [ "n"; "size" ] ~docv:"BYTES" ~doc:"Message size in bytes.")
+
+let reps_arg =
+  Arg.(value & opt int 10
+       & info [ "r"; "reps" ] ~docv:"N" ~doc:"Timed repetitions.")
+
+let zero_copy_arg =
+  Arg.(value & opt bool true
+       & info [ "zero-copy" ] ~docv:"BOOL"
+           ~doc:"Use CLIC's 0-copy send path (path 2); false selects path 4.")
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "verbose" ] ~doc:"Enable protocol debug logging.")
+
+let config_of ~mtu ~zero_copy =
+  let clic_params =
+    if zero_copy then Clic.Params.default else Clic.Params.one_copy
+  in
+  { Node.default_config with mtu; clic_params }
+
+let run_latency verbose stack mtu zero_copy reps =
+  ignore (verbose : bool);
+  let c = Net.create ~config:(config_of ~mtu ~zero_copy) ~n:2 () in
+  let pair = Report.Pairs.of_name stack c ~a:0 ~b:1 in
+  let r = Measure.pingpong c pair ~size:0 ~reps () in
+  Printf.printf "%s 0-byte one-way latency at MTU %d: %.2f us\n" stack mtu
+    (Engine.Time.to_us r.Measure.one_way)
+
+let run_bandwidth verbose stack mtu zero_copy size reps =
+  ignore (verbose : bool);
+  let c = Net.create ~config:(config_of ~mtu ~zero_copy) ~n:2 () in
+  let pair = Report.Pairs.of_name stack c ~a:0 ~b:1 in
+  let r = Measure.pingpong c pair ~size ~reps ~warmup:1 () in
+  Printf.printf "%s %dB at MTU %d: %.1f Mbit/s (one-way %.1f us)\n" stack size
+    mtu r.Measure.pp_bandwidth_mbps
+    (Engine.Time.to_us r.Measure.one_way)
+
+let run_stream verbose stack mtu zero_copy size reps =
+  ignore (verbose : bool);
+  let c = Net.create ~config:(config_of ~mtu ~zero_copy) ~n:2 () in
+  let pair = Report.Pairs.of_name stack c ~a:0 ~b:1 in
+  let messages = max reps 100 in
+  let r = Measure.stream c pair ~a:0 ~b:1 ~size ~messages in
+  Printf.printf
+    "%s stream of %d x %dB at MTU %d: %.1f Mbit/s, sender CPU %.0f%%, \
+     receiver CPU %.0f%%, %d interrupts\n"
+    stack messages size mtu r.Measure.st_bandwidth_mbps
+    (100. *. r.Measure.sender_cpu)
+    (100. *. r.Measure.receiver_cpu)
+    r.Measure.receiver_interrupts
+
+let run_figure verbose id quick =
+  ignore (verbose : bool);
+  if quick && List.mem id [ "fig4"; "fig5"; "fig6"; "tab1"; "fig1" ] then begin
+    let fmt = Format.std_formatter in
+    match id with
+    | "fig4" -> ignore (Report.Figures.fig4 ~quick fmt)
+    | "fig5" -> ignore (Report.Figures.fig5 ~quick fmt)
+    | "fig6" -> ignore (Report.Figures.fig6 ~quick fmt)
+    | "tab1" -> ignore (Report.Figures.tab1 ~quick fmt)
+    | "fig1" -> ignore (Report.Figures.fig1 ~quick fmt)
+    | _ -> ()
+  end
+  else Report.Figures.run id Format.std_formatter
+
+let latency_cmd =
+  Cmd.v (Cmd.info "latency" ~doc:"Ping-pong 0-byte latency")
+    Term.(const run_latency $ verbose_arg $ stack_arg $ mtu_arg $ zero_copy_arg $ reps_arg)
+
+let bandwidth_cmd =
+  Cmd.v (Cmd.info "bandwidth" ~doc:"NetPIPE-style bandwidth at one size")
+    Term.(
+      const run_bandwidth $ verbose_arg $ stack_arg $ mtu_arg $ zero_copy_arg
+      $ size_arg $ reps_arg)
+
+let stream_cmd =
+  Cmd.v (Cmd.info "stream" ~doc:"Saturation stream with CPU statistics")
+    Term.(
+      const run_stream $ verbose_arg $ stack_arg $ mtu_arg $ zero_copy_arg
+      $ size_arg $ reps_arg)
+
+let figure_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
+         ~doc:"Experiment id (see `clic-sim list').")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweep sizes.")
+  in
+  Cmd.v (Cmd.info "figure" ~doc:"Regenerate a paper figure or table")
+    Term.(const run_figure $ verbose_arg $ id $ quick)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List experiment ids")
+    Term.(
+      const (fun () ->
+          List.iter print_endline Report.Figures.all_ids)
+      $ const ())
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let () =
+  (if Array.exists (String.equal "--verbose") Sys.argv then setup_logs true
+   else setup_logs false);
+  let info =
+    Cmd.info "clic-sim" ~version:"1.0.0"
+      ~doc:"Simulated reproduction of the CLIC lightweight protocol paper"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ latency_cmd; bandwidth_cmd; stream_cmd; figure_cmd; list_cmd ]))

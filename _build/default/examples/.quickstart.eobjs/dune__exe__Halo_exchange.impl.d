@@ -1,0 +1,1 @@
+examples/halo_exchange.ml: Array Cluster Engine List Mpi_layer Net Node Os_model Printf Sim Time

@@ -1,0 +1,1 @@
+examples/heartbeat.ml: Clic Cluster Engine Hashtbl Hw List Net Node Printf Process Sim Time

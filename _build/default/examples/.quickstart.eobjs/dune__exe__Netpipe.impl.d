@@ -1,0 +1,1 @@
+examples/netpipe.ml: Array Cluster Engine Float List Measure Net Node Printf Report Sys

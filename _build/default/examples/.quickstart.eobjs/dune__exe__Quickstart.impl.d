@@ -1,0 +1,1 @@
+examples/quickstart.ml: Clic Cluster Engine Measure Net Node Printf Sim Time

@@ -1,0 +1,1 @@
+examples/task_farm.ml: Clic Cluster Engine Net Node Os_model Printf Sim Time

@@ -1,0 +1,80 @@
+(* A 1-D halo-exchange stencil — the fine-grained parallel workload the
+   paper's introduction worries about ("may limit their use to coarse
+   grain applications").  Each of N ranks owns a slab of a 1-D domain and
+   exchanges boundary rows with its neighbours every iteration, over MPI
+   on CLIC and over MPI on TCP/IP, then reports how much wall-clock the
+   communication layer cost.
+
+   Run with:  dune exec examples/halo_exchange.exe *)
+
+open Cluster
+open Engine
+
+let ranks = 4
+let iterations = 50
+let halo_bytes = 8192 (* one boundary row of doubles *)
+let compute_per_iter = Time.us 150. (* simulated local stencil work *)
+
+let run_with transport_name =
+  let config = Node.gigabit_jumbo Node.default_config in
+  let cluster = Net.create ~config ~n:ranks () in
+  let world =
+    match transport_name with
+    | "mpi-clic" ->
+        let reg = Mpi_layer.Mpi_clic.registry () in
+        List.init ranks (fun rank ->
+            let node = Net.node cluster rank in
+            Mpi_layer.Mpi.create node.Node.env ~rank
+              (Mpi_layer.Mpi_clic.transport reg node.Node.clic ~rank)
+              ())
+    | _ ->
+        let reg = Mpi_layer.Mpi_tcp.registry () in
+        List.init ranks (fun rank ->
+            let node = Net.node cluster rank in
+            Mpi_layer.Mpi.create node.Node.env ~rank
+              (Mpi_layer.Mpi_tcp.transport reg node.Node.tcp ~rank)
+              ())
+  in
+  let finish_times = Array.make ranks 0 in
+  List.iteri
+    (fun rank mpi ->
+      let node = Net.node cluster rank in
+      let left = rank - 1 and right = rank + 1 in
+      Node.spawn node (fun () ->
+          for _iter = 1 to iterations do
+            (* local stencil computation *)
+            Os_model.Cpu.work (Node.cpu node) compute_per_iter;
+            (* exchange halos with existing neighbours; send both, then
+               receive both (deadlock-free since sends are eager) *)
+            if left >= 0 then
+              Mpi_layer.Mpi.send mpi ~dst:left ~tag:1 halo_bytes;
+            if right < ranks then
+              Mpi_layer.Mpi.send mpi ~dst:right ~tag:1 halo_bytes;
+            if left >= 0 then ignore (Mpi_layer.Mpi.recv mpi ~src:left ());
+            if right < ranks then
+              ignore (Mpi_layer.Mpi.recv mpi ~src:right ())
+          done;
+          (* a solver would close with a residual-norm reduction *)
+          Mpi_layer.Collectives.allreduce mpi ~rank ~size:ranks 4096;
+          finish_times.(rank) <- Sim.now cluster.Net.sim))
+    world;
+  Net.run cluster;
+  let finished = Array.fold_left max 0 finish_times in
+  let pure_compute = Time.mul compute_per_iter iterations in
+  let comm = Time.diff finished pure_compute in
+  (finished, comm)
+
+let () =
+  Printf.printf "1-D halo exchange: %d ranks, %d iterations, %d-byte halos\n\n"
+    ranks iterations halo_bytes;
+  List.iter
+    (fun name ->
+      let total, comm = run_with name in
+      Printf.printf
+        "%-9s total %8.2f ms   communication overhead %8.2f ms  (%.0f us/iter)\n"
+        name (Time.to_ms total) (Time.to_ms comm)
+        (Time.to_us comm /. float_of_int iterations))
+    [ "mpi-clic"; "mpi-tcp" ];
+  Printf.printf
+    "\nThe lightweight protocol keeps the fine-grained exchange cheap;\n\
+     the TCP/IP stack's per-message costs dominate at this granularity.\n"

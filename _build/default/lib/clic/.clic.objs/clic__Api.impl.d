@@ -1,0 +1,1 @@
+lib/clic/api.ml: Clic_module Engine Hostenv Ivar Os_model Proto

@@ -1,0 +1,1 @@
+lib/clic/api.mli: Clic_module

@@ -1,0 +1,1 @@
+lib/clic/channel.ml: Engine Hashtbl Ktimer List Logs Os_model Params Process Semaphore Sim Wire

@@ -1,0 +1,1 @@
+lib/clic/channel.mli: Engine Params Sim Wire

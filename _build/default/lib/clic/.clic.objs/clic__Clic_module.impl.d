@@ -1,0 +1,1 @@
+lib/clic/clic_module.ml: Array Bus Channel Cpu Driver Engine Eth_frame Ethernet Hashtbl Hostenv Hw Kmem List Mac Nic Os_model Params Process Proto Queue Resource Sched Sim Skbuff Time Trace Wire

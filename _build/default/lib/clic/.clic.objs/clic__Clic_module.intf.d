@@ -1,0 +1,1 @@
+lib/clic/clic_module.mli: Channel Engine Ethernet Hostenv Params Proto Time Trace

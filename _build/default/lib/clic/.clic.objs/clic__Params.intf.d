@@ -1,0 +1,1 @@
+lib/clic/params.mli: Engine Time

@@ -1,0 +1,1 @@
+lib/clic/wire.ml: Format Hw Printf

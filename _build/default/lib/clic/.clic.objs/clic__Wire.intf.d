@@ -1,0 +1,1 @@
+lib/clic/wire.mli: Format Hw

@@ -1,0 +1,195 @@
+open Engine
+open Os_model
+
+let log_src = Logs.Src.create "clic.channel" ~doc:"CLIC reliability channel"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  sim : Sim.t;
+  self : int;
+  peer : int;
+  params : Params.t;
+  transmit : Wire.packet -> retransmission:bool -> unit;
+  deliver : Wire.packet -> unit;
+  send_ack : cum_seq:int -> unit;
+  (* transmit side *)
+  window : Semaphore.t;
+  mutable snd_nxt : int;
+  mutable snd_una : int;
+  unacked : (int, Wire.packet) Hashtbl.t;
+  mutable rto_timer : Ktimer.t option;
+  mutable retransmissions : int;
+  mutable retries : int;  (* consecutive timeouts without progress *)
+  mutable dead : bool;
+  (* receive side *)
+  mutable rcv_nxt : int;
+  mutable ooo : (int * Wire.packet) list;
+  mutable unacked_rx : int;  (* delivered packets not yet acknowledged *)
+  mutable ack_timer : Ktimer.t option;
+  mutable duplicates : int;
+  mutable delivered : int;
+}
+
+let create sim ~self ~peer ~params ~transmit ~deliver ~send_ack () =
+  {
+    sim;
+    self;
+    peer;
+    params;
+    transmit;
+    deliver;
+    send_ack;
+    window = Semaphore.create params.Params.tx_window;
+    snd_nxt = 0;
+    snd_una = 0;
+    unacked = Hashtbl.create 64;
+    rto_timer = None;
+    retransmissions = 0;
+    retries = 0;
+    dead = false;
+    rcv_nxt = 0;
+    ooo = [];
+    unacked_rx = 0;
+    ack_timer = None;
+    duplicates = 0;
+    delivered = 0;
+  }
+
+let max_retries = 30
+
+let cancel_timer slot =
+  match slot with Some timer -> Ktimer.cancel timer | None -> ()
+
+(* ---------------- transmit side ---------------- *)
+
+let rec arm_rto t =
+  cancel_timer t.rto_timer;
+  t.rto_timer <-
+    Some
+      (Ktimer.after t.sim t.params.Params.retransmit_timeout (fun () ->
+           t.rto_timer <- None;
+           on_rto t))
+
+(* Go-back-N: resend everything outstanding, oldest first.  A peer that
+   never acknowledges is eventually declared dead (the retry cap keeps the
+   simulation live and mirrors real give-up behaviour). *)
+and on_rto t =
+  if t.snd_una < t.snd_nxt && t.retries >= max_retries then begin
+    Log.err (fun m ->
+        m "peer %d unreachable: giving up after %d retries (%d unacked)"
+          t.peer max_retries (t.snd_nxt - t.snd_una));
+    t.dead <- true
+  end
+  else if t.snd_una < t.snd_nxt then begin
+    t.retries <- t.retries + 1;
+    Log.debug (fun m ->
+        m "rto to peer %d: go-back-N from seq %d (%d outstanding, retry %d)"
+          t.peer t.snd_una (t.snd_nxt - t.snd_una) t.retries);
+    let seqs = ref [] in
+    for seq = t.snd_nxt - 1 downto t.snd_una do
+      match Hashtbl.find_opt t.unacked seq with
+      | Some pkt -> seqs := pkt :: !seqs
+      | None -> ()
+    done;
+    t.retransmissions <- t.retransmissions + List.length !seqs;
+    arm_rto t;
+    Process.spawn t.sim (fun () ->
+        List.iter (fun pkt -> t.transmit pkt ~retransmission:true) !seqs)
+  end
+
+let next_seq t ~data_bytes kind =
+  if not (Wire.is_reliable kind) then
+    invalid_arg "Channel.next_seq: unreliable kind";
+  Semaphore.acquire t.window;
+  let seq = t.snd_nxt in
+  t.snd_nxt <- t.snd_nxt + 1;
+  let pkt = { Wire.src = t.self; chan_seq = Some seq; data_bytes; kind } in
+  Hashtbl.replace t.unacked seq pkt;
+  if t.rto_timer = None then arm_rto t;
+  pkt
+
+let rx_ack t cum_seq =
+  if cum_seq > t.snd_una then begin
+    t.retries <- 0;
+    let freed = min cum_seq t.snd_nxt - t.snd_una in
+    for seq = t.snd_una to t.snd_una + freed - 1 do
+      Hashtbl.remove t.unacked seq
+    done;
+    t.snd_una <- t.snd_una + freed;
+    Semaphore.release ~n:freed t.window;
+    if t.snd_una = t.snd_nxt then begin
+      cancel_timer t.rto_timer;
+      t.rto_timer <- None
+    end
+    else arm_rto t
+  end
+
+(* ---------------- receive side ---------------- *)
+
+let schedule_ack_now t =
+  t.unacked_rx <- 0;
+  cancel_timer t.ack_timer;
+  t.ack_timer <- None;
+  let cum = t.rcv_nxt in
+  Process.spawn t.sim (fun () -> t.send_ack ~cum_seq:cum)
+
+let note_delivery t =
+  t.unacked_rx <- t.unacked_rx + 1;
+  if t.unacked_rx >= t.params.Params.ack_every then schedule_ack_now t
+  else if t.ack_timer = None then
+    t.ack_timer <-
+      Some
+        (Ktimer.after t.sim t.params.Params.ack_timeout (fun () ->
+             t.ack_timer <- None;
+             if t.unacked_rx > 0 then schedule_ack_now t))
+
+let rec drain_ooo t =
+  match t.ooo with
+  | (s, pkt) :: rest when s = t.rcv_nxt ->
+      t.ooo <- rest;
+      t.rcv_nxt <- t.rcv_nxt + 1;
+      t.delivered <- t.delivered + 1;
+      t.deliver pkt;
+      note_delivery t;
+      drain_ooo t
+  | (s, _) :: rest when s < t.rcv_nxt ->
+      t.ooo <- rest;
+      drain_ooo t
+  | _ -> ()
+
+let rx t pkt =
+  match pkt.Wire.chan_seq with
+  | None -> invalid_arg "Channel.rx: unsequenced packet"
+  | Some seq ->
+      if seq = t.rcv_nxt then begin
+        t.rcv_nxt <- t.rcv_nxt + 1;
+        t.delivered <- t.delivered + 1;
+        t.deliver pkt;
+        note_delivery t;
+        drain_ooo t
+      end
+      else if seq > t.rcv_nxt then begin
+        if not (List.mem_assoc seq t.ooo) then begin
+          let rec ins = function
+            | [] -> [ (seq, pkt) ]
+            | (s, _) :: _ as rest when seq < s -> (seq, pkt) :: rest
+            | hd :: rest -> hd :: ins rest
+          in
+          t.ooo <- ins t.ooo
+        end
+        else t.duplicates <- t.duplicates + 1;
+        (* Announce the hole so the sender can recover promptly. *)
+        schedule_ack_now t
+      end
+      else begin
+        t.duplicates <- t.duplicates + 1;
+        schedule_ack_now t
+      end
+
+let is_dead t = t.dead
+let peer t = t.peer
+let outstanding t = t.snd_nxt - t.snd_una
+let retransmissions t = t.retransmissions
+let duplicates_dropped t = t.duplicates
+let delivered t = t.delivered

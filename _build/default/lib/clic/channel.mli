@@ -1,0 +1,54 @@
+(** Per-peer reliable delivery: the transport half of CLIC.
+
+    Each pair of nodes shares a bidirectional channel carrying sequenced
+    packets with cumulative acknowledgements, a bounded transmit window,
+    go-back-N retransmission on timeout, and in-order delivery with an
+    out-of-order hold queue (packets may reorder under channel bonding).
+
+    The channel does not touch hardware itself: the owner (CLIC_MODULE)
+    supplies [transmit] (hand a packet to a NIC), [deliver] (in-order
+    upcall) and [send_ack] closures.  [transmit] for retransmissions is
+    invoked from a fresh process; [deliver] runs in the receive (interrupt)
+    context. *)
+
+open Engine
+
+type t
+
+val create :
+  Sim.t ->
+  self:int ->
+  peer:int ->
+  params:Params.t ->
+  transmit:(Wire.packet -> retransmission:bool -> unit) ->
+  deliver:(Wire.packet -> unit) ->
+  send_ack:(cum_seq:int -> unit) ->
+  unit ->
+  t
+
+val next_seq : t -> data_bytes:int -> Wire.kind -> Wire.packet
+(** Blocks while the transmit window is full; assigns the next sequence
+    number, records the packet for retransmission and arms the timer.
+    Must run in a process.  @raise Invalid_argument on unreliable kinds. *)
+
+val rx : t -> Wire.packet -> unit
+(** Handles an incoming sequenced packet: delivers in order, holds
+    out-of-order arrivals, acknowledges per the ack policy.  Duplicate
+    packets are dropped (re-acknowledged). *)
+
+val rx_ack : t -> int -> unit
+(** Cumulative ack from the peer: frees window slots and retransmit
+    state. *)
+
+val is_dead : t -> bool
+(** True once the retry cap (30 consecutive timeouts without progress) has
+    been hit: the channel stops retransmitting and declares the peer
+    unreachable. *)
+
+(** {1 Statistics} *)
+
+val peer : t -> int
+val outstanding : t -> int
+val retransmissions : t -> int
+val duplicates_dropped : t -> int
+val delivered : t -> int

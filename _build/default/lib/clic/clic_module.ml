@@ -1,0 +1,504 @@
+open Engine
+open Os_model
+open Hw
+open Proto
+
+type message = {
+  msg_src : int;
+  msg_id : int;
+  msg_port : int;
+  msg_bytes : int;
+  msg_sync : bool;
+  msg_broadcast : bool;
+  msg_arrived : Time.t;
+  mutable msg_uncopied : int;
+}
+
+type port = {
+  queue : message Queue.t;
+  mutable waiter : Sched.slot option;
+}
+
+type reasm = { mutable seen : int; mutable copied_bytes : int }
+
+type staged_tx = { st_pkt : Wire.packet; st_dst : Mac.t; st_eth : Ethernet.t }
+
+type t = {
+  env : Hostenv.t;
+  p : Params.t;
+  trace : Trace.t option;
+  eths : Ethernet.t array;
+  mutable rr : int;
+  channels : (int, Channel.t) Hashtbl.t;
+  ports : (int, port) Hashtbl.t;
+  mutable next_msg_id : int;
+  reassembly : (int * int, reasm) Hashtbl.t;
+  sync_done : (int, unit -> unit) Hashtbl.t;
+  regions : (int, int ref * (bytes:int -> src:int -> unit)) Hashtbl.t;
+  backlog : staged_tx Queue.t;
+  mutable draining : bool;
+  (* statistics *)
+  mutable messages_sent : int;
+  mutable messages_delivered : int;
+  mutable packets_sent : int;
+  mutable packets_staged : int;
+  mutable local_msgs : int;
+}
+
+let params t = t.p
+let env_of t = t.env
+let node t = t.env.Hostenv.node
+let cpu t = t.env.Hostenv.cpu
+let sim t = t.env.Hostenv.sim
+let membus t = t.env.Hostenv.membus
+let kmem t = t.env.Hostenv.kmem
+
+let traced t label f =
+  match t.trace with Some tr -> Trace.run tr label f | None -> f ()
+
+let link_mtu t =
+  Nic.mtu (Driver.nic (Ethernet.env t.eths.(0)).Hostenv.driver)
+
+let max_payload t = Params.payload_per_packet t.p ~link_mtu:(link_mtu t)
+
+let get_port t id =
+  match Hashtbl.find_opt t.ports id with
+  | Some p -> p
+  | None ->
+      let p = { queue = Queue.create (); waiter = None } in
+      Hashtbl.add t.ports id p;
+      p
+
+let next_eth t =
+  let eth = t.eths.(t.rr mod Array.length t.eths) in
+  t.rr <- t.rr + 1;
+  eth
+
+(* ------------------------------------------------------------------ *)
+(* Transmit machinery *)
+
+(* The user→kernel staging copy: buffer setup plus a cache-cold copy. *)
+let stage_copy t bytes =
+  Cpu.work (cpu t) t.p.Params.staging_overhead;
+  Cpu.copy ~bytes_per_s:t.p.Params.staging_bytes_per_s (cpu t)
+    ~membus:(membus t) bytes
+
+(* Build the SK_BUFF for the configured data path, charging the staging
+   copy when the path requires one.  Returns (skb, needs_dma,
+   nic_internal_copy). *)
+let prepare_skb t ~staged bytes =
+  let header_bytes = t.p.Params.header_bytes in
+  if staged then (Skbuff.of_kernel ~header_bytes bytes, true, true)
+  else
+    match t.p.Params.data_path with
+    | Params.Pio_direct -> (Skbuff.of_user ~header_bytes bytes, false, false)
+    | Params.Dma_nic_buffer -> (Skbuff.of_user ~header_bytes bytes, true, true)
+    | Params.Staged_direct ->
+        stage_copy t bytes;
+        (Skbuff.of_kernel ~header_bytes bytes, true, false)
+    | Params.Staged_nic_buffer ->
+        stage_copy t bytes;
+        (Skbuff.of_kernel ~header_bytes bytes, true, true)
+
+(* Hand one prepared packet to the NIC behind [eth].  Returns false when
+   the transmit ring is full. *)
+let try_post t ~eth ~dst ~skb ~needs_dma ~internal_copy ~on_complete pkt =
+  let env = Ethernet.env eth in
+  let driver = env.Hostenv.driver in
+  let posted =
+    if needs_dma then
+      Driver.transmit driver ~skb ~dst ~src:(Mac.of_node (node t))
+        ~ethertype:Wire.ethertype ~payload:(Wire.Clic pkt) ~internal_copy
+        ~on_complete ()
+    else begin
+      (* Programmed I/O (path 1): after the driver routine, the CPU itself
+         pushes the bytes across the PCI bus — it is held for the whole
+         transfer, the cost the DMA paths avoid. *)
+      Cpu.work (cpu t) (Driver.params driver).Driver.tx_routine;
+      let nic = Driver.nic driver in
+      Resource.use_f (Cpu.resource (cpu t)) (fun () ->
+          Bus.transfer (Nic.pci nic) (Skbuff.total_bytes skb));
+      let frame =
+        Eth_frame.make ~src:(Mac.of_node (node t)) ~dst
+          ~ethertype:Wire.ethertype
+          ~payload_bytes:(Skbuff.total_bytes skb)
+          (Wire.Clic pkt)
+      in
+      Nic.try_post_tx nic
+        { Nic.frame; needs_dma = false; internal_copy = false; on_complete }
+    end
+  in
+  if posted then t.packets_sent <- t.packets_sent + 1;
+  posted
+
+let rec drain_backlog t =
+  if not t.draining then begin
+    t.draining <- true;
+    let rec go () =
+      match Queue.peek_opt t.backlog with
+      | None -> ()
+      | Some job ->
+          let skb, needs_dma, internal_copy =
+            prepare_skb t ~staged:true job.st_pkt.Wire.data_bytes
+          in
+          if
+            try_post t ~eth:job.st_eth ~dst:job.st_dst ~skb ~needs_dma
+              ~internal_copy ~on_complete:(on_complete t) job.st_pkt
+          then begin
+            ignore (Queue.pop t.backlog);
+            Kmem.free (kmem t) job.st_pkt.Wire.data_bytes;
+            go ()
+          end
+    in
+    go ();
+    t.draining <- false
+  end
+
+and on_complete t () = Process.spawn (sim t) (fun () -> drain_backlog t)
+
+(* Transmit one packet, blocking the caller only when both the ring and
+   the staging pool are exhausted. *)
+let transmit_packet t ~dst ~staged pkt =
+  let eth = next_eth t in
+  let skb, needs_dma, internal_copy =
+    prepare_skb t ~staged pkt.Wire.data_bytes
+  in
+  let was_zero_copy = Skbuff.is_zero_copy skb in
+  if
+    not
+      (try_post t ~eth ~dst ~skb ~needs_dma ~internal_copy
+         ~on_complete:(on_complete t) pkt)
+  then
+    if
+      t.p.Params.stage_on_busy
+      && Kmem.try_alloc (kmem t) pkt.Wire.data_bytes
+    then begin
+      (* Ring full: copy into system memory and return — the application
+         continues while the packet waits for ring space (Section 3.1). *)
+      if was_zero_copy then stage_copy t pkt.Wire.data_bytes;
+      t.packets_staged <- t.packets_staged + 1;
+      Queue.add { st_pkt = pkt; st_dst = dst; st_eth = eth } t.backlog
+    end
+    else begin
+      (* No staging memory either: wait for a ring slot. *)
+      let frame =
+        Eth_frame.make ~src:(Mac.of_node (node t)) ~dst
+          ~ethertype:Wire.ethertype
+          ~payload_bytes:(Skbuff.total_bytes skb)
+          (Wire.Clic pkt)
+      in
+      Nic.post_tx_blocking (Driver.nic (Ethernet.env eth).Hostenv.driver)
+        { Nic.frame; needs_dma; internal_copy; on_complete = on_complete t };
+      t.packets_sent <- t.packets_sent + 1
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Channels *)
+
+let rec get_channel t peer =
+  match Hashtbl.find_opt t.channels peer with
+  | Some c -> c
+  | None ->
+      let chan =
+        Channel.create (sim t) ~self:(node t) ~peer ~params:t.p
+          ~transmit:(fun pkt ~retransmission ->
+            transmit_packet t ~dst:(Mac.of_node peer)
+              ~staged:retransmission pkt)
+          ~deliver:(fun pkt -> handle_reliable t pkt)
+          ~send_ack:(fun ~cum_seq ->
+            Cpu.work (cpu t) t.p.Params.module_tx;
+            transmit_packet t ~dst:(Mac.of_node peer) ~staged:true
+              { Wire.src = node t; chan_seq = None; data_bytes = 0;
+                kind = Wire.Chan_ack { cum_seq } })
+          ()
+      in
+      Hashtbl.add t.channels peer chan;
+      chan
+
+(* ------------------------------------------------------------------ *)
+(* Receive-side delivery (interrupt context) *)
+
+and deliver_message t msg =
+  t.messages_delivered <- t.messages_delivered + 1;
+  let port = get_port t msg.msg_port in
+  (match port.waiter with
+  | Some slot ->
+      (* A process is blocked in a receive on this port: CLIC_MODULE has
+         been moving fragments to its user memory as they arrived; finish
+         any remainder and wake it. *)
+      port.waiter <- None;
+      if msg.msg_uncopied > 0 then begin
+        traced t "clic:copy-to-user" (fun () ->
+            Cpu.copy ~priority:`High (cpu t) ~membus:(membus t)
+              msg.msg_uncopied);
+        msg.msg_uncopied <- 0
+      end;
+      Queue.add msg port.queue;
+      Sched.wake slot
+  | None -> Queue.add msg port.queue);
+  if msg.msg_sync then begin
+    (* Send the end-to-end confirmation back on the reliable channel. *)
+    let chan = get_channel t msg.msg_src in
+    Process.spawn (sim t) (fun () ->
+        let pkt =
+          Channel.next_seq chan ~data_bytes:0
+            (Wire.Msg_ack { msg_id = msg.msg_id })
+        in
+        Cpu.work (cpu t) t.p.Params.module_tx;
+        transmit_packet t ~dst:(Mac.of_node msg.msg_src) ~staged:true pkt)
+  end
+
+and handle_fragment t ~src ~sync ~broadcast ~port ~bytes (frag : Wire.frag) =
+  let key = (src, frag.Wire.msg_id) in
+  let slot =
+    match Hashtbl.find_opt t.reassembly key with
+    | Some s -> s
+    | None ->
+        let s = { seen = 0; copied_bytes = 0 } in
+        Hashtbl.add t.reassembly key s;
+        s
+  in
+  slot.seen <- slot.seen + 1;
+  (* When a receive is already posted on the port, each arriving fragment
+     goes straight to user memory (the paper's Figure 3, step 7); only a
+     process that asks later pays the copy in its own receive call. *)
+  if (get_port t port).waiter <> None && bytes > 0 then begin
+    traced t "clic:copy-to-user" (fun () ->
+        Cpu.copy ~priority:`High (cpu t) ~membus:(membus t) bytes);
+    slot.copied_bytes <- slot.copied_bytes + bytes
+  end;
+  if slot.seen = frag.Wire.frag_count then begin
+    Hashtbl.remove t.reassembly key;
+    deliver_message t
+      {
+        msg_src = src;
+        msg_id = frag.Wire.msg_id;
+        msg_port = port;
+        msg_bytes = frag.Wire.msg_bytes;
+        msg_sync = sync;
+        msg_broadcast = broadcast;
+        msg_arrived = Sim.now (sim t);
+        msg_uncopied = frag.Wire.msg_bytes - slot.copied_bytes;
+      }
+  end
+
+and handle_reliable t (pkt : Wire.packet) =
+  traced t "clic:module-rx" (fun () ->
+      Cpu.work ~priority:`High (cpu t) t.p.Params.module_rx);
+  match pkt.kind with
+  | Wire.Data { port; sync; frag } ->
+      handle_fragment t ~src:pkt.src ~sync ~broadcast:false ~port
+        ~bytes:pkt.data_bytes frag
+  | Wire.Remote_write { region; frag } ->
+      handle_rwrite_fragment t ~src:pkt.src ~region ~bytes:pkt.data_bytes frag
+  | Wire.Msg_ack { msg_id } -> (
+      match Hashtbl.find_opt t.sync_done msg_id with
+      | Some k ->
+          Hashtbl.remove t.sync_done msg_id;
+          k ()
+      | None -> ())
+  | Wire.Bcast _ | Wire.Chan_ack _ -> ()
+
+and handle_rwrite_fragment t ~src ~region ~bytes frag =
+  (* Remote write: data goes straight to the target user memory, fragment
+     by fragment, with no receive call involved. *)
+  traced t "clic:copy-to-user" (fun () ->
+      Cpu.copy ~priority:`High (cpu t) ~membus:(membus t) bytes);
+  (match Hashtbl.find_opt t.regions region with
+  | Some (count, notify) ->
+      count := !count + bytes;
+      if frag.Wire.frag_index = frag.Wire.frag_count - 1 then
+        notify ~bytes:frag.Wire.msg_bytes ~src
+  | None -> ())
+
+(* Entry point from the driver upcall. *)
+let rx t (desc : Nic.rx_desc) =
+  match desc.Nic.rx_frame.Eth_frame.payload with
+  | Wire.Clic pkt -> (
+      match pkt.kind with
+      | Wire.Chan_ack { cum_seq } ->
+          Cpu.work ~priority:`High (cpu t) t.p.Params.module_rx;
+          Channel.rx_ack (get_channel t pkt.src) cum_seq
+      | Wire.Bcast { port; frag } ->
+          traced t "clic:module-rx" (fun () ->
+              Cpu.work ~priority:`High (cpu t) t.p.Params.module_rx);
+          handle_fragment t ~src:pkt.src ~sync:false ~broadcast:true ~port
+            ~bytes:pkt.data_bytes frag
+      | Wire.Data _ | Wire.Remote_write _ | Wire.Msg_ack _ ->
+          Channel.rx (get_channel t pkt.src) pkt)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let create env ?(params = Params.default) ?trace eths =
+  if eths = [] then invalid_arg "Clic_module.create: no ethernet attachments";
+  let t =
+    {
+      env;
+      p = params;
+      trace;
+      eths = Array.of_list eths;
+      rr = 0;
+      channels = Hashtbl.create 8;
+      ports = Hashtbl.create 8;
+      next_msg_id = 0;
+      reassembly = Hashtbl.create 16;
+      sync_done = Hashtbl.create 8;
+      regions = Hashtbl.create 4;
+      backlog = Queue.create ();
+      draining = false;
+      messages_sent = 0;
+      messages_delivered = 0;
+      packets_sent = 0;
+      packets_staged = 0;
+      local_msgs = 0;
+    }
+  in
+  List.iter
+    (fun eth -> Ethernet.register eth ~ethertype:Wire.ethertype (rx t))
+    eths;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-side send/receive operations *)
+
+let fragments_of t bytes =
+  let chunk = max_payload t in
+  let count = max 1 ((bytes + chunk - 1) / chunk) in
+  List.init count (fun index ->
+      let len =
+        if index = count - 1 then bytes - (index * chunk) else chunk
+      in
+      (index, count, len))
+
+let local_delivery t ~port ~sync bytes ~sync_done =
+  (* Same-node communication: through system memory, no NIC. *)
+  t.local_msgs <- t.local_msgs + 1;
+  Cpu.copy (cpu t) ~membus:(membus t) bytes;
+  deliver_message t
+    {
+      msg_src = node t;
+      msg_id = -1;
+      msg_port = port;
+      msg_bytes = bytes;
+      msg_sync = false;
+      msg_broadcast = false;
+      msg_arrived = Sim.now (sim t);
+      msg_uncopied = bytes;
+    };
+  if sync then sync_done ()
+
+let send_message t ~dst ~port ?(sync = false) bytes ~sync_done =
+  if bytes < 0 then invalid_arg "Clic_module.send_message: negative size";
+  t.messages_sent <- t.messages_sent + 1;
+  if dst = node t then local_delivery t ~port ~sync bytes ~sync_done
+  else begin
+    let msg_id = t.next_msg_id in
+    t.next_msg_id <- t.next_msg_id + 1;
+    if sync then Hashtbl.replace t.sync_done msg_id sync_done;
+    let chan = get_channel t dst in
+    List.iter
+      (fun (frag_index, frag_count, len) ->
+        traced t "clic:module-tx" (fun () ->
+            Cpu.work (cpu t) t.p.Params.module_tx);
+        let frag =
+          { Wire.msg_id; frag_index; frag_count; msg_bytes = bytes }
+        in
+        let pkt =
+          Channel.next_seq chan ~data_bytes:len
+            (Wire.Data { port; sync; frag })
+        in
+        transmit_packet t ~dst:(Mac.of_node dst) ~staged:false pkt)
+      (fragments_of t bytes)
+  end
+
+let broadcast_message t ~port bytes =
+  if bytes < 0 then invalid_arg "Clic_module.broadcast_message: negative size";
+  t.messages_sent <- t.messages_sent + 1;
+  let msg_id = t.next_msg_id in
+  t.next_msg_id <- t.next_msg_id + 1;
+  List.iter
+    (fun (frag_index, frag_count, len) ->
+      Cpu.work (cpu t) t.p.Params.module_tx;
+      let frag = { Wire.msg_id; frag_index; frag_count; msg_bytes = bytes } in
+      transmit_packet t ~dst:Mac.broadcast ~staged:false
+        { Wire.src = node t; chan_seq = None; data_bytes = len;
+          kind = Wire.Bcast { port; frag } })
+    (fragments_of t bytes)
+
+let remote_write t ~dst ~region bytes =
+  if bytes < 0 then invalid_arg "Clic_module.remote_write: negative size";
+  t.messages_sent <- t.messages_sent + 1;
+  if dst = node t then begin
+    t.local_msgs <- t.local_msgs + 1;
+    Cpu.copy (cpu t) ~membus:(membus t) bytes;
+    match Hashtbl.find_opt t.regions region with
+    | Some (count, notify) ->
+        count := !count + bytes;
+        notify ~bytes ~src:(node t)
+    | None -> ()
+  end
+  else begin
+    let msg_id = t.next_msg_id in
+    t.next_msg_id <- t.next_msg_id + 1;
+    let chan = get_channel t dst in
+    List.iter
+      (fun (frag_index, frag_count, len) ->
+        Cpu.work (cpu t) t.p.Params.module_tx;
+        let frag =
+          { Wire.msg_id; frag_index; frag_count; msg_bytes = bytes }
+        in
+        let pkt =
+          Channel.next_seq chan ~data_bytes:len
+            (Wire.Remote_write { region; frag })
+        in
+        transmit_packet t ~dst:(Mac.of_node dst) ~staged:false pkt)
+      (fragments_of t bytes)
+  end
+
+let recv_poll t ~port =
+  let p = get_port t port in
+  match Queue.take_opt p.queue with
+  | None -> None
+  | Some msg ->
+      if msg.msg_uncopied > 0 then begin
+        Cpu.copy (cpu t) ~membus:(membus t) msg.msg_uncopied;
+        msg.msg_uncopied <- 0
+      end;
+      Some msg
+
+let recv_wait t ~port =
+  let p = get_port t port in
+  let rec loop () =
+    match recv_poll t ~port with
+    | Some msg -> msg
+    | None ->
+        if p.waiter <> None then
+          invalid_arg "Clic_module.recv_wait: port already has a waiter";
+        let slot = Sched.slot t.env.Hostenv.sched in
+        p.waiter <- Some slot;
+        Sched.wait slot;
+        loop ()
+  in
+  loop ()
+
+let register_region t ~region notify =
+  if Hashtbl.mem t.regions region then
+    invalid_arg "Clic_module.register_region: duplicate region";
+  Hashtbl.add t.regions region (ref 0, notify)
+
+let region_bytes t ~region =
+  match Hashtbl.find_opt t.regions region with
+  | Some (count, _) -> !count
+  | None -> 0
+
+let messages_sent t = t.messages_sent
+let messages_delivered t = t.messages_delivered
+let packets_sent t = t.packets_sent
+let packets_staged t = t.packets_staged
+let local_messages t = t.local_msgs
+let retransmissions t =
+  Hashtbl.fold (fun _ c acc -> acc + Channel.retransmissions c) t.channels 0
+
+let channel_to t ~peer = Hashtbl.find_opt t.channels peer

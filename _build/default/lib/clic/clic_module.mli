@@ -1,0 +1,80 @@
+(** CLIC_MODULE: the protocol engine inserted in the OS kernel.
+
+    This is the paper's Figure 3 machinery.  On send, the module builds the
+    CLIC header, fills an SK_BUFF and calls the unmodified driver; if the
+    NIC cannot take the packet now, the data is staged into system memory
+    and the application continues — the staged packet goes out when ring
+    space frees.  On receive, the module runs in the driver's upcall
+    context (bottom half, or directly from the ISR with the Figure 8b
+    improvement), matches waiting receivers, moves data to user memory and
+    wakes processes through the scheduler.
+
+    Messages are fragmented over MTU-sized packets on a per-peer reliable
+    {!Channel}; same-node destinations short-circuit through kernel memory;
+    broadcast fragments ride unsequenced on the Ethernet broadcast address;
+    several NICs may be bonded (round-robin striping).
+
+    The user-facing system-call layer is {!Api}; this module is the kernel
+    side. *)
+
+open Engine
+open Proto
+
+type t
+
+type message = {
+  msg_src : int;
+  msg_id : int;  (** sender-local message id *)
+  msg_port : int;
+  msg_bytes : int;
+  msg_sync : bool;
+  msg_broadcast : bool;
+  msg_arrived : Time.t;  (** completion (last fragment) time *)
+  mutable msg_uncopied : int;  (** bytes not yet moved to user memory *)
+}
+
+val create :
+  Hostenv.t -> ?params:Params.t -> ?trace:Trace.t -> Ethernet.t list -> t
+(** [create env eths] registers the CLIC ethertype on every given Ethernet
+    attachment (more than one = channel bonding).  The list must not be
+    empty. *)
+
+val params : t -> Params.t
+val env_of : t -> Hostenv.t
+val node : t -> int
+
+(** {1 Kernel-side operations (called by {!Api} under a system call)} *)
+
+val send_message :
+  t -> dst:int -> port:int -> ?sync:bool -> int -> sync_done:(unit -> unit) -> unit
+(** Fragment and transmit a message.  Blocking (window/staging).  For
+    [sync] sends, [sync_done] fires when the end-to-end confirmation
+    arrives. *)
+
+val broadcast_message : t -> port:int -> int -> unit
+val remote_write : t -> dst:int -> region:int -> int -> unit
+
+val recv_wait : t -> port:int -> message
+(** Blocks until a message is queued on the port, then charges the
+    copy-to-user if the module did not already perform it. *)
+
+val recv_poll : t -> port:int -> message option
+(** The non-blocking receive: "if the message has not arrived yet,
+    CLIC_MODULE does nothing and returns". *)
+
+val register_region : t -> region:int -> (bytes:int -> src:int -> unit) -> unit
+(** Remote-write notification callback (runs at interrupt priority). *)
+
+val region_bytes : t -> region:int -> int
+
+(** {1 Statistics} *)
+
+val messages_sent : t -> int
+val messages_delivered : t -> int
+val packets_sent : t -> int
+val packets_staged : t -> int
+(** Packets that found the ring full and were staged in system memory. *)
+
+val local_messages : t -> int
+val retransmissions : t -> int
+val channel_to : t -> peer:int -> Channel.t option

@@ -1,0 +1,48 @@
+open Engine
+
+type data_path =
+  | Pio_direct
+  | Dma_nic_buffer
+  | Staged_direct
+  | Staged_nic_buffer
+
+type t = {
+  module_tx : Time.span;
+  module_rx : Time.span;
+  header_bytes : int;
+  data_path : data_path;
+  stage_on_busy : bool;
+  ack_every : int;
+  ack_timeout : Time.span;
+  retransmit_timeout : Time.span;
+  tx_window : int;
+  use_nic_fragmentation : bool;
+  super_packet_bytes : int;
+  staging_bytes_per_s : float;
+  staging_overhead : Time.span;
+}
+
+let default =
+  {
+    module_tx = Time.us 0.7;
+    module_rx = Time.us 2.0;
+    header_bytes = 12;
+    data_path = Dma_nic_buffer;
+    stage_on_busy = true;
+    ack_every = 2;
+    ack_timeout = Time.us 100.;
+    retransmit_timeout = Time.ms 20.;
+    tx_window = 48;
+    use_nic_fragmentation = false;
+    super_packet_bytes = 32768;
+    staging_bytes_per_s = 80e6;
+    staging_overhead = Time.us 2.;
+  }
+
+let one_copy = { default with data_path = Staged_nic_buffer }
+
+let payload_per_packet t ~link_mtu =
+  let max_packet =
+    if t.use_nic_fragmentation then t.super_packet_bytes else link_mtu
+  in
+  max_packet - t.header_bytes

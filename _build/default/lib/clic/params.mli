@@ -1,0 +1,64 @@
+(** CLIC protocol parameters and calibrated costs.
+
+    Every number the paper quotes about CLIC's own path lives here:
+
+    - CLIC_MODULE send-side processing is 0.7 us and the (unmodified)
+      driver routine about 4 us (Figure 7a's "0.7+4 us");
+    - CLIC_MODULE receive-side processing is 2 us (Figure 7);
+    - the 12-byte CLIC header rides on the 14-byte level-1 Ethernet header;
+    - when the NIC cannot accept a packet, the module stages the data into
+      system memory and lets the application continue (Section 3.1).
+
+    The {!data_path} field selects among the four user-to-NIC transfer
+    paths of the paper's Figure 1; Gigabit CLIC uses path 2 ({!Dma_nic_buffer},
+    the "0-copy" configuration) and Fast-Ethernet CLIC used path 4
+    ({!Staged_nic_buffer}, "1-copy"). *)
+
+open Engine
+
+type data_path =
+  | Pio_direct  (** path 1: CPU-programmed I/O from user memory to the NIC *)
+  | Dma_nic_buffer
+      (** path 2: NIC bus-masters from user memory into its output buffer
+          (0-copy; the Gigabit Ethernet CLIC default) *)
+  | Staged_direct
+      (** path 3: CPU copies user→kernel, DMA straight to the transmit
+          interface *)
+  | Staged_nic_buffer
+      (** path 4: CPU copies user→kernel, DMA into the NIC output buffer
+          (1-copy; the Fast Ethernet CLIC path) *)
+
+type t = {
+  module_tx : Time.span;  (** CLIC_MODULE send processing, per packet *)
+  module_rx : Time.span;  (** CLIC_MODULE receive processing, per packet *)
+  header_bytes : int;  (** the CLIC header: 12 bytes *)
+  data_path : data_path;
+  stage_on_busy : bool;
+      (** copy to system memory when the ring is full instead of blocking *)
+  ack_every : int;  (** cumulative channel ack frequency, packets *)
+  ack_timeout : Time.span;  (** ack latency bound when traffic stops *)
+  retransmit_timeout : Time.span;
+  tx_window : int;  (** per-peer outstanding-packet bound *)
+  use_nic_fragmentation : bool;
+      (** hand the NIC super-packets and let its firmware fragment (the
+          paper's future-work feature) *)
+  super_packet_bytes : int;  (** max NIC-level packet when fragmenting *)
+  staging_bytes_per_s : float;
+      (** effective rate of the user→kernel staging copy (1-copy paths and
+          ring-full staging); slower than a hot memcpy because it allocates
+          and touches cold kernel buffers *)
+  staging_overhead : Time.span;
+      (** per-packet cost of allocating and setting up the kernel staging
+          buffer *)
+}
+
+val default : t
+(** The Gigabit Ethernet configuration of the paper's evaluation:
+    path 2, staging enabled, 12-byte headers, NIC fragmentation off. *)
+
+val one_copy : t
+(** The "1-copy" configuration of Figure 4 (path 4). *)
+
+val payload_per_packet : t -> link_mtu:int -> int
+(** Data bytes carried per CLIC packet: the NIC MTU (or super-packet size
+    when NIC fragmentation is on) minus the CLIC header. *)

@@ -1,0 +1,47 @@
+type frag = {
+  msg_id : int;
+  frag_index : int;
+  frag_count : int;
+  msg_bytes : int;
+}
+
+type kind =
+  | Data of { port : int; sync : bool; frag : frag }
+  | Remote_write of { region : int; frag : frag }
+  | Bcast of { port : int; frag : frag }
+  | Chan_ack of { cum_seq : int }
+  | Msg_ack of { msg_id : int }
+
+type packet = {
+  src : int;
+  chan_seq : int option;
+  data_bytes : int;
+  kind : kind;
+}
+
+let ethertype = 0x8874
+
+type Hw.Eth_frame.payload += Clic of packet
+
+let is_reliable = function
+  | Data _ | Remote_write _ | Msg_ack _ -> true
+  | Bcast _ | Chan_ack _ -> false
+
+let wire_bytes ~header_bytes pkt = header_bytes + pkt.data_bytes
+
+let pp fmt pkt =
+  let kind_str =
+    match pkt.kind with
+    | Data { port; sync; frag } ->
+        Printf.sprintf "data(port=%d sync=%b msg=%d %d/%d)" port sync
+          frag.msg_id (frag.frag_index + 1) frag.frag_count
+    | Remote_write { region; frag } ->
+        Printf.sprintf "rwrite(region=%d msg=%d)" region frag.msg_id
+    | Bcast { port; frag } ->
+        Printf.sprintf "bcast(port=%d msg=%d)" port frag.msg_id
+    | Chan_ack { cum_seq } -> Printf.sprintf "ack(%d)" cum_seq
+    | Msg_ack { msg_id } -> Printf.sprintf "msg-ack(%d)" msg_id
+  in
+  Format.fprintf fmt "clic[src=%d seq=%s %dB %s]" pkt.src
+    (match pkt.chan_seq with None -> "-" | Some s -> string_of_int s)
+    pkt.data_bytes kind_str

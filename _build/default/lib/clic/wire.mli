@@ -1,0 +1,50 @@
+(** The CLIC wire format.
+
+    A CLIC packet rides directly on a level-1 Ethernet header; its own
+    12-byte header identifies the packet kind (an MPI packet, an internal
+    packet, a kernel-function packet, etc., in the paper's words), the
+    destination port, and the fragment coordinates of the message it
+    belongs to.  Reliable kinds additionally carry the per-peer channel
+    sequence number. *)
+
+type frag = {
+  msg_id : int;
+  frag_index : int;
+  frag_count : int;
+  msg_bytes : int;  (** total message size, bytes *)
+}
+
+type kind =
+  | Data of { port : int; sync : bool; frag : frag }
+      (** ordinary message fragment; [sync] requests an end-to-end
+          message acknowledgement (send-with-confirmation) *)
+  | Remote_write of { region : int; frag : frag }
+      (** asynchronous remote write: delivered straight into the target
+          process's memory, no receive call needed *)
+  | Bcast of { port : int; frag : frag }
+      (** broadcast/multicast fragment (unreliable, Ethernet data-link
+          multicast) *)
+  | Chan_ack of { cum_seq : int }
+      (** cumulative channel acknowledgement (unsequenced) *)
+  | Msg_ack of { msg_id : int }
+      (** end-to-end confirmation for a [sync] message (sequenced) *)
+
+type packet = {
+  src : int;
+  chan_seq : int option;  (** [None] for unsequenced kinds *)
+  data_bytes : int;  (** payload carried by this packet *)
+  kind : kind;
+}
+
+val ethertype : int
+(** 0x8874, a made-up cluster-local type. *)
+
+type Hw.Eth_frame.payload += Clic of packet
+
+val is_reliable : kind -> bool
+(** Whether the kind travels on the sequenced channel. *)
+
+val wire_bytes : header_bytes:int -> packet -> int
+(** CLIC header plus payload (the L2 payload size). *)
+
+val pp : Format.formatter -> packet -> unit

@@ -1,0 +1,1 @@
+lib/cluster/measure.ml: Clic Cpu Engine Interrupt Ivar List Net Node Os_model Process Proto Sim Time Units

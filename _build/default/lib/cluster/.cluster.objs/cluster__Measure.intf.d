@@ -1,0 +1,1 @@
+lib/cluster/measure.mli: Engine Net Time

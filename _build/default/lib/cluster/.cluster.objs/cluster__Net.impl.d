@@ -1,0 +1,1 @@
+lib/cluster/net.ml: Array Engine Hw List Node Printf Sim Switch Time

@@ -1,0 +1,1 @@
+lib/cluster/net.mli: Engine Hw Node Sim Switch Time

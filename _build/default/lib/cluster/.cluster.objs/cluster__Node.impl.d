@@ -1,0 +1,1 @@
+lib/cluster/node.ml: Bottom_half Clic Cpu Driver Engine Eth_frame Ethernet Fault Hostenv Hw Interrupt Ip Kmem List Membus Nic Os_model Pci Printf Process Proto Sched Switch Syscall Tcp Time Trace Udp

@@ -1,0 +1,1 @@
+lib/cluster/node.mli: Clic Cpu Driver Engine Ethernet Fault Hostenv Hw Interrupt Ip Nic Os_model Proto Sim Switch Tcp Time Trace Udp

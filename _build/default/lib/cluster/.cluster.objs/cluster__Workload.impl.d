@@ -1,0 +1,1 @@
+lib/cluster/workload.ml: Clic Engine Net Node Process Rng Sim Time

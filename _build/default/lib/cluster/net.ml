@@ -1,0 +1,36 @@
+open Engine
+open Hw
+
+type t = {
+  sim : Sim.t;
+  switches : Switch.t list;
+  nodes : Node.t array;
+  config : Node.config;
+}
+
+let create ?(config = Node.default_config) ~n () =
+  if n <= 0 then invalid_arg "Cluster.create: n <= 0";
+  let sim = Sim.create () in
+  let switches =
+    List.init config.Node.nics (fun k ->
+        let sw =
+          Switch.create sim
+            ~name:(Printf.sprintf "switch%d" k)
+            ~bits_per_s:config.Node.link_bits_per_s
+            ?fault:config.Node.link_fault
+            ?egress_frames:config.Node.switch_egress_frames ()
+        in
+        for id = 0 to n - 1 do
+          Switch.add_port sw ~node:id
+        done;
+        sw)
+  in
+  let nodes =
+    Array.init n (fun id -> Node.create sim ~id ~switches config)
+  in
+  { sim; switches; nodes; config }
+
+let node t i = t.nodes.(i)
+let size t = Array.length t.nodes
+let run t = Sim.run t.sim
+let run_for t span = Sim.run_until t.sim ~limit:(Time.add (Sim.now t.sim) span)

@@ -1,0 +1,25 @@
+(** A switched cluster of nodes.
+
+    [create ~n ()] builds [n] identical nodes around one Gigabit Ethernet
+    switch per NIC rank (channel bonding uses parallel switched networks,
+    the "several network cards ... when a switch is used" arrangement of
+    the paper's Section 5). *)
+
+open Engine
+open Hw
+
+type t = {
+  sim : Sim.t;
+  switches : Switch.t list;
+  nodes : Node.t array;
+  config : Node.config;
+}
+
+val create : ?config:Node.config -> n:int -> unit -> t
+val node : t -> int -> Node.t
+val size : t -> int
+
+val run : t -> unit
+(** Runs the simulation to quiescence. *)
+
+val run_for : t -> Time.span -> unit

@@ -1,0 +1,145 @@
+open Engine
+open Hw
+open Os_model
+open Proto
+
+type config = {
+  mtu : int;
+  nics : int;
+  link_bits_per_s : float;
+  coalesce : Nic.coalesce;
+  nic_fragmentation : bool;
+  nic_internal_bytes_per_s : float;
+  nic_firmware_per_frame : Time.span;
+  pci_efficiency : float;
+  pci_width_bytes : int;
+  cpu_copy_bytes_per_s : float;
+  membus_bytes_per_s : float;
+  kmem_capacity : int;
+  irq_dispatch : Time.span;
+  clic_params : Clic.Params.t;
+  driver_params : Driver.params;
+  tcp_params : Tcp.params;
+  trace : bool;
+  link_fault : (unit -> Fault.t) option;
+      (* per-link fault injection (tests of the reliability layers) *)
+  pci_per_nic : bool;
+      (* a separate PCI segment per NIC (server chipsets); with the default
+         shared bus, channel bonding is capped by the bus itself *)
+  switch_egress_frames : int option;
+      (* finite switch output buffers; None = unbounded *)
+}
+
+let default_config =
+  {
+    mtu = Eth_frame.standard_mtu;
+    nics = 1;
+    link_bits_per_s = 1e9;
+    coalesce = Nic.default_coalesce;
+    nic_fragmentation = false;
+    nic_internal_bytes_per_s = 400e6;
+    nic_firmware_per_frame = Time.ns 800;
+    pci_efficiency = 0.57;
+    pci_width_bytes = 4;
+    cpu_copy_bytes_per_s = 300e6;
+    membus_bytes_per_s = 800e6;
+    kmem_capacity = 4 * 1024 * 1024;
+    irq_dispatch = Time.us 5.;
+    clic_params = Clic.Params.default;
+    driver_params = Driver.default_params;
+    tcp_params = Tcp.default_params;
+    trace = false;
+    link_fault = None;
+    pci_per_nic = false;
+    switch_egress_frames = None;
+  }
+
+let gigabit_jumbo config = { config with mtu = Eth_frame.jumbo_mtu }
+
+type t = {
+  id : int;
+  config : config;
+  env : Hostenv.t;
+  nics : Nic.t list;
+  eths : Ethernet.t list;
+  intr : Interrupt.t;
+  ip : Ip.t;
+  tcp : Tcp.t;
+  udp : Udp.t;
+  clic : Clic.Api.t;
+  trace : Trace.t option;
+}
+
+let create sim ~id ~switches (config : config) =
+  if config.nics <= 0 then invalid_arg "Node.create: nics <= 0";
+  if List.length switches < config.nics then
+    invalid_arg "Node.create: not enough switches for the NICs";
+  let cpu =
+    Cpu.create sim
+      ~name:(Printf.sprintf "cpu%d" id)
+      ~copy_bytes_per_s:config.cpu_copy_bytes_per_s ()
+  in
+  let membus =
+    Membus.create sim
+      ~name:(Printf.sprintf "mem%d" id)
+      ~bytes_per_s:config.membus_bytes_per_s ()
+  in
+  let shared_pci =
+    Pci.create sim
+      ~name:(Printf.sprintf "pci%d" id)
+      ~efficiency:config.pci_efficiency
+      ~width_bytes:config.pci_width_bytes ()
+  in
+  let pci_for k =
+    if config.pci_per_nic && k > 0 then
+      Pci.create sim
+        ~name:(Printf.sprintf "pci%d.%d" id k)
+        ~efficiency:config.pci_efficiency
+        ~width_bytes:config.pci_width_bytes ()
+    else shared_pci
+  in
+  let sched = Sched.create sim ~cpu () in
+  let syscall = Syscall.create cpu in
+  let kmem = Kmem.create ~capacity:config.kmem_capacity in
+  let intr = Interrupt.create sim ~cpu ~dispatch_latency:config.irq_dispatch () in
+  let bh = Bottom_half.create sim ~cpu () in
+  let trace = if config.trace then Some (Trace.create sim) else None in
+  let make_nic k =
+    let nic =
+      Nic.create sim
+        ~name:(Printf.sprintf "nic%d.%d" id k)
+        ~mtu:config.mtu ~pci:(pci_for k) ~membus ~coalesce:config.coalesce
+        ~internal_bytes_per_s:config.nic_internal_bytes_per_s
+        ~firmware_per_frame:config.nic_firmware_per_frame
+        ~fragmentation:config.nic_fragmentation ()
+    in
+    let switch = List.nth switches k in
+    Nic.attach_uplink nic (Switch.uplink switch ~node:id);
+    Switch.connect_node switch ~node:id (Nic.rx_from_wire nic);
+    let driver =
+      Driver.create sim ~cpu ~intr ~bh ~nic ~params:config.driver_params
+        ?trace ()
+    in
+    let env =
+      Hostenv.make ~sim ~node:id ~cpu ~membus ~sched ~syscall ~driver ~kmem
+    in
+    let eth = Ethernet.create env () in
+    (nic, env, eth)
+  in
+  let parts = List.init config.nics make_nic in
+  let nics = List.map (fun (n, _, _) -> n) parts in
+  let envs = List.map (fun (_, e, _) -> e) parts in
+  let eths = List.map (fun (_, _, e) -> e) parts in
+  let env = List.hd envs in
+  (* The TCP/IP suite rides the first NIC; CLIC bonds across all of them. *)
+  let ip = Ip.create (List.hd eths) () in
+  let tcp = Tcp.create ip ~params:config.tcp_params () in
+  let udp = Udp.create ip () in
+  let clic_module =
+    Clic.Clic_module.create env ~params:config.clic_params ?trace eths
+  in
+  let clic = Clic.Api.create clic_module in
+  { id; config; env; nics; eths; intr; ip; tcp; udp; clic; trace }
+
+let cpu t = t.env.Hostenv.cpu
+let spawn t f = Process.spawn t.env.Hostenv.sim f

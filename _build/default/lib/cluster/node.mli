@@ -1,0 +1,67 @@
+(** A complete cluster node: hardware, OS and both protocol stacks.
+
+    One node owns a CPU, a memory bus, a PCI bus, one or more NICs (channel
+    bonding uses one switch per NIC rank), and runs the TCP/IP suite and
+    CLIC side by side on the same hardware — which is how the paper's
+    comparisons are made fair. *)
+
+open Engine
+open Hw
+open Os_model
+open Proto
+
+type config = {
+  mtu : int;
+  nics : int;  (** NICs per node (channel bonding when > 1) *)
+  link_bits_per_s : float;
+  coalesce : Nic.coalesce;
+  nic_fragmentation : bool;
+  nic_internal_bytes_per_s : float;
+  nic_firmware_per_frame : Time.span;
+  pci_efficiency : float;
+  pci_width_bytes : int;  (** 4 = the testbed's 32-bit PCI; 8 = 64-bit *)
+  cpu_copy_bytes_per_s : float;
+  membus_bytes_per_s : float;
+  kmem_capacity : int;
+  irq_dispatch : Time.span;
+  clic_params : Clic.Params.t;
+  driver_params : Driver.params;
+  tcp_params : Tcp.params;
+  trace : bool;  (** attach a pipeline trace (Figure 7) *)
+  link_fault : (unit -> Fault.t) option;
+      (** per-link fault injection, for exercising the reliability layers *)
+  pci_per_nic : bool;
+      (** give each NIC its own PCI segment (server chipsets); on the
+          default shared 33 MHz bus, bonded NICs are capped by the bus *)
+  switch_egress_frames : int option;
+      (** finite switch output buffers (tail drop); [None] = unbounded *)
+}
+
+val default_config : config
+(** The paper's testbed: Gigabit Ethernet, 33 MHz/32-bit PCI, one NIC,
+    MTU 1500, coalesced interrupts, CLIC path 2 (0-copy). *)
+
+val gigabit_jumbo : config -> config
+(** Same but MTU 9000. *)
+
+type t = {
+  id : int;
+  config : config;
+  env : Hostenv.t;  (** primary host environment (first NIC's driver) *)
+  nics : Nic.t list;
+  eths : Ethernet.t list;
+  intr : Interrupt.t;
+  ip : Ip.t;
+  tcp : Tcp.t;
+  udp : Udp.t;
+  clic : Clic.Api.t;
+  trace : Trace.t option;
+}
+
+val create : Sim.t -> id:int -> switches:Switch.t list -> config -> t
+(** Wires NIC [k] to [List.nth switches k]; the switches list must be at
+    least [config.nics] long and ports for [id] must already exist. *)
+
+val cpu : t -> Cpu.t
+val spawn : t -> (unit -> unit) -> unit
+(** Start an application process on this node. *)

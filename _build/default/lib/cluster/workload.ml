@@ -1,0 +1,123 @@
+open Engine
+
+type stats = {
+  sent : int;
+  delivered : int;
+  bytes : int;
+  elapsed : Time.span;
+}
+
+type tally = {
+  mutable t_sent : int;
+  mutable t_delivered : int;
+  mutable t_bytes : int;
+  mutable t_first : Time.t option;
+  mutable t_last : Time.t;
+}
+
+let fresh_tally () =
+  { t_sent = 0; t_delivered = 0; t_bytes = 0; t_first = None; t_last = 0 }
+
+let note_send tally now =
+  tally.t_sent <- tally.t_sent + 1;
+  if tally.t_first = None then tally.t_first <- Some now
+
+let note_delivery tally now bytes =
+  tally.t_delivered <- tally.t_delivered + 1;
+  tally.t_bytes <- tally.t_bytes + bytes;
+  tally.t_last <- now
+
+let stats_of tally =
+  {
+    sent = tally.t_sent;
+    delivered = tally.t_delivered;
+    bytes = tally.t_bytes;
+    elapsed =
+      (match tally.t_first with
+      | Some first -> Time.diff tally.t_last first
+      | None -> 0);
+  }
+
+(* A receiver loop per node: counts everything that arrives on the port.
+   Loops left blocked when traffic ends are fine — the simulation drains
+   around them. *)
+let spawn_receivers c ~port tally =
+  for i = 0 to Net.size c - 1 do
+    let node = Net.node c i in
+    Node.spawn node (fun () ->
+        let rec loop () =
+          let msg = Clic.Api.recv node.Node.clic ~port in
+          note_delivery tally (Sim.now c.Net.sim)
+            msg.Clic.Clic_module.msg_bytes;
+          loop ()
+        in
+        loop ())
+  done
+
+let uniform_random c ~seed ~messages_per_node ?(min_size = 1)
+    ?(max_size = 16384) ?(port = 70) () =
+  if min_size < 0 || max_size < min_size then
+    invalid_arg "Workload.uniform_random: bad size range";
+  let n = Net.size c in
+  if n < 2 then invalid_arg "Workload.uniform_random: need >= 2 nodes";
+  let tally = fresh_tally () in
+  spawn_receivers c ~port tally;
+  let root_rng = Rng.create ~seed in
+  for i = 0 to n - 1 do
+    let rng = Rng.split root_rng in
+    let node = Net.node c i in
+    Node.spawn node (fun () ->
+        for _ = 1 to messages_per_node do
+          let dst =
+            let d = Rng.int rng (n - 1) in
+            if d >= i then d + 1 else d
+          in
+          let size = min_size + Rng.int rng (max_size - min_size + 1) in
+          note_send tally (Sim.now c.Net.sim);
+          Clic.Api.send node.Node.clic ~dst ~port size
+        done)
+  done;
+  Net.run c;
+  stats_of tally
+
+let hotspot c ~seed ~target ~messages_per_node ?(size = 4096) ?(port = 71) ()
+    =
+  let n = Net.size c in
+  if target < 0 || target >= n then invalid_arg "Workload.hotspot: bad target";
+  let tally = fresh_tally () in
+  spawn_receivers c ~port tally;
+  let root_rng = Rng.create ~seed in
+  for i = 0 to n - 1 do
+    if i <> target then begin
+      let rng = Rng.split root_rng in
+      let node = Net.node c i in
+      Node.spawn node (fun () ->
+          (* desynchronize the stampede a little, like real senders *)
+          Process.delay (Rng.int rng 50);
+          for _ = 1 to messages_per_node do
+            note_send tally (Sim.now c.Net.sim);
+            Clic.Api.send node.Node.clic ~dst:target ~port size
+          done)
+    end
+  done;
+  Net.run c;
+  stats_of tally
+
+let ring c ~rounds ?(size = 8192) ?(port = 72) () =
+  let n = Net.size c in
+  if n < 2 then invalid_arg "Workload.ring: need >= 2 nodes";
+  let tally = fresh_tally () in
+  for i = 0 to n - 1 do
+    let node = Net.node c i in
+    let next = (i + 1) mod n in
+    Node.spawn node (fun () ->
+        for _ = 1 to rounds do
+          note_send tally (Sim.now c.Net.sim);
+          Clic.Api.send node.Node.clic ~dst:next ~port size;
+          let msg = Clic.Api.recv node.Node.clic ~port in
+          note_delivery tally (Sim.now c.Net.sim)
+            msg.Clic.Clic_module.msg_bytes
+        done)
+  done;
+  Net.run c;
+  stats_of tally

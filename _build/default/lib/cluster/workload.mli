@@ -1,0 +1,47 @@
+(** Synthetic traffic generators over CLIC, for stress tests and
+    multiprogramming experiments.
+
+    Each pattern spawns sender and receiver processes on every node, runs
+    the cluster to quiescence, and returns delivery statistics.  Receivers
+    count messages on a shared tally; processes still blocked in a receive
+    when traffic ends simply never resume (the simulation drains).  All
+    randomness comes from a seeded, splittable generator, so runs are
+    reproducible. *)
+
+open Engine
+
+type stats = {
+  sent : int;
+  delivered : int;  (** messages received by application processes *)
+  bytes : int;  (** application bytes delivered *)
+  elapsed : Time.span;  (** first send to last delivery *)
+}
+
+val uniform_random :
+  Net.t ->
+  seed:int ->
+  messages_per_node:int ->
+  ?min_size:int ->
+  ?max_size:int ->
+  ?port:int ->
+  unit ->
+  stats
+(** Every node sends [messages_per_node] messages of uniform random size
+    to uniformly random other nodes. *)
+
+val hotspot :
+  Net.t ->
+  seed:int ->
+  target:int ->
+  messages_per_node:int ->
+  ?size:int ->
+  ?port:int ->
+  unit ->
+  stats
+(** All nodes hammer [target] — the incast pattern that exercises receive
+    rings, staging and the reliability window. *)
+
+val ring :
+  Net.t -> rounds:int -> ?size:int -> ?port:int -> unit -> stats
+(** Each node sends to its clockwise neighbour, [rounds] times, waiting
+    for its own neighbour's message between rounds (bounded skew). *)

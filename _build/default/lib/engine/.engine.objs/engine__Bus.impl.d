@@ -1,0 +1,1 @@
+lib/engine/bus.ml: Resource Time

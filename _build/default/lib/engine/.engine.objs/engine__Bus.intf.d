@@ -1,0 +1,1 @@
+lib/engine/bus.mli: Resource Sim Time

@@ -1,0 +1,1 @@
+lib/engine/resource.ml: Process Queue Sim Time

@@ -1,0 +1,1 @@
+lib/engine/resource.mli: Sim Time

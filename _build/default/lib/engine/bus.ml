@@ -1,0 +1,39 @@
+type t = {
+  res : Resource.t;
+  name : string;
+  effective_bps : float;
+  setup : Time.span;
+  mutable bytes : int;
+}
+
+let create sim ~name ~bytes_per_s ?(efficiency = 1.0) ?(setup = 0) () =
+  if bytes_per_s <= 0. then invalid_arg "Bus.create: bandwidth <= 0";
+  if efficiency <= 0. || efficiency > 1. then
+    invalid_arg "Bus.create: efficiency outside (0,1]";
+  if setup < 0 then invalid_arg "Bus.create: negative setup";
+  {
+    res = Resource.create sim ~name;
+    name;
+    effective_bps = bytes_per_s *. efficiency;
+    setup;
+    bytes = 0;
+  }
+
+let name t = t.name
+
+let transfer_time t n =
+  if n < 0 then invalid_arg "Bus.transfer_time: negative size";
+  t.setup + Time.of_bytes_at_rate ~bytes_per_s:t.effective_bps n
+
+let transfer ?priority t n =
+  let span = transfer_time t n in
+  t.bytes <- t.bytes + n;
+  Resource.use ?priority t.res span
+
+let bytes_moved t = t.bytes
+let busy_time t = Resource.busy_time t.res
+let utilization t ~since = Resource.utilization t.res ~since
+
+let reset_stats t =
+  t.bytes <- 0;
+  Resource.reset_stats t.res

@@ -1,0 +1,29 @@
+(** A polymorphic binary min-heap.
+
+    Used as the event queue of the simulator, but generic: ordering is given
+    by a comparison function at creation time.  Amortised O(log n) insert and
+    pop, O(1) peek.  Not thread-safe — the simulator is single-domain. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains a copy of the heap; the heap itself is left untouched. *)

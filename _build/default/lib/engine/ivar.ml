@@ -1,0 +1,27 @@
+type 'a state = Empty of ('a -> unit) list | Filled of 'a
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let is_filled t =
+  match t.state with Filled _ -> true | Empty _ -> false
+
+let fill t v =
+  match t.state with
+  | Filled _ -> invalid_arg "Ivar.fill: already filled"
+  | Empty waiters ->
+      t.state <- Filled v;
+      (* Wake in registration order. *)
+      List.iter (fun k -> k v) (List.rev waiters)
+
+let peek t = match t.state with Filled v -> Some v | Empty _ -> None
+
+let on_fill t f =
+  match t.state with
+  | Filled v -> f v
+  | Empty waiters -> t.state <- Empty (f :: waiters)
+
+let read t =
+  match t.state with
+  | Filled v -> v
+  | Empty _ -> Process.await (fun resume -> on_fill t resume)

@@ -1,0 +1,18 @@
+type 'a t = { items : 'a Queue.t; blocked : ('a -> unit) Queue.t }
+
+let create () = { items = Queue.create (); blocked = Queue.create () }
+
+let send t v =
+  match Queue.take_opt t.blocked with
+  | Some resume -> resume v
+  | None -> Queue.add v t.items
+
+let try_recv t = Queue.take_opt t.items
+
+let recv t =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None -> Process.await (fun resume -> Queue.add resume t.blocked)
+
+let length t = Queue.length t.items
+let waiters t = Queue.length t.blocked

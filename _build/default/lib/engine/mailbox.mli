@@ -1,0 +1,20 @@
+(** Unbounded FIFO mailboxes between simulation processes.
+
+    [send] never blocks; [recv] blocks the calling process until a message is
+    available.  Messages are delivered in send order; competing receivers are
+    served in arrival order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val send : 'a t -> 'a -> unit
+
+val recv : 'a t -> 'a
+(** Blocks; must run inside a process. *)
+
+val try_recv : 'a t -> 'a option
+val length : 'a t -> int
+(** Number of queued (undelivered) messages. *)
+
+val waiters : 'a t -> int
+(** Number of processes currently blocked in {!recv}. *)

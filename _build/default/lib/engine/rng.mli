@@ -1,0 +1,27 @@
+(** Deterministic splittable pseudo-random numbers (SplitMix64).
+
+    Workload generators get independent streams by {!split}ting, so adding a
+    generator never perturbs the draws of existing ones — runs stay
+    reproducible as experiments grow. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** A statistically independent child stream. *)
+
+val bits64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean (> 0). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)

@@ -1,0 +1,34 @@
+type waiter = { need : int; resume : unit -> unit }
+type t = { mutable permits : int; queue : waiter Queue.t }
+
+let create n =
+  if n < 0 then invalid_arg "Semaphore.create: negative permits";
+  { permits = n; queue = Queue.create () }
+
+let rec drain t =
+  match Queue.peek_opt t.queue with
+  | Some w when w.need <= t.permits ->
+      ignore (Queue.pop t.queue);
+      t.permits <- t.permits - w.need;
+      w.resume ();
+      drain t
+  | Some _ | None -> ()
+
+let release ?(n = 1) t =
+  if n < 0 then invalid_arg "Semaphore.release: negative count";
+  t.permits <- t.permits + n;
+  drain t
+
+let try_acquire ?(n = 1) t =
+  if Queue.is_empty t.queue && t.permits >= n then begin
+    t.permits <- t.permits - n;
+    true
+  end
+  else false
+
+let acquire ?(n = 1) t =
+  if not (try_acquire ~n t) then
+    Process.await (fun resume -> Queue.add { need = n; resume } t.queue)
+
+let available t = t.permits
+let waiters t = Queue.length t.queue

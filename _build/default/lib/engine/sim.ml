@@ -1,0 +1,86 @@
+type event = {
+  at : Time.t;
+  seq : int; (* tiebreak: FIFO among same-instant events *)
+  thunk : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable clock : Time.t;
+  heap : event Heap.t;
+  mutable next_seq : int;
+  mutable executed : int;
+  mutable live : int; (* scheduled and not cancelled/fired *)
+}
+
+let compare_event a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  {
+    clock = Time.zero;
+    heap = Heap.create ~cmp:compare_event;
+    next_seq = 0;
+    executed = 0;
+    live = 0;
+  }
+
+let now sim = sim.clock
+
+let schedule_at sim ~at thunk =
+  if at < sim.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: %d is in the past (now=%d)" at
+         sim.clock);
+  let ev = { at; seq = sim.next_seq; thunk; cancelled = false } in
+  sim.next_seq <- sim.next_seq + 1;
+  sim.live <- sim.live + 1;
+  Heap.push sim.heap ev;
+  ev
+
+let schedule sim ~after thunk =
+  if after < 0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at sim ~at:(Time.add sim.clock after) thunk
+
+let cancel ev =
+  if not ev.cancelled then ev.cancelled <- true
+
+let is_cancelled ev = ev.cancelled
+
+let step sim =
+  let rec next () =
+    match Heap.pop sim.heap with
+    | None -> false
+    | Some ev when ev.cancelled ->
+        sim.live <- sim.live - 1;
+        next ()
+    | Some ev ->
+        sim.clock <- ev.at;
+        sim.live <- sim.live - 1;
+        sim.executed <- sim.executed + 1;
+        ev.thunk ();
+        true
+  in
+  next ()
+
+let run sim = while step sim do () done
+
+let run_until sim ~limit =
+  let rec go () =
+    match Heap.peek sim.heap with
+    | Some ev when ev.cancelled ->
+        ignore (Heap.pop sim.heap);
+        sim.live <- sim.live - 1;
+        go ()
+    | Some ev when ev.at <= limit ->
+        ignore (step sim);
+        go ()
+    | Some _ | None -> sim.clock <- Time.max sim.clock limit
+  in
+  go ()
+
+let pending sim = sim.live
+let events_executed sim = sim.executed

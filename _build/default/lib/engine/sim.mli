@@ -1,0 +1,49 @@
+(** The discrete-event simulator core.
+
+    A simulator owns a virtual clock and a queue of timestamped events
+    (thunks).  Events scheduled for the same instant fire in scheduling
+    order (FIFO), which makes runs fully deterministic.
+
+    Higher-level blocking-style code is built on top of this in
+    {!Process}. *)
+
+type t
+
+type handle
+(** A scheduled event that can still be cancelled. *)
+
+val create : unit -> t
+(** A fresh simulator with the clock at {!Time.zero}. *)
+
+val now : t -> Time.t
+
+val schedule : t -> after:Time.span -> (unit -> unit) -> handle
+(** [schedule sim ~after f] arranges for [f ()] to run [after] nanoseconds
+    from now.  [after] must be non-negative.
+    @raise Invalid_argument on a negative delay. *)
+
+val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
+(** Absolute-time variant; [at] must not be in the past. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val is_cancelled : handle -> bool
+
+val run : t -> unit
+(** Runs events until the queue is empty.  Uncaught exceptions from event
+    thunks propagate out of [run] (with the clock left at the failure
+    instant). *)
+
+val run_until : t -> limit:Time.t -> unit
+(** Runs events with timestamp [<= limit]; the clock is advanced to [limit]
+    if the queue drains or only later events remain. *)
+
+val step : t -> bool
+(** Runs a single event.  Returns [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of scheduled (non-cancelled) events, for tests/diagnostics. *)
+
+val events_executed : t -> int
+(** Total count of events fired since creation. *)

@@ -1,0 +1,50 @@
+type span = { label : string; start : Time.t; finish : Time.t }
+
+type t = {
+  sim : Sim.t;
+  mutable enabled : bool;
+  mutable rev_spans : span list;
+}
+
+let create sim = { sim; enabled = true; rev_spans = [] }
+let enabled t = t.enabled
+let set_enabled t e = t.enabled <- e
+
+let record t label start finish =
+  if t.enabled then t.rev_spans <- { label; start; finish } :: t.rev_spans
+
+let run t label f =
+  let start = Sim.now t.sim in
+  let finish v =
+    record t label start (Sim.now t.sim);
+    v
+  in
+  match f () with v -> finish v | exception exn -> ignore (finish ()); raise exn
+
+let mark t label =
+  let now = Sim.now t.sim in
+  record t label now now
+
+let spans t =
+  List.sort (fun a b -> compare (a.start, a.finish) (b.start, b.finish))
+    (List.rev t.rev_spans)
+
+let clear t = t.rev_spans <- []
+
+let duration t label =
+  let total =
+    List.fold_left
+      (fun acc s ->
+        if String.equal s.label label then acc + Time.diff s.finish s.start
+        else acc)
+      0 (spans t)
+  in
+  let seen = List.exists (fun s -> String.equal s.label label) (spans t) in
+  if seen then Some total else None
+
+let pp fmt t =
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%-28s %a .. %a (%a)@." s.label Time.pp_us s.start
+        Time.pp_us s.finish Time.pp_us (Time.diff s.finish s.start))
+    (spans t)

@@ -1,0 +1,33 @@
+(** Pipeline stage tracing, used to regenerate the paper's Figure 7 (the
+    per-stage timing of a packet flowing through the CLIC path).
+
+    A trace collects named stage intervals.  Stages may overlap (the send
+    DMA overlaps the wire flight, for instance); the reporting code decides
+    how to present them.  Tracing is cheap and can be left attached. *)
+
+type t
+
+type span = { label : string; start : Time.t; finish : Time.t }
+
+val create : Sim.t -> t
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> string -> Time.t -> Time.t -> unit
+(** Record a completed stage explicitly. *)
+
+val run : t -> string -> (unit -> 'a) -> 'a
+(** [run t label f] times [f] (which may suspend) as one stage. *)
+
+val mark : t -> string -> unit
+(** A zero-length event marker. *)
+
+val spans : t -> span list
+(** Recorded spans in start order. *)
+
+val clear : t -> unit
+
+val duration : t -> string -> Time.span option
+(** Total time of all spans with the given label. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hw/dma.ml: Bus Engine Ivar Process

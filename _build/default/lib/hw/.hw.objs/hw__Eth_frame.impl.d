@@ -1,0 +1,1 @@
+lib/hw/eth_frame.ml: Format Mac Printf

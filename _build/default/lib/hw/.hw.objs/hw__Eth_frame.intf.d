@@ -1,0 +1,1 @@
+lib/hw/eth_frame.mli: Format Mac

@@ -1,0 +1,1 @@
+lib/hw/link.ml: Engine Eth_frame Fault Queue Sim Time

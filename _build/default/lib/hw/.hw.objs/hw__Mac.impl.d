@@ -1,0 +1,1 @@
+lib/hw/mac.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/hw/membus.ml: Bus Engine Time

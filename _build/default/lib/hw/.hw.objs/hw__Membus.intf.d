@@ -1,0 +1,1 @@
+lib/hw/membus.mli: Engine

@@ -1,0 +1,1 @@
+lib/hw/nic.ml: Bus Dma Engine Eth_frame Hashtbl Link List Logs Mac Mailbox Printf Process Queue Semaphore Sim Time

@@ -1,0 +1,1 @@
+lib/hw/nic.mli: Bus Engine Eth_frame Link Sim Time

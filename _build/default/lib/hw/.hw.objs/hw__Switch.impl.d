@@ -1,0 +1,1 @@
+lib/hw/switch.ml: Engine Eth_frame Fault Link List Mac Printf Sim Time

@@ -1,0 +1,1 @@
+lib/hw/switch.mli: Engine Eth_frame Fault Link

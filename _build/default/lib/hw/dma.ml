@@ -1,0 +1,13 @@
+open Engine
+
+let transfer ~pci ~membus bytes =
+  if bytes < 0 then invalid_arg "Dma.transfer: negative size"
+  else if bytes = 0 then ()
+  else begin
+    let mem_done = Ivar.create () in
+    Process.fork (fun () ->
+        Bus.transfer membus bytes;
+        Ivar.fill mem_done ());
+    Bus.transfer pci bytes;
+    Ivar.read mem_done
+  end

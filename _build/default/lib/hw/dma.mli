@@ -1,0 +1,11 @@
+(** Bus-master DMA transfers between host memory and a NIC.
+
+    A DMA moves bytes across the PCI bus and the host memory bus at the same
+    time; the transfer completes when the slower of the two finishes, and
+    both buses are occupied for their respective durations (so DMA traffic
+    steals memory bandwidth from concurrent CPU copies — the paper notes a
+    copy "uses system resources such as the memory and PCI buses"). *)
+
+val transfer : pci:Engine.Bus.t -> membus:Engine.Bus.t -> int -> unit
+(** Blocks the calling process until both bus crossings complete.  Zero-byte
+    transfers return immediately.  Must run inside a process. *)

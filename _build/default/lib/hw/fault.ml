@@ -1,0 +1,30 @@
+type kind =
+  | None_
+  | Drop of { rng : Engine.Rng.t; prob : float }
+  | Drop_nth of { every : int; mutable seen : int }
+
+type t = { kind : kind; mutable drops : int }
+
+let none = { kind = None_; drops = 0 }
+
+let drop ~rng ~prob =
+  if prob < 0. || prob > 1. then invalid_arg "Fault.drop: prob outside [0,1]";
+  { kind = Drop { rng; prob }; drops = 0 }
+
+let drop_nth ~every =
+  if every <= 0 then invalid_arg "Fault.drop_nth: every <= 0";
+  { kind = Drop_nth { every; seen = 0 }; drops = 0 }
+
+let should_drop t =
+  let dropped =
+    match t.kind with
+    | None_ -> false
+    | Drop { rng; prob } -> Engine.Rng.float rng 1.0 < prob
+    | Drop_nth d ->
+        d.seen <- d.seen + 1;
+        d.seen mod d.every = 0
+  in
+  if dropped then t.drops <- t.drops + 1;
+  dropped
+
+let drops t = t.drops

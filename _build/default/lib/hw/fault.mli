@@ -1,0 +1,25 @@
+(** Fault injection for links: probabilistic frame drops.
+
+    The physical network in the paper's testbed is effectively lossless
+    (switched full-duplex Ethernet), so experiments run with {!none}.  The
+    reliability layers of CLIC and TCP are exercised in tests by injecting
+    drops here. *)
+
+type t
+
+val none : t
+(** Never drops. *)
+
+val drop : rng:Engine.Rng.t -> prob:float -> t
+(** Drops each frame independently with probability [prob] in [\[0, 1\]].
+    @raise Invalid_argument if [prob] is outside [\[0, 1\]]. *)
+
+val drop_nth : every:int -> t
+(** Deterministically drops every [every]-th frame (1-based), for
+    reproducible unit tests.  [every] must be positive. *)
+
+val should_drop : t -> bool
+(** Stateful: call exactly once per frame. *)
+
+val drops : t -> int
+(** Number of frames dropped so far. *)

@@ -1,0 +1,92 @@
+open Engine
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  bits_per_s : float;
+  propagation : Time.span;
+  fault : Fault.t;
+  queue_limit : int option;
+  queue : Eth_frame.t Queue.t;
+  mutable transmitting : bool;
+  mutable receiver : (Eth_frame.t -> unit) option;
+  mutable frames_sent : int;
+  mutable frames_dropped : int;
+  mutable bytes_sent : int;
+}
+
+let create sim ~name ~bits_per_s ?(propagation = Time.ns 500)
+    ?(fault = Fault.none) ?queue_limit () =
+  if bits_per_s <= 0. then invalid_arg "Link.create: rate <= 0";
+  (match queue_limit with
+  | Some n when n <= 0 -> invalid_arg "Link.create: queue_limit <= 0"
+  | _ -> ());
+  {
+    sim;
+    name;
+    bits_per_s;
+    propagation;
+    fault;
+    queue_limit;
+    queue = Queue.create ();
+    transmitting = false;
+    receiver = None;
+    frames_sent = 0;
+    frames_dropped = 0;
+    bytes_sent = 0;
+  }
+
+let connect t receiver =
+  if t.receiver <> None then invalid_arg "Link.connect: receiver already set";
+  t.receiver <- Some receiver
+
+let serialization_time t frame =
+  Time.of_bits_at_rate ~bits_per_s:t.bits_per_s
+    (Eth_frame.on_wire_bytes frame * 8)
+
+let deliver t frame =
+  (* Fault-injected drops are counted inside [t.fault]. *)
+  if Fault.should_drop t.fault then ()
+  else
+    match t.receiver with
+    | Some rx -> rx frame
+    | None -> t.frames_dropped <- t.frames_dropped + 1
+
+(* The transmitter drains the queue one frame at a time; each frame occupies
+   the wire for its serialization time, then propagates independently (so
+   back-to-back frames pipeline across the propagation delay). *)
+let rec pump t =
+  match Queue.take_opt t.queue with
+  | None -> t.transmitting <- false
+  | Some frame ->
+      let ser = serialization_time t frame in
+      t.frames_sent <- t.frames_sent + 1;
+      t.bytes_sent <- t.bytes_sent + Eth_frame.on_wire_bytes frame;
+      ignore
+        (Sim.schedule t.sim ~after:ser (fun () ->
+             ignore
+               (Sim.schedule t.sim ~after:t.propagation (fun () ->
+                    deliver t frame));
+             pump t))
+
+let send t frame =
+  let full =
+    match t.queue_limit with
+    | Some limit -> Queue.length t.queue >= limit
+    | None -> false
+  in
+  if full then t.frames_dropped <- t.frames_dropped + 1
+  else begin
+    Queue.add frame t.queue;
+    if not t.transmitting then begin
+      t.transmitting <- true;
+      pump t
+    end
+  end
+
+let name t = t.name
+let bits_per_s t = t.bits_per_s
+let frames_sent t = t.frames_sent
+let frames_dropped t = t.frames_dropped + Fault.drops t.fault
+let bytes_sent t = t.bytes_sent
+let queue_depth t = Queue.length t.queue

@@ -1,0 +1,44 @@
+(** A unidirectional Ethernet link.
+
+    Frames handed to {!send} are serialized one at a time at the link rate
+    (counting preamble, padding, CRC and inter-frame gap), travel for the
+    propagation delay, and are delivered to the receiver callback installed
+    with {!connect}.  Frames queue FIFO while the transmitter is busy, like
+    a NIC transmit FIFO feeding the PHY.
+
+    Full-duplex operation is modelled with two independent links. *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  name:string ->
+  bits_per_s:float ->
+  ?propagation:Engine.Time.span ->
+  ?fault:Fault.t ->
+  ?queue_limit:int ->
+  unit ->
+  t
+(** [queue_limit] bounds the transmit queue in frames (a switch's finite
+    egress buffer): frames arriving at a full queue are dropped and
+    counted.  Unbounded by default. *)
+
+val connect : t -> (Eth_frame.t -> unit) -> unit
+(** Installs the receiver.  Frames delivered before a receiver is connected
+    are counted as drops. *)
+
+val send : t -> Eth_frame.t -> unit
+(** Non-blocking enqueue for transmission. *)
+
+val serialization_time : t -> Eth_frame.t -> Engine.Time.span
+(** Uncontended wire occupancy of one frame. *)
+
+val name : t -> string
+val bits_per_s : t -> float
+val frames_sent : t -> int
+val frames_dropped : t -> int
+val bytes_sent : t -> int
+(** Wire bytes, including framing overhead. *)
+
+val queue_depth : t -> int
+(** Frames waiting behind the one being serialized. *)

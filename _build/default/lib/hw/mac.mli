@@ -1,0 +1,21 @@
+(** Ethernet MAC addresses, as the switch and NICs see them.
+
+    Unicast addresses map 1:1 to cluster node ids; the broadcast address and
+    a family of multicast group addresses model the Ethernet data-link
+    multicast/broadcast capability CLIC builds on. *)
+
+type t = Node of int | Broadcast | Multicast of int
+
+val of_node : int -> t
+(** @raise Invalid_argument on a negative node id. *)
+
+val broadcast : t
+val multicast : int -> t
+
+val is_group : t -> bool
+(** True for broadcast and multicast addresses. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,309 @@
+open Engine
+
+let log_src = Logs.Src.create "hw.nic" ~doc:"NIC model"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type coalesce = {
+  max_frames : int;
+  quiet : Time.span;
+  absolute : Time.span;
+}
+
+let no_coalesce = { max_frames = 1; quiet = 0; absolute = 0 }
+let default_coalesce = { max_frames = 8; quiet = Time.us 2.; absolute = Time.us 50. }
+
+type tx_desc = {
+  frame : Eth_frame.t;
+  needs_dma : bool;
+  internal_copy : bool;
+  on_complete : unit -> unit;
+}
+
+type rx_desc = {
+  rx_frame : Eth_frame.t;
+  host_bytes : int;
+  arrived : Time.t;
+}
+
+type reasm = { mutable seen : int; mutable template : Eth_frame.t option }
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  mtu : int;
+  pci : Bus.t;
+  membus : Bus.t;
+  coalesce : coalesce;
+  internal_bytes_per_s : float;
+  firmware_per_frame : Time.span;
+  fragmentation : bool;
+  (* transmit side *)
+  tx_slots : Semaphore.t;
+  tx_queue : tx_desc Mailbox.t;
+  phy_queue : tx_desc Mailbox.t;
+  phy_slots : Semaphore.t;
+  mutable next_packet_id : int;
+  mutable uplink : Link.t option;
+  (* receive side *)
+  rx_slots : Semaphore.t;
+  rx_wire : Eth_frame.t Mailbox.t;
+  pending : rx_desc Queue.t;
+  reassembly : (string * int, reasm) Hashtbl.t;
+  mutable irq_handler : (unit -> unit) option;
+  mutable masked : bool;
+  mutable quiet_timer : Sim.handle option;
+  mutable abs_timer : Sim.handle option;
+  (* statistics *)
+  mutable interrupts_raised : int;
+  mutable tx_packets : int;
+  mutable rx_packets : int;
+  mutable rx_dropped : int;
+}
+
+let cancel_timer = function Some h -> Sim.cancel h | None -> ()
+
+let internal_move_time t bytes =
+  Time.of_bytes_at_rate ~bytes_per_s:t.internal_bytes_per_s bytes
+
+(* --------------------------------------------------------------- *)
+(* Interrupt coalescing *)
+
+let assert_irq t =
+  cancel_timer t.quiet_timer;
+  cancel_timer t.abs_timer;
+  t.quiet_timer <- None;
+  t.abs_timer <- None;
+  t.masked <- true;
+  t.interrupts_raised <- t.interrupts_raised + 1;
+  match t.irq_handler with
+  | Some handler -> handler ()
+  | None -> ()
+
+let timer_fired t =
+  if (not t.masked) && not (Queue.is_empty t.pending) then assert_irq t
+
+let evaluate_coalescing t =
+  if not t.masked then begin
+    if Queue.length t.pending >= t.coalesce.max_frames then assert_irq t
+    else begin
+      cancel_timer t.quiet_timer;
+      t.quiet_timer <-
+        Some (Sim.schedule t.sim ~after:t.coalesce.quiet (fun () ->
+                  timer_fired t));
+      if t.abs_timer = None then
+        t.abs_timer <-
+          Some (Sim.schedule t.sim ~after:t.coalesce.absolute (fun () ->
+                    timer_fired t))
+    end
+  end
+
+(* --------------------------------------------------------------- *)
+(* Transmit pipeline *)
+
+let wire_frames t (frame : Eth_frame.t) =
+  if frame.payload_bytes <= t.mtu then [ frame ]
+  else begin
+    let total = frame.payload_bytes in
+    let count = (total + t.mtu - 1) / t.mtu in
+    let packet_id = t.next_packet_id in
+    t.next_packet_id <- t.next_packet_id + 1;
+    List.init count (fun index ->
+        let bytes =
+          if index = count - 1 then total - (index * t.mtu) else t.mtu
+        in
+        Eth_frame.make ~src:frame.src ~dst:frame.dst
+          ~ethertype:frame.ethertype ~payload_bytes:bytes
+          ~frag:{ packet_id; index; count; packet_bytes = total }
+          frame.payload)
+  end
+
+(* The transmit path is a two-stage pipeline, as in real NICs: the DMA
+   engine fetches descriptor n+1 while the MAC/firmware stage is still
+   pushing descriptor n onto the wire.  A small FIFO (in packets) couples
+   the stages. *)
+let tx_dma_pump t () =
+  let rec loop () =
+    let desc = Mailbox.recv t.tx_queue in
+    let frame = desc.frame in
+    let host_bytes = Eth_frame.header_bytes + frame.payload_bytes in
+    if desc.needs_dma then Dma.transfer ~pci:t.pci ~membus:t.membus host_bytes;
+    Semaphore.acquire t.phy_slots;
+    Mailbox.send t.phy_queue desc;
+    loop ()
+  in
+  loop ()
+
+let tx_phy_pump t () =
+  let rec loop () =
+    let desc = Mailbox.recv t.phy_queue in
+    let frame = desc.frame in
+    let host_bytes = Eth_frame.header_bytes + frame.payload_bytes in
+    if desc.internal_copy then Process.delay (internal_move_time t host_bytes);
+    let frames = wire_frames t frame in
+    List.iter
+      (fun f ->
+        Process.delay t.firmware_per_frame;
+        match t.uplink with
+        | Some link -> Link.send link f
+        | None -> ())
+      frames;
+    t.tx_packets <- t.tx_packets + 1;
+    Semaphore.release t.phy_slots;
+    Semaphore.release t.tx_slots;
+    desc.on_complete ();
+    loop ()
+  in
+  loop ()
+
+(* --------------------------------------------------------------- *)
+(* Receive pipeline *)
+
+let mac_key m = Mac.to_string m
+
+let reassemble t (frame : Eth_frame.t) =
+  match frame.frag with
+  | None -> Some frame
+  | Some frag ->
+      let key = (mac_key frame.src, frag.packet_id) in
+      let slot =
+        match Hashtbl.find_opt t.reassembly key with
+        | Some r -> r
+        | None ->
+            let r = { seen = 0; template = None } in
+            Hashtbl.add t.reassembly key r;
+            r
+      in
+      slot.seen <- slot.seen + 1;
+      slot.template <- Some frame;
+      if slot.seen = frag.count then begin
+        Hashtbl.remove t.reassembly key;
+        Some
+          (Eth_frame.make ~src:frame.src ~dst:frame.dst
+             ~ethertype:frame.ethertype ~payload_bytes:frag.packet_bytes
+             frame.payload)
+      end
+      else None
+
+let rx_pump t () =
+  let rec loop () =
+    let frame = Mailbox.recv t.rx_wire in
+    Process.delay t.firmware_per_frame;
+    (match reassemble t frame with
+    | None -> ()
+    | Some packet ->
+        if Semaphore.try_acquire t.rx_slots then begin
+          let host_bytes = Eth_frame.buffer_bytes packet in
+          Dma.transfer ~pci:t.pci ~membus:t.membus host_bytes;
+          Queue.add
+            { rx_frame = packet; host_bytes; arrived = Sim.now t.sim }
+            t.pending;
+          t.rx_packets <- t.rx_packets + 1;
+          evaluate_coalescing t
+        end
+        else begin
+          Log.warn (fun m ->
+              m "%s: receive ring full, dropping %a" t.name Eth_frame.pp
+                packet);
+          t.rx_dropped <- t.rx_dropped + 1
+        end);
+    loop ()
+  in
+  loop ()
+
+(* --------------------------------------------------------------- *)
+
+let create sim ~name ~mtu ~pci ~membus ?(tx_ring = 64) ?(rx_ring = 128)
+    ?(coalesce = default_coalesce) ?(internal_bytes_per_s = 400e6)
+    ?(firmware_per_frame = Time.ns 800) ?(fragmentation = false) () =
+  if mtu <= 0 then invalid_arg "Nic.create: mtu <= 0";
+  if coalesce.max_frames <= 0 then invalid_arg "Nic.create: max_frames <= 0";
+  let t =
+    {
+      sim;
+      name;
+      mtu;
+      pci;
+      membus;
+      coalesce;
+      internal_bytes_per_s;
+      firmware_per_frame;
+      fragmentation;
+      tx_slots = Semaphore.create tx_ring;
+      tx_queue = Mailbox.create ();
+      phy_queue = Mailbox.create ();
+      phy_slots = Semaphore.create 2;
+      next_packet_id = 0;
+      uplink = None;
+      rx_slots = Semaphore.create rx_ring;
+      rx_wire = Mailbox.create ();
+      pending = Queue.create ();
+      reassembly = Hashtbl.create 16;
+      irq_handler = None;
+      masked = false;
+      quiet_timer = None;
+      abs_timer = None;
+      interrupts_raised = 0;
+      tx_packets = 0;
+      rx_packets = 0;
+      rx_dropped = 0;
+    }
+  in
+  Process.spawn sim (tx_dma_pump t);
+  Process.spawn sim (tx_phy_pump t);
+  Process.spawn sim (rx_pump t);
+  t
+
+let attach_uplink t link =
+  if t.uplink <> None then invalid_arg "Nic.attach_uplink: already attached";
+  t.uplink <- Some link
+
+let rx_from_wire t frame = Mailbox.send t.rx_wire frame
+
+let set_interrupt t handler =
+  if t.irq_handler <> None then invalid_arg "Nic.set_interrupt: already set";
+  t.irq_handler <- Some handler
+
+let check_tx_size t (desc : tx_desc) =
+  if desc.frame.payload_bytes > t.mtu && not t.fragmentation then
+    invalid_arg
+      (Printf.sprintf
+         "Nic.post_tx (%s): payload %dB exceeds MTU %d and fragmentation is \
+          off"
+         t.name desc.frame.payload_bytes t.mtu)
+
+let try_post_tx t desc =
+  check_tx_size t desc;
+  if Semaphore.try_acquire t.tx_slots then begin
+    Mailbox.send t.tx_queue desc;
+    true
+  end
+  else false
+
+let post_tx_blocking t desc =
+  check_tx_size t desc;
+  Semaphore.acquire t.tx_slots;
+  Mailbox.send t.tx_queue desc
+
+let take_rx t =
+  let out = ref [] in
+  Queue.iter (fun d -> out := d :: !out) t.pending;
+  let n = Queue.length t.pending in
+  Queue.clear t.pending;
+  Semaphore.release ~n t.rx_slots;
+  List.rev !out
+
+let unmask_irq t =
+  t.masked <- false;
+  if not (Queue.is_empty t.pending) then evaluate_coalescing t
+
+let name t = t.name
+let mtu t = t.mtu
+let pci t = t.pci
+let fragmentation_enabled t = t.fragmentation
+let interrupts_raised t = t.interrupts_raised
+let tx_packets t = t.tx_packets
+let rx_packets t = t.rx_packets
+let rx_dropped t = t.rx_dropped
+let tx_ring_free t = Semaphore.available t.tx_slots
+let rx_pending t = Queue.length t.pending

@@ -1,0 +1,124 @@
+(** A Gigabit Ethernet network interface card.
+
+    Models the features the paper's Section 2 identifies as essential to
+    exploit gigabit technology:
+
+    - bus-master {b DMA} between host memory and the NIC's local buffers
+      (enabling CLIC's 0-copy path),
+    - configurable {b MTU} up to jumbo frames,
+    - {b interrupt coalescing} (count threshold + quiet timer + absolute
+      holdoff),
+    - optional {b NIC-side fragmentation}: packets larger than the link MTU
+      are split by NIC firmware on transmit and reassembled in NIC memory on
+      receive, delivering one host packet (and one interrupt opportunity)
+      per {e packet} rather than per {e frame} — the paper's future-work
+      feature after Gilfeather & Underwood.
+
+    The transmit and receive data paths are explicit pipelines:
+
+    {v
+    tx: host ring -> DMA (PCI+mem) -> [internal copy] -> firmware -> wire
+    rx: wire -> firmware -> [reassembly] -> DMA (PCI+mem) -> host ring -> IRQ
+    v}
+
+    Each stage occupies the corresponding resource, so the bottleneck moves
+    with configuration exactly as the paper discusses. *)
+
+open Engine
+
+type coalesce = {
+  max_frames : int;  (** assert after this many pending packets *)
+  quiet : Time.span;  (** assert when this long passes with no new packet *)
+  absolute : Time.span;  (** assert at most this long after the first one *)
+}
+
+val no_coalesce : coalesce
+(** Interrupt per packet (count threshold 1). *)
+
+val default_coalesce : coalesce
+(** A mild setting comparable to the testbed NICs' defaults: 8 frames,
+    2 us quiet, 50 us absolute. *)
+
+type tx_desc = {
+  frame : Eth_frame.t;  (** payload larger than the MTU requires
+                            fragmentation to be enabled *)
+  needs_dma : bool;  (** false when the driver already moved the bytes (PIO
+                         paths) *)
+  internal_copy : bool;  (** stage through the NIC output buffer (paper's
+                             Figure 1, paths 2 and 4) *)
+  on_complete : unit -> unit;  (** runs when the frame has left the NIC *)
+}
+
+type rx_desc = {
+  rx_frame : Eth_frame.t;  (** reassembled: fragment metadata cleared *)
+  host_bytes : int;  (** bytes DMA'd into the host ring buffer *)
+  arrived : Time.t;  (** wire arrival time of the (last) frame *)
+}
+
+type t
+
+val create :
+  Sim.t ->
+  name:string ->
+  mtu:int ->
+  pci:Bus.t ->
+  membus:Bus.t ->
+  ?tx_ring:int ->
+  ?rx_ring:int ->
+  ?coalesce:coalesce ->
+  ?internal_bytes_per_s:float ->
+  ?firmware_per_frame:Time.span ->
+  ?fragmentation:bool ->
+  unit ->
+  t
+
+(** {1 Wiring} *)
+
+val attach_uplink : t -> Link.t -> unit
+(** The link this NIC transmits into. *)
+
+val rx_from_wire : t -> Eth_frame.t -> unit
+(** Entry point for frames delivered by the attached downlink; pass this to
+    {!Link.connect} / {!Switch.connect_node}. *)
+
+val set_interrupt : t -> (unit -> unit) -> unit
+(** Installs the interrupt line.  The NIC asserts at most one interrupt
+    until {!unmask_irq} is called. *)
+
+(** {1 Host-side (driver) interface} *)
+
+val try_post_tx : t -> tx_desc -> bool
+(** Queues a descriptor if a transmit ring slot is free; [false] when the
+    ring is full (the driver then tells CLIC_MODULE the data cannot be sent
+    now). *)
+
+val post_tx_blocking : t -> tx_desc -> unit
+(** Blocks the calling process until a slot frees. *)
+
+val take_rx : t -> rx_desc list
+(** Drains all pending received packets (oldest first) and frees their ring
+    slots; called from the ISR. *)
+
+val unmask_irq : t -> unit
+(** Re-enables interrupt assertion; re-evaluates coalescing immediately if
+    packets arrived while masked. *)
+
+(** {1 Configuration and statistics} *)
+
+val name : t -> string
+val mtu : t -> int
+
+val pci : t -> Bus.t
+(** The I/O bus this NIC sits on (for programmed-I/O transfers). *)
+
+val fragmentation_enabled : t -> bool
+val interrupts_raised : t -> int
+val tx_packets : t -> int
+val rx_packets : t -> int
+(** Packets delivered to the host (post-reassembly). *)
+
+val rx_dropped : t -> int
+(** Packets lost to a full receive ring. *)
+
+val tx_ring_free : t -> int
+val rx_pending : t -> int

@@ -1,0 +1,13 @@
+open Engine
+
+let default_efficiency = 0.78
+let default_setup = Time.ns 900
+
+let peak_bytes_per_s ~clock_mhz ~width_bytes =
+  clock_mhz *. 1e6 *. float_of_int width_bytes
+
+let create sim ?(name = "pci") ?(clock_mhz = 33.) ?(width_bytes = 4)
+    ?(efficiency = default_efficiency) ?(setup = default_setup) () =
+  Bus.create sim ~name
+    ~bytes_per_s:(peak_bytes_per_s ~clock_mhz ~width_bytes)
+    ~efficiency ~setup ()

@@ -1,0 +1,96 @@
+open Engine
+
+type port = { node : int; uplink : Link.t; downlink : Link.t }
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  bits_per_s : float;
+  forward_latency : Time.span;
+  propagation : Time.span;
+  fault : unit -> Fault.t;
+  egress_frames : int option;
+  mutable port_list : port list;
+  mutable frames_forwarded : int;
+  mutable frames_flooded : int;
+  mutable frames_unroutable : int;
+}
+
+let create sim ~name ~bits_per_s ?(forward_latency = Time.us 2.)
+    ?(propagation = Time.ns 500) ?(fault = fun () -> Fault.none)
+    ?egress_frames () =
+  {
+    sim;
+    name;
+    bits_per_s;
+    forward_latency;
+    propagation;
+    fault;
+    egress_frames;
+    port_list = [];
+    frames_forwarded = 0;
+    frames_flooded = 0;
+    frames_unroutable = 0;
+  }
+
+let find_port t node = List.find_opt (fun p -> p.node = node) t.port_list
+
+let forward t ~ingress frame =
+  match frame.Eth_frame.dst with
+  | Mac.Node node -> (
+      match find_port t node with
+      | Some port ->
+          t.frames_forwarded <- t.frames_forwarded + 1;
+          Link.send port.downlink frame
+      | None -> t.frames_unroutable <- t.frames_unroutable + 1)
+  | Mac.Broadcast | Mac.Multicast _ ->
+      List.iter
+        (fun port ->
+          if port.node <> ingress then begin
+            t.frames_flooded <- t.frames_flooded + 1;
+            Link.send port.downlink frame
+          end)
+        t.port_list
+
+let on_ingress t ~node frame =
+  (* Store-and-forward: the frame is fully received (the uplink's
+     serialization already accounts for that), then looked up and queued on
+     the egress link after the forwarding latency. *)
+  ignore
+    (Sim.schedule t.sim ~after:t.forward_latency (fun () ->
+         forward t ~ingress:node frame))
+
+let add_port t ~node =
+  if find_port t node <> None then
+    invalid_arg (Printf.sprintf "Switch.add_port: duplicate node %d" node);
+  let uplink =
+    Link.create t.sim
+      ~name:(Printf.sprintf "%s<-n%d" t.name node)
+      ~bits_per_s:t.bits_per_s ~propagation:t.propagation ~fault:(t.fault ())
+      ()
+  in
+  let downlink =
+    Link.create t.sim
+      ~name:(Printf.sprintf "%s->n%d" t.name node)
+      ~bits_per_s:t.bits_per_s ~propagation:t.propagation ~fault:(t.fault ())
+      ?queue_limit:t.egress_frames ()
+  in
+  Link.connect uplink (fun frame -> on_ingress t ~node frame);
+  t.port_list <- t.port_list @ [ { node; uplink; downlink } ]
+
+let get_port t node =
+  match find_port t node with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Switch: unknown node %d" node)
+
+let uplink t ~node = (get_port t node).uplink
+let connect_node t ~node rx = Link.connect (get_port t node).downlink rx
+let ports t = List.map (fun p -> p.node) t.port_list
+let frames_forwarded t = t.frames_forwarded
+let frames_flooded t = t.frames_flooded
+let frames_unroutable t = t.frames_unroutable
+
+let egress_drops t =
+  List.fold_left
+    (fun acc p -> acc + Link.frames_dropped p.downlink)
+    0 t.port_list

@@ -1,0 +1,47 @@
+(** A store-and-forward Ethernet switch.
+
+    Each port is a full-duplex pair of {!Link}s (node→switch, switch→node).
+    Unicast frames are forwarded to the port owning the destination MAC
+    (static table: one node per port, as in a dedicated cluster); broadcast
+    and multicast frames are flooded to every port except the ingress one —
+    the data-link multicast capability CLIC's broadcast primitives exploit.
+
+    Forwarding adds a fixed per-frame latency modelling lookup plus
+    store-and-forward buffering; output contention arises naturally from the
+    egress links' serialization. *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  name:string ->
+  bits_per_s:float ->
+  ?forward_latency:Engine.Time.span ->
+  ?propagation:Engine.Time.span ->
+  ?fault:(unit -> Fault.t) ->
+  ?egress_frames:int ->
+  unit ->
+  t
+(** [fault] is called once per created link to give each direction its own
+    fault process.  [egress_frames] bounds each output port's buffer:
+    frames past it are tail-dropped (counted in {!egress_drops}), the real
+    congestion behaviour incast traffic triggers. *)
+
+val add_port : t -> node:int -> unit
+(** Declares a port for [node].  @raise Invalid_argument on duplicates. *)
+
+val uplink : t -> node:int -> Link.t
+(** The node→switch link: the node's NIC transmits into this. *)
+
+val connect_node : t -> node:int -> (Eth_frame.t -> unit) -> unit
+(** Installs the node's NIC receive function on the switch→node link. *)
+
+val ports : t -> int list
+val frames_forwarded : t -> int
+val frames_flooded : t -> int
+(** Copies emitted for group-addressed frames. *)
+
+val frames_unroutable : t -> int
+
+val egress_drops : t -> int
+(** Frames tail-dropped at full output buffers. *)

@@ -1,0 +1,1 @@
+lib/mpi/collectives.ml: Clic List Mpi

@@ -1,0 +1,1 @@
+lib/mpi/collectives.mli: Clic Mpi

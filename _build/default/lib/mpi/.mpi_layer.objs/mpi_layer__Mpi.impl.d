@@ -1,0 +1,1 @@
+lib/mpi/mpi.ml: Cpu Engine Hashtbl Ivar List Os_model Process Proto Queue Time

@@ -1,0 +1,1 @@
+lib/mpi/mpi_clic.ml: Clic Engine Hashtbl Mpi Proto Queue

@@ -1,0 +1,1 @@
+lib/mpi/mpi_clic.mli: Clic Mpi

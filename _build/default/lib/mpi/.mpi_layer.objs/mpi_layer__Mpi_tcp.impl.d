@@ -1,0 +1,1 @@
+lib/mpi/mpi_tcp.ml: Engine Hashtbl Mailbox Mpi Process Proto

@@ -1,0 +1,1 @@
+lib/mpi/mpi_tcp.mli: Mpi Proto

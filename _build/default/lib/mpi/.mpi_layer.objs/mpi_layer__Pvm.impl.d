@@ -1,0 +1,1 @@
+lib/mpi/pvm.ml: Cpu Engine Hashtbl Ivar Ktimer Mailbox Os_model Process Proto Queue Sched Semaphore Time

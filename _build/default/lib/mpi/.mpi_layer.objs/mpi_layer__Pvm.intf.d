@@ -1,0 +1,1 @@
+lib/mpi/pvm.mli: Engine Proto Time

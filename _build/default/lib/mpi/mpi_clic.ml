@@ -1,0 +1,51 @@
+let mpi_port = 90
+
+(* CLIC messages model payload as byte counts, so envelope metadata travels
+   out-of-band through this registry: the sender enqueues the envelope when
+   it hands the message to CLIC, the receiver dequeues it when the matching
+   CLIC message (same pair, same order — CLIC channels are ordered) is
+   delivered.  The 32 envelope bytes are included in the CLIC message, so
+   the metadata's cost is still paid on the wire. *)
+type registry = (int * int, Mpi.envelope Queue.t) Hashtbl.t
+
+let registry () : registry = Hashtbl.create 16
+
+let queue_of reg ~src ~dst =
+  let key = (src, dst) in
+  match Hashtbl.find_opt reg key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add reg key q;
+      q
+
+let payload_bytes (env : Mpi.envelope) =
+  Mpi.envelope_bytes
+  + match env.Mpi.e_kind with
+    | Mpi.Eager | Mpi.Rendez_data _ -> env.Mpi.e_bytes
+    | Mpi.Rts _ | Mpi.Cts _ -> 0
+
+let transport reg clic ~rank =
+  let sim =
+    (Clic.Clic_module.env_of (Clic.Api.kernel clic)).Proto.Hostenv.sim
+  in
+  {
+    Mpi.t_xmit =
+      (fun ~dst env ->
+        Queue.add env (queue_of reg ~src:rank ~dst);
+        Clic.Api.send clic ~dst ~port:mpi_port (payload_bytes env));
+    t_start =
+      (fun ~deliver ->
+        Engine.Process.spawn sim (fun () ->
+            let rec loop () =
+              let msg = Clic.Api.recv clic ~port:mpi_port in
+              let q =
+                queue_of reg ~src:msg.Clic.Clic_module.msg_src ~dst:rank
+              in
+              (match Queue.take_opt q with
+              | Some env -> deliver env
+              | None -> ());
+              loop ()
+            in
+            loop ()));
+  }

@@ -1,0 +1,69 @@
+open Engine
+
+let base_port = 6000
+
+(* Envelope metadata mirrors the 32-byte headers that precede each payload
+   on the byte stream; the stream itself carries only byte counts.  One
+   mailbox per directed rank pair keeps metadata and bytes in lockstep:
+   the sender enqueues the envelope before writing its bytes, and the
+   reader dequeues the envelope first and then consumes exactly that
+   message's bytes — so framing can never drift, whatever the underlying
+   TCP does (retransmissions, resegmentation). *)
+type registry = (int * int, Mpi.envelope Mailbox.t) Hashtbl.t
+
+let registry () : registry = Hashtbl.create 16
+
+let queue_of reg ~src ~dst =
+  let key = (src, dst) in
+  match Hashtbl.find_opt reg key with
+  | Some q -> q
+  | None ->
+      let q = Mailbox.create () in
+      Hashtbl.add reg key q;
+      q
+
+let payload_bytes (env : Mpi.envelope) =
+  match env.Mpi.e_kind with
+  | Mpi.Eager | Mpi.Rendez_data _ -> env.Mpi.e_bytes
+  | Mpi.Rts _ | Mpi.Cts _ -> 0
+
+let transport reg tcp ~rank =
+  let hostenv = Proto.Ethernet.env (Proto.Ip.ethernet (Proto.Tcp.ip_of tcp)) in
+  let sim = hostenv.Proto.Hostenv.sim in
+  let conns = Hashtbl.create 8 in
+  Proto.Tcp.listen tcp ~port:(base_port + rank);
+  let connect_to dst =
+    match Hashtbl.find_opt conns dst with
+    | Some c -> c
+    | None ->
+        let c = Proto.Tcp.connect tcp ~dst ~port:(base_port + dst) in
+        Hashtbl.add conns dst c;
+        c
+  in
+  {
+    Mpi.t_xmit =
+      (fun ~dst env ->
+        let conn = connect_to dst in
+        Mailbox.send (queue_of reg ~src:rank ~dst) env;
+        Proto.Tcp.send conn (Mpi.envelope_bytes + payload_bytes env));
+    t_start =
+      (fun ~deliver ->
+        (* Accept loop: one reader process per incoming connection. *)
+        Process.spawn sim (fun () ->
+            let rec accept_loop () =
+              let conn = Proto.Tcp.accept tcp ~port:(base_port + rank) in
+              let src = Proto.Tcp.peer_of conn in
+              Process.fork (fun () ->
+                  let q = queue_of reg ~src ~dst:rank in
+                  let rec read_loop () =
+                    let env = Mailbox.recv q in
+                    Proto.Tcp.recv conn
+                      (Mpi.envelope_bytes + payload_bytes env);
+                    deliver env;
+                    read_loop ()
+                  in
+                  read_loop ());
+              accept_loop ()
+            in
+            accept_loop ()));
+  }

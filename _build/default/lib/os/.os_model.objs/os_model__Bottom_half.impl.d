@@ -1,0 +1,1 @@
+lib/os/bottom_half.ml: Cpu Engine Process Queue Sim Time

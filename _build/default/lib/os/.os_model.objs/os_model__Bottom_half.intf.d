@@ -1,0 +1,1 @@
+lib/os/bottom_half.mli: Cpu Engine Sim Time

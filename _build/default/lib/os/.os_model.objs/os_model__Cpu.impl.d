@@ -1,0 +1,1 @@
+lib/os/cpu.ml: Bus Engine Hw Option Process Resource Time

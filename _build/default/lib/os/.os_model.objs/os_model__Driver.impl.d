@@ -1,0 +1,1 @@
+lib/os/driver.ml: Bottom_half Cpu Engine Eth_frame Hw Interrupt List Nic Sim Skbuff Time Trace

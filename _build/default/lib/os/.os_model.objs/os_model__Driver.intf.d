@@ -1,0 +1,1 @@
+lib/os/driver.mli: Bottom_half Cpu Engine Eth_frame Hw Interrupt Mac Nic Sim Skbuff Time Trace

@@ -1,0 +1,1 @@
+lib/os/interrupt.ml: Cpu Engine Process Sim Time

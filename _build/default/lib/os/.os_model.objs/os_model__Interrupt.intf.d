@@ -1,0 +1,1 @@
+lib/os/interrupt.mli: Cpu Engine Sim Time

@@ -1,0 +1,1 @@
+lib/os/ktimer.ml: Engine Sim

@@ -1,0 +1,1 @@
+lib/os/ktimer.mli: Engine Sim Time

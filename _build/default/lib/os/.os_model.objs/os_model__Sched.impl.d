@@ -1,0 +1,1 @@
+lib/os/sched.ml: Cpu Engine Process Sim Time

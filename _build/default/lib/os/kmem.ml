@@ -1,0 +1,31 @@
+type t = {
+  capacity : int;
+  mutable used : int;
+  mutable high_water : int;
+  mutable failed : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Kmem.create: capacity <= 0";
+  { capacity; used = 0; high_water = 0; failed = 0 }
+
+let try_alloc t n =
+  if n < 0 then invalid_arg "Kmem.try_alloc: negative size";
+  if t.used + n <= t.capacity then begin
+    t.used <- t.used + n;
+    if t.used > t.high_water then t.high_water <- t.used;
+    true
+  end
+  else begin
+    t.failed <- t.failed + 1;
+    false
+  end
+
+let free t n =
+  if n < 0 || n > t.used then invalid_arg "Kmem.free: bad size";
+  t.used <- t.used - n
+
+let in_use t = t.used
+let capacity t = t.capacity
+let high_water t = t.high_water
+let failed_allocs t = t.failed

@@ -1,0 +1,23 @@
+(** A bounded kernel buffer pool.
+
+    Models the system memory CLIC stages data in when the NIC cannot accept
+    it immediately, and the kernel-side receive buffers packets wait in
+    until a process asks for them.  Exhaustion makes callers fall back
+    (blocking, or dropping for unreliable stacks) rather than allocating
+    unboundedly. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] in bytes; must be positive. *)
+
+val try_alloc : t -> int -> bool
+(** Takes [n] bytes if available. *)
+
+val free : t -> int -> unit
+(** @raise Invalid_argument when freeing more than is allocated. *)
+
+val in_use : t -> int
+val capacity : t -> int
+val high_water : t -> int
+val failed_allocs : t -> int

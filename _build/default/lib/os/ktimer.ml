@@ -1,0 +1,33 @@
+open Engine
+
+type t = {
+  sim : Sim.t;
+  thunk : unit -> unit;
+  mutable handle : Sim.handle option;
+}
+
+let arm t span =
+  let h =
+    Sim.schedule t.sim ~after:span (fun () ->
+        t.handle <- None;
+        t.thunk ())
+  in
+  t.handle <- Some h
+
+let after sim span thunk =
+  let t = { sim; thunk; handle = None } in
+  arm t span;
+  t
+
+let cancel t =
+  match t.handle with
+  | Some h ->
+      Sim.cancel h;
+      t.handle <- None
+  | None -> ()
+
+let restart t span =
+  cancel t;
+  arm t span
+
+let is_pending t = t.handle <> None

@@ -1,0 +1,28 @@
+type region = User_memory | Kernel_memory
+type fragment = { region : region; bytes : int }
+type t = { header_bytes : int; fragments : fragment list }
+
+let create ~header_bytes fragments =
+  if header_bytes < 0 then invalid_arg "Skbuff.create: negative header";
+  List.iter
+    (fun f -> if f.bytes < 0 then invalid_arg "Skbuff.create: negative frag")
+    fragments;
+  { header_bytes; fragments }
+
+let of_user ~header_bytes n =
+  create ~header_bytes [ { region = User_memory; bytes = n } ]
+
+let of_kernel ~header_bytes n =
+  create ~header_bytes [ { region = Kernel_memory; bytes = n } ]
+
+let data_bytes t = List.fold_left (fun acc f -> acc + f.bytes) 0 t.fragments
+let total_bytes t = t.header_bytes + data_bytes t
+
+let user_bytes t =
+  List.fold_left
+    (fun acc f -> match f.region with User_memory -> acc + f.bytes
+                                    | Kernel_memory -> acc)
+    0 t.fragments
+
+let is_zero_copy t =
+  List.for_all (fun f -> f.region = User_memory || f.bytes = 0) t.fragments

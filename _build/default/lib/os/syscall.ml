@@ -1,0 +1,30 @@
+open Engine
+
+type t = {
+  cpu : Cpu.t;
+  enter_cost : Time.span;
+  leave_cost : Time.span;
+  mutable calls : int;
+}
+
+let create ?(enter = Time.us 0.35) ?(leave = Time.us 0.30) cpu =
+  { cpu; enter_cost = enter; leave_cost = leave; calls = 0 }
+
+let enter t =
+  t.calls <- t.calls + 1;
+  Cpu.work t.cpu t.enter_cost
+
+let leave t = Cpu.work t.cpu t.leave_cost
+
+let wrap t f =
+  enter t;
+  match f () with
+  | v ->
+      leave t;
+      v
+  | exception exn ->
+      leave t;
+      raise exn
+
+let round_trip t = t.enter_cost + t.leave_cost
+let calls t = t.calls

@@ -1,0 +1,1 @@
+lib/proto/ethernet.ml: Driver Engine Eth_frame Hashtbl Hostenv Hw Mac Mailbox Nic Os_model Printf Process Semaphore Skbuff

@@ -1,0 +1,1 @@
+lib/proto/ethernet.mli: Eth_frame Hostenv Hw Mac Nic Os_model Skbuff

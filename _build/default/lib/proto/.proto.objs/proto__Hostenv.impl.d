@@ -1,0 +1,1 @@
+lib/proto/hostenv.ml: Bus Cpu Driver Engine Hw Kmem Os_model Sched Sim Syscall

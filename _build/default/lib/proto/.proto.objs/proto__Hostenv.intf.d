@@ -1,0 +1,1 @@
+lib/proto/hostenv.mli: Bus Cpu Driver Engine Hw Kmem Os_model Sched Sim Syscall

@@ -1,0 +1,1 @@
+lib/proto/ip.ml: Cpu Driver Engine Eth_frame Ethernet Hashtbl Hostenv Hw Mac Nic Os_model Packet Skbuff Time

@@ -1,0 +1,1 @@
+lib/proto/ip.mli: Engine Ethernet Os_model Packet Skbuff Time

@@ -1,0 +1,1 @@
+lib/proto/tcp.ml: Bus Cpu Engine Ethernet Format Hashtbl Hostenv Hw Ip Ivar Ktimer List Logs Mailbox Os_model Packet Printf Process Sched Semaphore Skbuff Syscall Time

@@ -1,0 +1,1 @@
+lib/proto/tcp.mli: Engine Format Ip Time

@@ -1,0 +1,1 @@
+lib/proto/udp.ml: Cpu Engine Ethernet Hashtbl Hostenv Ip Os_model Packet Printf Skbuff Time

@@ -1,0 +1,1 @@
+lib/proto/udp.mli: Engine Ip Packet Time

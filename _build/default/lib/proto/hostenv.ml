@@ -1,0 +1,18 @@
+open Engine
+open Os_model
+
+type t = {
+  sim : Sim.t;
+  node : int;
+  cpu : Cpu.t;
+  membus : Bus.t;
+  sched : Sched.t;
+  syscall : Syscall.t;
+  driver : Driver.t;
+  kmem : Kmem.t;
+}
+
+let mac t = Hw.Mac.of_node t.node
+
+let make ~sim ~node ~cpu ~membus ~sched ~syscall ~driver ~kmem =
+  { sim; node; cpu; membus; sched; syscall; driver; kmem }

@@ -1,0 +1,53 @@
+type app = ..
+type app += No_app
+
+type tcp_flags = { syn : bool; fin : bool; ack : bool }
+
+let data_flags = { syn = false; fin = false; ack = true }
+let syn_flags = { syn = true; fin = false; ack = false }
+let synack_flags = { syn = true; fin = false; ack = true }
+let ack_flags = { syn = false; fin = false; ack = true }
+
+type tcp_segment = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack_seq : int;
+  data_bytes : int;
+  flags : tcp_flags;
+  window : int;
+}
+
+let tcp_header_bytes = 20
+
+type udp_datagram = {
+  udp_src_port : int;
+  udp_dst_port : int;
+  udp_bytes : int;
+  udp_app : app;
+}
+
+let udp_header_bytes = 8
+
+type ip_proto = Tcp of tcp_segment | Udp of udp_datagram
+type ip_frag = { ip_id : int; frag_index : int; frag_count : int }
+
+type ip_packet = {
+  ip_src : int;
+  ip_dst : int;
+  ip_payload : ip_proto;
+  ip_bytes : int;
+  ip_frag : ip_frag option;
+}
+
+let ip_header_bytes = 20
+let ethertype_ip = 0x0800
+
+type Hw.Eth_frame.payload += Ip of ip_packet
+
+let tcp_wire_bytes seg = tcp_header_bytes + seg.data_bytes
+let udp_wire_bytes d = udp_header_bytes + d.udp_bytes
+
+let ip_payload_wire_bytes = function
+  | Tcp seg -> tcp_wire_bytes seg
+  | Udp d -> udp_wire_bytes d

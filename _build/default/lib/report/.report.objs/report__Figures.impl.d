@@ -1,0 +1,1 @@
+lib/report/figures.ml: Array Clic Cluster Engine Float Format Hw Ivar List Measure Mpi_layer Net Node Os_model Pairs Paper Printf Process Proto Render Rivals Rng Sim Stats String Time Trace Workload

@@ -1,0 +1,1 @@
+lib/report/pairs.ml: Cluster Measure Mpi_layer Net Node Printf

@@ -1,0 +1,1 @@
+lib/report/render.ml: Buffer Bytes Engine Float Format List Printf Stats String Trace

@@ -1,0 +1,84 @@
+(** One driver per paper artefact: each builds fresh clusters, runs the
+    benchmark procedure, prints the series/table the paper reports, and
+    returns the data for programmatic checks.
+
+    [quick] mode uses fewer sizes and repetitions (used by tests); default
+    mode regenerates the full figures. *)
+
+open Engine
+
+val default_sizes : int list
+val quick_sizes : int list
+
+val fig4 : ?quick:bool -> Format.formatter -> Stats.Series.t list
+(** CLIC bandwidth for MTU {1500, 9000} × {0-copy, 1-copy}. *)
+
+val fig5 : ?quick:bool -> Format.formatter -> Stats.Series.t list
+(** CLIC vs TCP/IP at both MTUs (0-copy for CLIC). *)
+
+val fig6 : ?quick:bool -> Format.formatter -> Stats.Series.t list
+(** CLIC, MPI-CLIC, MPI(TCP) and PVM(TCP) bandwidths (MTU 9000). *)
+
+type stage = { stage : string; a_us : float; b_us : float }
+
+type fig7_result = {
+  stages : stage list;
+  latency_a_us : float;  (** end-to-end one-way, stock path *)
+  latency_b_us : float;  (** with the Figure 8b direct-ISR improvement *)
+}
+
+val fig7 : Format.formatter -> fig7_result
+(** Per-stage timing of a 1400-byte packet, stock vs direct-from-ISR. *)
+
+type scalar = { name : string; paper : float; measured : float }
+
+val tab1 : ?quick:bool -> Format.formatter -> scalar list
+(** The headline numbers: latency, asymptotes, ratios, half-bandwidth
+    points — paper vs measured. *)
+
+val fig1 : ?quick:bool -> Format.formatter -> (string * float * float) list
+(** Data-path ablation (paths 1-4): (path, 0-byte latency us, 1 MB
+    bandwidth Mbit/s) at MTU 1500. *)
+
+val sec2 : Format.formatter -> (string * float * float * float) list
+(** Interrupt-coalescing sweep: (setting, bandwidth Mbit/s, interrupts per
+    packet, receiver CPU fraction) for saturated streams at both MTUs. *)
+
+type rival_row = {
+  r_name : string;
+  r_latency_us : float;
+  r_bw_mbps : float;
+  r_idle_cpu : float;
+      (** receiver CPU fraction while waiting on a quiet link *)
+}
+
+val sec3 : Format.formatter -> rival_row list
+(** The Section 3.2 design-space comparison: CLIC vs a GAMMA-like
+    replaced-driver active-port system vs a VIA-like user-level polling
+    interface, on identical simulated hardware (except GAMMA's 64-bit
+    PCI card, per the paper's GA620 numbers). *)
+
+val ext1 : Format.formatter -> (string * float * float) list
+(** NIC-side fragmentation ablation at MTU 1500: (config, bandwidth,
+    receiver interrupts per 32 KB message). *)
+
+val ext2 : Format.formatter -> (string * float) list
+(** Channel bonding: stream bandwidth with 1 vs 2 NICs. *)
+
+val ext3 : ?nodes:int -> Format.formatter -> (string * float) list
+(** Broadcast of 64 KB to [nodes-1] peers: completion time (us) for CLIC
+    hardware broadcast vs MPI-TCP binomial tree. *)
+
+val ext4 : Format.formatter -> (string * Engine.Time.span list) list
+(** Multiprogramming: 64-byte CLIC ping-pong latency samples on an idle
+    node vs a node concurrently moving bulk TCP data ("idle"/"loaded"). *)
+
+val stress : Format.formatter -> (string * int * int * float * int) list
+(** Synthetic workloads (uniform random, incast) on clean and 2%-lossy
+    networks: (name, sent, delivered, MB, retransmissions).  Exactly-once
+    delivery must hold in every row. *)
+
+val all_ids : string list
+val run : string -> Format.formatter -> unit
+(** Run one experiment by id ("fig4" ... "ext3").
+    @raise Invalid_argument on unknown ids. *)

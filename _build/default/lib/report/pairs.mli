@@ -1,0 +1,13 @@
+(** {!Cluster.Measure.pair} constructors for the layered stacks of
+    Figure 6: MPI over CLIC, MPI over TCP/IP, and PVM.
+
+    (Raw CLIC and TCP pairs live in {!Cluster.Measure}.) *)
+
+val mpi_clic : Cluster.Net.t -> a:int -> b:int -> Cluster.Measure.pair
+val mpi_tcp : Cluster.Net.t -> a:int -> b:int -> Cluster.Measure.pair
+val pvm : Cluster.Net.t -> a:int -> b:int -> Cluster.Measure.pair
+
+val of_name :
+  string -> Cluster.Net.t -> a:int -> b:int -> Cluster.Measure.pair
+(** ["clic" | "tcp" | "mpi-clic" | "mpi-tcp" | "pvm"].
+    @raise Invalid_argument on anything else. *)

@@ -1,0 +1,1 @@
+lib/rivals/gamma.ml: Clic Cpu Driver Engine Eth_frame Ethernet Hashtbl Hostenv Hw Mac Mailbox Nic Os_model Printf Proto Skbuff Time

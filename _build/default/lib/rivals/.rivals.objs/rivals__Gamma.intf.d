@@ -1,0 +1,1 @@
+lib/rivals/gamma.mli: Engine Ethernet Hostenv Os_model Proto Time

@@ -1,0 +1,1 @@
+lib/rivals/via.ml: Bus Cpu Driver Engine Eth_frame Ethernet Hostenv Hw Mac Nic Os_model Process Proto Queue Resource Time

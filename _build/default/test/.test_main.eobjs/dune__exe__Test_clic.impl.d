@@ -1,0 +1,1 @@
+test/test_clic.ml: Alcotest Api Array Channel Clic Clic_module Cluster Engine Hw List Measure Net Node Option Params Process QCheck QCheck_alcotest Rng Sim Time Wire

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Clic Cluster Engine Hw List Measure Net Node Printf Process Proto Rng Sim Time Workload

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Bus Engine Float Heap Ivar List Mailbox Option Process QCheck QCheck_alcotest Resource Rng Semaphore Sim Stats Time Trace Units

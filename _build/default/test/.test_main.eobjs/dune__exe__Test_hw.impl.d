@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Bus Dma Engine Eth_frame Fault Hw Link List Mac Membus Nic Pci Process QCheck QCheck_alcotest Sim Switch Time

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Clic Cluster Engine Format Hw List Measure Net Node Printf Report Time

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_clic Test_cluster Test_engine Test_hw Test_integration Test_mpi Test_os Test_proto Test_report Test_rivals

@@ -1,0 +1,1 @@
+test/test_mpi.ml: Alcotest Array Cluster Collectives Engine List Mpi Mpi_clic Mpi_layer Mpi_tcp Net Node Process Proto Pvm Sim Time

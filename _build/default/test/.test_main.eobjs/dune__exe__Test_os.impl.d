@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Bottom_half Bus Cpu Driver Engine Eth_frame Hw Interrupt Kmem Ktimer Link List Mac Membus Nic Os_model Pci Process Sched Sim Skbuff Syscall Time

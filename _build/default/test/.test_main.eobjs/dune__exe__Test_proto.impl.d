@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Cluster Engine Ethernet Hw Ip List Net Node Os_model Packet Printf Process Proto QCheck QCheck_alcotest Rng Sim Tcp Time Udp

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Buffer Cluster Engine Format List Report Sim Stats String Time Trace

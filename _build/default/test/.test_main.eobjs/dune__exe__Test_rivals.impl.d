@@ -1,0 +1,1 @@
+test/test_rivals.ml: Alcotest Cluster Engine Format Hw List Measure Net Node Os_model Printf Process Report Rivals Sim Time

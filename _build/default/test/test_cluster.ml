@@ -1,0 +1,177 @@
+(* Tests for cluster assembly and the measurement harnesses: construction,
+   determinism, conservation, and multi-node traffic. *)
+
+open Engine
+open Cluster
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_cluster_shape () =
+  let c = Net.create ~n:4 () in
+  check_int "size" 4 (Net.size c);
+  check_int "one switch per NIC rank" 1 (List.length c.Net.switches);
+  for i = 0 to 3 do
+    check_int "node id" i (Net.node c i).Node.id
+  done;
+  Alcotest.check_raises "n<=0" (Invalid_argument "Cluster.create: n <= 0")
+    (fun () -> ignore (Net.create ~n:0 ()))
+
+let test_bonded_cluster_has_parallel_switches () =
+  let config = { Node.default_config with nics = 2 } in
+  let c = Net.create ~config ~n:2 () in
+  check_int "two switches" 2 (List.length c.Net.switches);
+  check_int "two NICs per node" 2 (List.length (Net.node c 0).Node.nics)
+
+let test_determinism_same_run_same_numbers () =
+  let measure () =
+    let c = Net.create ~n:2 () in
+    let pair = Measure.clic_pair c ~a:0 ~b:1 () in
+    let r = Measure.pingpong c pair ~size:4096 ~reps:5 ~warmup:1 () in
+    r.Measure.one_way
+  in
+  let a = measure () and b = measure () in
+  check_int "bit-identical repeat" a b
+
+let test_stream_conserves_messages () =
+  let c = Net.create ~n:2 () in
+  let pair = Measure.clic_pair c ~a:0 ~b:1 () in
+  let r = Measure.stream c pair ~a:0 ~b:1 ~size:2000 ~messages:50 in
+  check_bool "positive bandwidth" true (r.Measure.st_bandwidth_mbps > 0.);
+  let kb = Clic.Api.kernel (Net.node c 1).Node.clic in
+  check_int "every message delivered" 50
+    (Clic.Clic_module.messages_delivered kb)
+
+let test_pingpong_latency_increases_with_size () =
+  let lat size =
+    let c = Net.create ~n:2 () in
+    let pair = Measure.clic_pair c ~a:0 ~b:1 () in
+    (Measure.pingpong c pair ~size ~reps:3 ~warmup:1 ()).Measure.one_way
+  in
+  let l0 = lat 0 and l64k = lat 65536 in
+  check_bool "64KB slower than 0B" true (l64k > l0);
+  check_bool "0B latency sane (10..100us)" true
+    (l0 > Time.us 10. && l0 < Time.us 100.)
+
+let test_all_to_all_traffic () =
+  let n = 4 in
+  let c = Net.create ~n () in
+  let expected = n * (n - 1) in
+  let delivered = ref 0 in
+  for me = 0 to n - 1 do
+    let node = Net.node c me in
+    Node.spawn node (fun () ->
+        for peer = 0 to n - 1 do
+          if peer <> me then
+            Clic.Api.send node.Node.clic ~dst:peer ~port:1 1000
+        done);
+    Node.spawn node (fun () ->
+        for _ = 1 to n - 1 do
+          ignore (Clic.Api.recv node.Node.clic ~port:1);
+          incr delivered
+        done)
+  done;
+  Net.run c;
+  check_int "n*(n-1) messages" expected !delivered
+
+let test_both_stacks_share_one_node () =
+  (* CLIC and TCP traffic on the same nodes, simultaneously. *)
+  let c = Net.create ~n:2 () in
+  let na = Net.node c 0 and nb = Net.node c 1 in
+  Proto.Tcp.listen nb.Node.tcp ~port:80;
+  let tcp_done = ref false and clic_done = ref false in
+  Node.spawn nb (fun () ->
+      let conn = Proto.Tcp.accept nb.Node.tcp ~port:80 in
+      Proto.Tcp.recv conn 50_000;
+      tcp_done := true);
+  Node.spawn nb (fun () ->
+      ignore (Clic.Api.recv nb.Node.clic ~port:5);
+      clic_done := true);
+  Node.spawn na (fun () ->
+      let conn = Proto.Tcp.connect na.Node.tcp ~dst:1 ~port:80 in
+      Proto.Tcp.send conn 50_000);
+  Node.spawn na (fun () -> Clic.Api.send na.Node.clic ~dst:1 ~port:5 50_000);
+  Net.run c;
+  check_bool "tcp completed" true !tcp_done;
+  check_bool "clic completed" true !clic_done
+
+let test_run_for_bounds_time () =
+  let c = Net.create ~n:2 () in
+  let na = Net.node c 0 in
+  Node.spawn na (fun () ->
+      let rec forever () =
+        Process.delay (Time.ms 1.);
+        forever ()
+      in
+      forever ());
+  Net.run_for c (Time.ms 10.);
+  check_int "clock advanced exactly" (Time.ms 10.) (Sim.now c.Net.sim)
+
+let test_workload_uniform_random_conserves () =
+  let c = Net.create ~n:4 () in
+  let s = Workload.uniform_random c ~seed:3 ~messages_per_node:20 () in
+  check_int "sent" 80 s.Workload.sent;
+  check_int "all delivered" 80 s.Workload.delivered;
+  check_bool "bytes moved" true (s.Workload.bytes > 0)
+
+let test_workload_uniform_random_under_loss () =
+  let config =
+    { Node.default_config with
+      link_fault =
+        Some (fun () -> Hw.Fault.drop ~rng:(Rng.create ~seed:17) ~prob:0.02)
+    }
+  in
+  let c = Net.create ~config ~n:4 () in
+  let s = Workload.uniform_random c ~seed:5 ~messages_per_node:15 () in
+  check_int "exactly-once despite drops" s.Workload.sent s.Workload.delivered
+
+let test_workload_hotspot_incast () =
+  let c = Net.create ~n:5 () in
+  let s = Workload.hotspot c ~seed:9 ~target:0 ~messages_per_node:30 () in
+  check_int "sent" 120 s.Workload.sent;
+  check_int "target absorbed everything" 120 s.Workload.delivered
+
+let test_workload_ring_rounds () =
+  let c = Net.create ~n:4 () in
+  let s = Workload.ring c ~rounds:10 () in
+  check_int "sent" 40 s.Workload.sent;
+  check_int "delivered" 40 s.Workload.delivered
+
+let test_workload_determinism () =
+  let run () =
+    let c = Net.create ~n:3 () in
+    (Workload.uniform_random c ~seed:42 ~messages_per_node:10 ()).Workload.elapsed
+  in
+  check_int "same seed, same elapsed" (run ()) (run ())
+
+let test_incast_with_finite_switch_buffers () =
+  (* Five senders converge on one port whose egress buffer holds only a
+     few frames: the switch tail-drops, and CLIC must recover every
+     message anyway. *)
+  let config = { Node.default_config with switch_egress_frames = Some 8 } in
+  let c = Net.create ~config ~n:6 () in
+  let s = Workload.hotspot c ~seed:4 ~target:0 ~messages_per_node:40 () in
+  check_int "exactly once despite congestion drops" s.Workload.sent
+    s.Workload.delivered;
+  let drops = Hw.Switch.egress_drops (List.hd c.Net.switches) in
+  check_bool
+    (Printf.sprintf "switch actually dropped (%d)" drops)
+    true (drops > 0)
+
+let suite =
+  [
+    ("cluster shape", `Quick, test_cluster_shape);
+    ("bonded switches", `Quick, test_bonded_cluster_has_parallel_switches);
+    ("determinism", `Quick, test_determinism_same_run_same_numbers);
+    ("stream conservation", `Quick, test_stream_conserves_messages);
+    ("latency vs size", `Quick, test_pingpong_latency_increases_with_size);
+    ("all-to-all", `Quick, test_all_to_all_traffic);
+    ("stacks coexist", `Quick, test_both_stacks_share_one_node);
+    ("run_for bound", `Quick, test_run_for_bounds_time);
+    ("workload uniform", `Quick, test_workload_uniform_random_conserves);
+    ("workload under loss", `Quick, test_workload_uniform_random_under_loss);
+    ("workload hotspot", `Quick, test_workload_hotspot_incast);
+    ("workload ring", `Quick, test_workload_ring_rounds);
+    ("workload determinism", `Quick, test_workload_determinism);
+    ("incast + finite buffers", `Quick, test_incast_with_finite_switch_buffers);
+  ]

@@ -1,0 +1,616 @@
+(* Unit and property tests for the discrete-event engine. *)
+
+open Engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_constructors () =
+  check_int "us" 1_500 (Time.us 1.5);
+  check_int "ms" 2_000_000 (Time.ms 2.0);
+  check_int "s" 1_000_000_000 (Time.s 1.0);
+  check_int "ns" 42 (Time.ns 42)
+
+let test_time_rates () =
+  (* 1 Gbit/s = 1 ns per bit: 1500 bytes = 12000 ns *)
+  check_int "wire 1500B at 1Gb/s" 12_000
+    (Time.of_bits_at_rate ~bits_per_s:1e9 (1500 * 8));
+  check_int "zero bytes" 0 (Time.of_bytes_at_rate ~bytes_per_s:1e6 0);
+  (* rounding is up: 1 byte at 3 bytes/s -> ceil(1/3 s) *)
+  check_int "round up" 333_333_334 (Time.of_bytes_at_rate ~bytes_per_s:3. 1)
+
+let test_time_invalid () =
+  Alcotest.check_raises "nan" (Invalid_argument "Time.us: not finite")
+    (fun () -> ignore (Time.us Float.nan));
+  Alcotest.check_raises "rate<=0"
+    (Invalid_argument "Time.of_bytes_at_rate: rate <= 0") (fun () ->
+      ignore (Time.of_bytes_at_rate ~bytes_per_s:0. 10))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_order () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  check_int "len" 7 (Heap.length h);
+  Alcotest.(check (list int))
+    "sorted drain" [ 1; 1; 2; 3; 4; 5; 9 ]
+    (Heap.to_sorted_list h);
+  (* to_sorted_list must not consume *)
+  check_int "len preserved" 7 (Heap.length h);
+  check_int "pop min" 1 (Heap.pop_exn h)
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  check_bool "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let prop_heap_sorts =
+  QCheck.Test.make ~count:300 ~name:"heap drains any list sorted"
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      Heap.to_sorted_list h = List.sort compare xs)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~count:200 ~name:"heap pop is min under interleaving"
+    QCheck.(list (pair int bool))
+    (fun ops ->
+      let h = Heap.create ~cmp:compare in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (x, pop) ->
+          if pop then begin
+            let expected =
+              match List.sort compare !model with
+              | [] -> None
+              | m :: _ -> Some m
+            in
+            let got = Heap.pop h in
+            if got <> expected then ok := false;
+            (match expected with
+            | Some m ->
+                (* remove one occurrence *)
+                let rec remove = function
+                  | [] -> []
+                  | y :: ys -> if y = m then ys else y :: remove ys
+                in
+                model := remove !model
+            | None -> ())
+          end
+          else begin
+            Heap.push h x;
+            model := x :: !model
+          end)
+        ops;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Sim *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  ignore (Sim.schedule sim ~after:30 (record "c"));
+  ignore (Sim.schedule sim ~after:10 (record "a"));
+  ignore (Sim.schedule sim ~after:20 (record "b"));
+  Sim.run sim;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  check_int "clock at last event" 30 (Sim.now sim)
+
+let test_sim_fifo_same_instant () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.schedule sim ~after:100 (fun () -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~after:5 (fun () -> fired := true) in
+  Sim.cancel h;
+  Sim.cancel h;
+  Sim.run sim;
+  check_bool "not fired" false !fired;
+  check_bool "cancelled" true (Sim.is_cancelled h)
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let finished = ref 0 in
+  ignore
+    (Sim.schedule sim ~after:1 (fun () ->
+         ignore
+           (Sim.schedule sim ~after:1 (fun () ->
+                finished := Sim.now sim))));
+  Sim.run sim;
+  check_int "nested time" 2 !finished
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.schedule sim ~after:(i * 10) (fun () -> incr count))
+  done;
+  Sim.run_until sim ~limit:45;
+  check_int "only first four" 4 !count;
+  check_int "clock advanced to limit" 45 (Sim.now sim);
+  Sim.run sim;
+  check_int "rest run" 10 !count
+
+let test_sim_past_raises () =
+  let sim = Sim.create () in
+  ignore
+    (Sim.schedule sim ~after:10 (fun () ->
+         match Sim.schedule_at sim ~at:5 (fun () -> ()) with
+         | _ -> Alcotest.fail "expected Invalid_argument"
+         | exception Invalid_argument _ -> ()));
+  Sim.run sim
+
+(* ------------------------------------------------------------------ *)
+(* Process *)
+
+let test_process_delay () =
+  let sim = Sim.create () in
+  let times = ref [] in
+  Process.spawn sim (fun () ->
+      Process.delay 10;
+      times := Sim.now sim :: !times;
+      Process.delay 15;
+      times := Sim.now sim :: !times);
+  Sim.run sim;
+  Alcotest.(check (list int)) "delays accumulate" [ 10; 25 ] (List.rev !times)
+
+let test_process_fork () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Process.spawn sim (fun () ->
+      Process.fork (fun () ->
+          Process.delay 5;
+          log := ("child", Sim.now sim) :: !log);
+      log := ("parent-continues", Sim.now sim) :: !log;
+      Process.delay 10;
+      log := ("parent-done", Sim.now sim) :: !log);
+  Sim.run sim;
+  Alcotest.(check (list (pair string int)))
+    "interleaving"
+    [ ("parent-continues", 0); ("child", 5); ("parent-done", 10) ]
+    (List.rev !log)
+
+let test_process_await_wake () =
+  let sim = Sim.create () in
+  let slot = ref None in
+  let woke_at = ref (-1) in
+  Process.spawn sim (fun () ->
+      let v = Process.await (fun resume -> slot := Some resume) in
+      woke_at := Sim.now sim + v);
+  ignore
+    (Sim.schedule sim ~after:42 (fun () ->
+         match !slot with Some r -> r 8 | None -> assert false));
+  Sim.run sim;
+  check_int "woken with value at time" 50 !woke_at
+
+let test_process_double_resume_raises () =
+  let sim = Sim.create () in
+  let slot = ref None in
+  Process.spawn sim (fun () ->
+      let () = Process.await (fun resume -> slot := Some resume) in
+      ());
+  ignore
+    (Sim.schedule sim ~after:1 (fun () ->
+         let r = Option.get !slot in
+         r ();
+         match r () with
+         | () -> Alcotest.fail "second resume should raise"
+         | exception Invalid_argument _ -> ()));
+  Sim.run sim
+
+(* ------------------------------------------------------------------ *)
+(* Ivar / Mailbox / Semaphore *)
+
+let test_ivar_blocks_until_filled () =
+  let sim = Sim.create () in
+  let iv = Ivar.create () in
+  let got = ref 0 in
+  Process.spawn sim (fun () -> got := Ivar.read iv);
+  Process.spawn sim ~delay:7 (fun () -> Ivar.fill iv 99);
+  Sim.run sim;
+  check_int "value" 99 !got;
+  check_bool "filled" true (Ivar.is_filled iv);
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Ivar.fill: already filled") (fun () -> Ivar.fill iv 1)
+
+let test_ivar_read_after_fill () =
+  let sim = Sim.create () in
+  let iv = Ivar.create () in
+  Ivar.fill iv "x";
+  let got = ref "" in
+  Process.spawn sim (fun () -> got := Ivar.read iv);
+  Sim.run sim;
+  Alcotest.(check string) "instant read" "x" !got
+
+let test_mailbox_fifo () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  let got = ref [] in
+  Process.spawn sim (fun () ->
+      for _ = 1 to 3 do
+        got := Mailbox.recv mb :: !got
+      done);
+  Process.spawn sim ~delay:5 (fun () ->
+      Mailbox.send mb 1;
+      Mailbox.send mb 2;
+      Mailbox.send mb 3);
+  Sim.run sim;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_queues_when_no_receiver () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  Mailbox.send mb "a";
+  check_int "queued" 1 (Mailbox.length mb);
+  Alcotest.(check (option string)) "try_recv" (Some "a") (Mailbox.try_recv mb);
+  Alcotest.(check (option string)) "empty" None (Mailbox.try_recv mb);
+  ignore sim
+
+let test_semaphore_limits_concurrency () =
+  let sim = Sim.create () in
+  let sem = Semaphore.create 2 in
+  let active = ref 0 and peak = ref 0 in
+  for _ = 1 to 6 do
+    Process.spawn sim (fun () ->
+        Semaphore.acquire sem;
+        incr active;
+        if !active > !peak then peak := !active;
+        Process.delay 10;
+        decr active;
+        Semaphore.release sem)
+  done;
+  Sim.run sim;
+  check_int "peak concurrency" 2 !peak;
+  check_int "all released" 2 (Semaphore.available sem)
+
+let test_semaphore_fifo_no_starvation () =
+  let sim = Sim.create () in
+  let sem = Semaphore.create 0 in
+  let log = ref [] in
+  Process.spawn sim (fun () ->
+      Semaphore.acquire ~n:3 sem;
+      log := "big" :: !log);
+  Process.spawn sim (fun () ->
+      Semaphore.acquire ~n:1 sem;
+      log := "small" :: !log);
+  Process.spawn sim ~delay:5 (fun () -> Semaphore.release ~n:4 sem);
+  Sim.run sim;
+  Alcotest.(check (list string))
+    "big request at head served first" [ "big"; "small" ] (List.rev !log)
+
+(* ------------------------------------------------------------------ *)
+(* Resource / Bus *)
+
+let test_resource_serializes () =
+  let sim = Sim.create () in
+  let r = Resource.create sim ~name:"cpu" in
+  let ends = ref [] in
+  for i = 1 to 3 do
+    Process.spawn sim (fun () ->
+        Resource.use r 10;
+        ends := (i, Sim.now sim) :: !ends)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list (pair int int)))
+    "fcfs service" [ (1, 10); (2, 20); (3, 30) ] (List.rev !ends);
+  check_int "busy time" 30 (Resource.busy_time r);
+  check_int "grants" 3 (Resource.grants r)
+
+let test_resource_priority () =
+  let sim = Sim.create () in
+  let r = Resource.create sim ~name:"cpu" in
+  let log = ref [] in
+  Process.spawn sim (fun () ->
+      Resource.use r 10;
+      log := "holder" :: !log);
+  (* Both queue while the holder runs; high must win despite arriving last. *)
+  Process.spawn sim ~delay:1 (fun () ->
+      Resource.use ~priority:`Low r 5;
+      log := "low" :: !log);
+  Process.spawn sim ~delay:2 (fun () ->
+      Resource.use ~priority:`High r 5;
+      log := "high" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string))
+    "high priority wins" [ "holder"; "high"; "low" ] (List.rev !log)
+
+let test_resource_utilization () =
+  let sim = Sim.create () in
+  let r = Resource.create sim ~name:"cpu" in
+  Process.spawn sim (fun () -> Resource.use r 25);
+  ignore (Sim.schedule sim ~after:100 (fun () -> ()));
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "25% busy" 0.25 (Resource.utilization r ~since:0)
+
+let test_bus_transfer_time () =
+  let sim = Sim.create () in
+  let bus =
+    Bus.create sim ~name:"pci" ~bytes_per_s:132e6 ~efficiency:0.5
+      ~setup:(Time.ns 1000) ()
+  in
+  (* 66 MB/s effective: 6600 bytes -> 100us + 1us setup *)
+  check_int "time" (Time.us 101.) (Bus.transfer_time bus 6600);
+  let done_at = ref 0 in
+  Process.spawn sim (fun () ->
+      Bus.transfer bus 6600;
+      done_at := Sim.now sim);
+  Sim.run sim;
+  check_int "blocking transfer" (Time.us 101.) !done_at;
+  check_int "accounting" 6600 (Bus.bytes_moved bus)
+
+let test_bus_contention () =
+  let sim = Sim.create () in
+  let bus = Bus.create sim ~name:"mem" ~bytes_per_s:1e9 () in
+  let ends = ref [] in
+  for _ = 1 to 2 do
+    Process.spawn sim (fun () ->
+        Bus.transfer bus 1_000_000;
+        ends := Sim.now sim :: !ends)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int))
+    "serialized transfers" [ Time.ms 1.; Time.ms 2. ]
+    (List.sort compare !ends)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let child = Rng.split a in
+  (* The child stream must differ from the parent's continued stream. *)
+  let xs = List.init 10 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Rng.bits64 child) in
+  check_bool "distinct" true (xs <> ys)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~count:500 ~name:"Rng.int within bounds"
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let r = Rng.create ~seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_rng_exponential_positive =
+  QCheck.Test.make ~count:200 ~name:"Rng.exponential positive"
+    QCheck.(pair small_int (float_range 0.001 1000.))
+    (fun (seed, mean) ->
+      let r = Rng.create ~seed in
+      Rng.exponential r ~mean >= 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_summary () =
+  let s = Stats.Summary.create "lat" in
+  List.iter (Stats.Summary.add s) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 4. (Stats.Summary.max s);
+  Alcotest.(check (float 1e-6)) "sd" 1.2909944487 (Stats.Summary.stddev s)
+
+let test_histogram_percentile () =
+  let h = Stats.Histogram.create "h" in
+  for v = 1 to 100 do
+    Stats.Histogram.add h v
+  done;
+  check_int "count" 100 (Stats.Histogram.count h);
+  (* p50 of 1..100 lies in the bucket with upper bound 64 *)
+  check_int "p50 bucket" 64 (Stats.Histogram.percentile h 50.);
+  check_int "p100 bucket" 128 (Stats.Histogram.percentile h 100.)
+
+let test_series () =
+  let s = Stats.Series.create ~name:"bw" in
+  Stats.Series.add s ~x:1. ~y:10.;
+  Stats.Series.add s ~x:3. ~y:30.;
+  Alcotest.(check (option (float 1e-9))) "exact" (Some 10.)
+    (Stats.Series.y_at s ~x:1.);
+  Alcotest.(check (option (float 1e-9))) "interp" (Some 20.)
+    (Stats.Series.interpolate s ~x:2.);
+  Alcotest.(check (float 1e-9)) "max" 30. (Stats.Series.max_y s)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_spans () =
+  let sim = Sim.create () in
+  let tr = Trace.create sim in
+  Process.spawn sim (fun () ->
+      Trace.run tr "stage-a" (fun () -> Process.delay 10);
+      Trace.run tr "stage-b" (fun () -> Process.delay 5);
+      Trace.run tr "stage-a" (fun () -> Process.delay 3));
+  Sim.run sim;
+  Alcotest.(check (option int)) "a total" (Some 13)
+    (Trace.duration tr "stage-a");
+  Alcotest.(check (option int)) "b total" (Some 5) (Trace.duration tr "stage-b");
+  Alcotest.(check (option int)) "missing" None (Trace.duration tr "nope");
+  check_int "span count" 3 (List.length (Trace.spans tr))
+
+let test_trace_disabled () =
+  let sim = Sim.create () in
+  let tr = Trace.create sim in
+  Trace.set_enabled tr false;
+  Trace.mark tr "x";
+  check_int "nothing recorded" 0 (List.length (Trace.spans tr))
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+let test_units () =
+  Alcotest.(check (float 1e-6)) "1 Gbit/s in B/s" 125e6 (Units.gbit_per_s 1.);
+  Alcotest.(check (float 1e-6)) "round trip" 600.
+    (Units.to_mbit_per_s ~bytes_per_s:(Units.mbit_per_s 600.));
+  Alcotest.(check (float 1e-6)) "measured bw" 800.
+    (Units.bandwidth_mbps ~bytes:100_000 ~span:(Time.ms 1.));
+  check_int "kib" 4096 (Units.kib 4)
+
+let test_process_nested_forks () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  Process.spawn sim (fun () ->
+      Process.fork (fun () ->
+          Process.fork (fun () ->
+              Process.delay 5;
+              incr count);
+          incr count);
+      incr count);
+  Sim.run sim;
+  check_int "all three ran" 3 !count
+
+let test_resource_use_f_releases_on_exception () =
+  let sim = Sim.create () in
+  let r = Resource.create sim ~name:"x" in
+  let second_ran = ref false in
+  Process.spawn sim (fun () ->
+      match Resource.use_f r (fun () -> failwith "boom") with
+      | () -> ()
+      | exception Failure _ -> ());
+  Process.spawn sim ~delay:1 (fun () ->
+      Resource.use r 5;
+      second_ran := true);
+  Sim.run sim;
+  check_bool "resource released after raise" true !second_ran;
+  check_bool "not busy" false (Resource.is_busy r)
+
+let test_semaphore_try_acquire_respects_queue () =
+  let sim = Sim.create () in
+  let sem = Semaphore.create 1 in
+  let blocked_got_it = ref false in
+  Process.spawn sim (fun () ->
+      Semaphore.acquire ~n:1 sem;
+      Process.delay 10;
+      Semaphore.release sem);
+  Process.spawn sim ~delay:1 (fun () ->
+      Semaphore.acquire sem;
+      blocked_got_it := true;
+      Semaphore.release sem);
+  Process.spawn sim ~delay:2 (fun () ->
+      (* must NOT jump the queue in front of the blocked waiter *)
+      check_bool "try_acquire refuses while waiters exist" false
+        (Semaphore.try_acquire sem));
+  Sim.run sim;
+  check_bool "fifo waiter served" true !blocked_got_it
+
+let test_trace_records_on_exception () =
+  let sim = Sim.create () in
+  let tr = Trace.create sim in
+  Process.spawn sim (fun () ->
+      match Trace.run tr "failing" (fun () -> failwith "x") with
+      | () -> ()
+      | exception Failure _ -> ());
+  Sim.run sim;
+  check_int "span recorded despite raise" 1 (List.length (Trace.spans tr))
+
+let test_histogram_empty () =
+  let h = Stats.Histogram.create "empty" in
+  check_int "p99 of empty" 0 (Stats.Histogram.percentile h 99.)
+
+let test_mailbox_competing_receivers_fifo () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  let order = ref [] in
+  for i = 1 to 2 do
+    Process.spawn sim (fun () ->
+        let v = Mailbox.recv mb in
+        order := (i, v) :: !order)
+  done;
+  Process.spawn sim ~delay:5 (fun () ->
+      check_int "two waiters" 2 (Mailbox.waiters mb);
+      Mailbox.send mb "a";
+      Mailbox.send mb "b");
+  Sim.run sim;
+  Alcotest.(check (list (pair int string)))
+    "receivers served in arrival order"
+    [ (1, "a"); (2, "b") ]
+    (List.rev !order)
+
+let prop_semaphore_never_negative =
+  QCheck.Test.make ~count:100 ~name:"semaphore conserves permits"
+    QCheck.(pair (int_range 1 5) (list (int_range 1 3)))
+    (fun (permits, needs) ->
+      let sim = Sim.create () in
+      let sem = Semaphore.create permits in
+      List.iter
+        (fun n ->
+          let n = min n permits in
+          Process.spawn sim (fun () ->
+              Semaphore.acquire ~n sem;
+              Process.delay 1;
+              Semaphore.release ~n sem))
+        needs;
+      Sim.run sim;
+      Semaphore.available sem = permits)
+
+let qprops = List.map QCheck_alcotest.to_alcotest
+    [ prop_heap_sorts; prop_heap_interleaved; prop_rng_int_in_bounds;
+      prop_rng_exponential_positive; prop_semaphore_never_negative ]
+
+let suite =
+  [
+    ("time constructors", `Quick, test_time_constructors);
+    ("time rates", `Quick, test_time_rates);
+    ("time invalid args", `Quick, test_time_invalid);
+    ("heap ordering", `Quick, test_heap_order);
+    ("heap empty", `Quick, test_heap_empty);
+    ("sim event ordering", `Quick, test_sim_ordering);
+    ("sim same-instant fifo", `Quick, test_sim_fifo_same_instant);
+    ("sim cancel", `Quick, test_sim_cancel);
+    ("sim nested schedule", `Quick, test_sim_nested_schedule);
+    ("sim run_until", `Quick, test_sim_run_until);
+    ("sim schedule in past", `Quick, test_sim_past_raises);
+    ("process delay", `Quick, test_process_delay);
+    ("process fork", `Quick, test_process_fork);
+    ("process await/wake", `Quick, test_process_await_wake);
+    ("process double resume", `Quick, test_process_double_resume_raises);
+    ("ivar blocking", `Quick, test_ivar_blocks_until_filled);
+    ("ivar instant read", `Quick, test_ivar_read_after_fill);
+    ("mailbox fifo", `Quick, test_mailbox_fifo);
+    ("mailbox queue", `Quick, test_mailbox_queues_when_no_receiver);
+    ("semaphore concurrency", `Quick, test_semaphore_limits_concurrency);
+    ("semaphore fifo", `Quick, test_semaphore_fifo_no_starvation);
+    ("resource serializes", `Quick, test_resource_serializes);
+    ("resource priority", `Quick, test_resource_priority);
+    ("resource utilization", `Quick, test_resource_utilization);
+    ("bus transfer time", `Quick, test_bus_transfer_time);
+    ("bus contention", `Quick, test_bus_contention);
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng split", `Quick, test_rng_split_independent);
+    ("stats summary", `Quick, test_summary);
+    ("stats histogram", `Quick, test_histogram_percentile);
+    ("stats series", `Quick, test_series);
+    ("trace spans", `Quick, test_trace_spans);
+    ("trace disabled", `Quick, test_trace_disabled);
+    ("units", `Quick, test_units);
+    ("process nested forks", `Quick, test_process_nested_forks);
+    ("resource exception safety", `Quick, test_resource_use_f_releases_on_exception);
+    ("semaphore no queue-jump", `Quick, test_semaphore_try_acquire_respects_queue);
+    ("trace on exception", `Quick, test_trace_records_on_exception);
+    ("histogram empty", `Quick, test_histogram_empty);
+    ("mailbox receiver order", `Quick, test_mailbox_competing_receivers_fifo);
+  ]
+  @ List.map (fun (n, s, f) -> (n, s, f)) qprops

@@ -1,0 +1,468 @@
+(* Tests for the hardware models: frames, links, switch, buses, DMA, NIC. *)
+
+open Engine
+open Hw
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let raw ?frag ~src ~dst n =
+  Eth_frame.make ~src:(Mac.of_node src) ~dst:(Mac.of_node dst) ~ethertype:0x88
+    ~payload_bytes:n ?frag (Eth_frame.Raw n)
+
+(* ------------------------------------------------------------------ *)
+(* Frames *)
+
+let test_frame_sizes () =
+  let f = raw ~src:0 ~dst:1 1500 in
+  check_int "wire bytes" (8 + 14 + 1500 + 4 + 12) (Eth_frame.on_wire_bytes f);
+  check_int "buffer bytes" (14 + 1500 + 4) (Eth_frame.buffer_bytes f);
+  (* sub-minimum payloads are padded on the wire *)
+  let tiny = raw ~src:0 ~dst:1 1 in
+  check_int "padded" (8 + 14 + 46 + 4 + 12) (Eth_frame.on_wire_bytes tiny);
+  Alcotest.check_raises "negative payload"
+    (Invalid_argument "Eth_frame.make: negative payload") (fun () ->
+      ignore (raw ~src:0 ~dst:1 (-1)))
+
+let test_mac () =
+  check_bool "broadcast is group" true (Mac.is_group Mac.broadcast);
+  check_bool "multicast is group" true (Mac.is_group (Mac.multicast 3));
+  check_bool "unicast not group" false (Mac.is_group (Mac.of_node 4));
+  Alcotest.check_raises "negative node"
+    (Invalid_argument "Mac.of_node: negative node id") (fun () ->
+      ignore (Mac.of_node (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Link *)
+
+let test_link_serialization_time () =
+  let sim = Sim.create () in
+  let link = Link.create sim ~name:"l" ~bits_per_s:1e9 () in
+  (* 1500B payload -> 1538 wire bytes -> 12304 ns at 1 Gbit/s *)
+  check_int "1500B frame" 12_304
+    (Link.serialization_time link (raw ~src:0 ~dst:1 1500))
+
+let test_link_delivery_and_fifo () =
+  let sim = Sim.create () in
+  let link =
+    Link.create sim ~name:"l" ~bits_per_s:1e9 ~propagation:(Time.ns 100) ()
+  in
+  let got = ref [] in
+  Link.connect link (fun f ->
+      got := (f.Eth_frame.payload_bytes, Sim.now sim) :: !got);
+  Link.send link (raw ~src:0 ~dst:1 1500);
+  Link.send link (raw ~src:0 ~dst:1 46);
+  Sim.run sim;
+  match List.rev !got with
+  | [ (1500, t1); (46, t2) ] ->
+      check_int "first arrival" (12_304 + 100) t1;
+      (* second frame serializes after the first *)
+      check_int "second arrival" (12_304 + 672 + 100) t2
+  | other -> Alcotest.failf "unexpected deliveries: %d" (List.length other)
+
+let test_link_back_to_back_pipelining () =
+  let sim = Sim.create () in
+  let link = Link.create sim ~name:"l" ~bits_per_s:1e9 () in
+  let count = ref 0 in
+  Link.connect link (fun _ -> incr count);
+  for _ = 1 to 100 do
+    Link.send link (raw ~src:0 ~dst:1 1500)
+  done;
+  Sim.run sim;
+  check_int "all delivered" 100 !count;
+  check_int "sent counter" 100 (Link.frames_sent link);
+  (* 100 frames of 1538 wire bytes at 1 Gbit/s: clock ends at last arrival *)
+  check_int "stream duration" (100 * 12_304 + 500) (Sim.now sim)
+
+let test_link_fault_injection () =
+  let sim = Sim.create () in
+  let link =
+    Link.create sim ~name:"l" ~bits_per_s:1e9 ~fault:(Fault.drop_nth ~every:3)
+      ()
+  in
+  let count = ref 0 in
+  Link.connect link (fun _ -> incr count);
+  for _ = 1 to 9 do
+    Link.send link (raw ~src:0 ~dst:1 100)
+  done;
+  Sim.run sim;
+  check_int "two thirds delivered" 6 !count;
+  check_int "drops counted" 3 (Link.frames_dropped link)
+
+let test_link_no_receiver_drops () =
+  let sim = Sim.create () in
+  let link = Link.create sim ~name:"l" ~bits_per_s:1e9 () in
+  Link.send link (raw ~src:0 ~dst:1 100);
+  Sim.run sim;
+  check_int "dropped" 1 (Link.frames_dropped link)
+
+(* ------------------------------------------------------------------ *)
+(* Switch *)
+
+let make_switch sim nodes =
+  let sw = Switch.create sim ~name:"sw" ~bits_per_s:1e9 () in
+  List.iter (fun n -> Switch.add_port sw ~node:n) nodes;
+  sw
+
+let test_switch_unicast () =
+  let sim = Sim.create () in
+  let sw = make_switch sim [ 0; 1; 2 ] in
+  let got = Array.make 3 0 in
+  List.iter
+    (fun n -> Switch.connect_node sw ~node:n (fun _ -> got.(n) <- got.(n) + 1))
+    [ 0; 1; 2 ];
+  Link.send (Switch.uplink sw ~node:0) (raw ~src:0 ~dst:2 500);
+  Sim.run sim;
+  Alcotest.(check (array int)) "only node 2" [| 0; 0; 1 |] got;
+  check_int "forwarded" 1 (Switch.frames_forwarded sw)
+
+let test_switch_broadcast_floods () =
+  let sim = Sim.create () in
+  let sw = make_switch sim [ 0; 1; 2; 3 ] in
+  let got = Array.make 4 0 in
+  List.iter
+    (fun n -> Switch.connect_node sw ~node:n (fun _ -> got.(n) <- got.(n) + 1))
+    [ 0; 1; 2; 3 ];
+  let bcast =
+    Eth_frame.make ~src:(Mac.of_node 0) ~dst:Mac.broadcast ~ethertype:0x88
+      ~payload_bytes:100 (Eth_frame.Raw 100)
+  in
+  Link.send (Switch.uplink sw ~node:0) bcast;
+  Sim.run sim;
+  Alcotest.(check (array int)) "all but sender" [| 0; 1; 1; 1 |] got;
+  check_int "flood copies" 3 (Switch.frames_flooded sw)
+
+let test_switch_unknown_destination () =
+  let sim = Sim.create () in
+  let sw = make_switch sim [ 0; 1 ] in
+  Switch.connect_node sw ~node:1 (fun _ -> ());
+  Link.send (Switch.uplink sw ~node:0) (raw ~src:0 ~dst:9 100);
+  Sim.run sim;
+  check_int "unroutable" 1 (Switch.frames_unroutable sw)
+
+let test_switch_duplicate_port () =
+  let sim = Sim.create () in
+  let sw = make_switch sim [ 0 ] in
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Switch.add_port: duplicate node 0") (fun () ->
+      Switch.add_port sw ~node:0)
+
+(* ------------------------------------------------------------------ *)
+(* PCI / DMA *)
+
+let test_pci_peak () =
+  Alcotest.(check (float 1.)) "33MHz x 4B" 132e6
+    (Pci.peak_bytes_per_s ~clock_mhz:33. ~width_bytes:4)
+
+let test_dma_occupies_both_buses () =
+  let sim = Sim.create () in
+  let pci =
+    Bus.create sim ~name:"pci" ~bytes_per_s:100e6 ~setup:(Time.us 1.) ()
+  in
+  let membus = Bus.create sim ~name:"mem" ~bytes_per_s:800e6 () in
+  let finished = ref 0 in
+  Process.spawn sim (fun () ->
+      Dma.transfer ~pci ~membus 100_000;
+      finished := Sim.now sim);
+  Sim.run sim;
+  (* PCI is slower: 100kB at 100 MB/s = 1ms + 1us setup *)
+  check_int "bounded by pci" (Time.us 1001.) !finished;
+  check_int "membus also crossed" 100_000 (Bus.bytes_moved membus)
+
+let test_dma_zero_bytes () =
+  let sim = Sim.create () in
+  let pci = Bus.create sim ~name:"pci" ~bytes_per_s:1e6 () in
+  let membus = Bus.create sim ~name:"mem" ~bytes_per_s:1e6 () in
+  Process.spawn sim (fun () -> Dma.transfer ~pci ~membus 0);
+  Sim.run sim;
+  check_int "instant" 0 (Sim.now sim)
+
+(* ------------------------------------------------------------------ *)
+(* NIC *)
+
+let nic_rig ?coalesce ?fragmentation ?(mtu = 1500) () =
+  let sim = Sim.create () in
+  let pci = Pci.create sim () in
+  let membus = Membus.create sim () in
+  let mk name =
+    Nic.create sim ~name ~mtu ~pci ~membus ?coalesce ?fragmentation ()
+  in
+  let a = mk "nicA" and b = mk "nicB" in
+  let ab = Link.create sim ~name:"a->b" ~bits_per_s:1e9 () in
+  let ba = Link.create sim ~name:"b->a" ~bits_per_s:1e9 () in
+  Nic.attach_uplink a ab;
+  Nic.attach_uplink b ba;
+  Link.connect ab (Nic.rx_from_wire b);
+  Link.connect ba (Nic.rx_from_wire a);
+  (sim, a, b)
+
+let post sim nic frame =
+  Process.spawn sim (fun () ->
+      Nic.post_tx_blocking nic
+        { Nic.frame; needs_dma = true; internal_copy = true;
+          on_complete = (fun () -> ()) })
+
+let test_nic_tx_rx_roundtrip () =
+  let sim, a, b = nic_rig ~coalesce:Nic.no_coalesce () in
+  let irqs = ref 0 in
+  Nic.set_interrupt b (fun () -> incr irqs);
+  post sim a (raw ~src:0 ~dst:1 1000);
+  Sim.run sim;
+  check_int "interrupt raised" 1 !irqs;
+  check_int "rx pending" 1 (Nic.rx_pending b);
+  (match Nic.take_rx b with
+  | [ d ] ->
+      check_int "payload" 1000 d.Nic.rx_frame.Eth_frame.payload_bytes;
+      check_int "host bytes" (14 + 1000 + 4) d.Nic.host_bytes
+  | l -> Alcotest.failf "expected 1 desc, got %d" (List.length l));
+  check_int "pending drained" 0 (Nic.rx_pending b)
+
+let test_nic_irq_masking () =
+  let sim, a, b = nic_rig ~coalesce:Nic.no_coalesce () in
+  let irqs = ref 0 in
+  Nic.set_interrupt b (fun () -> incr irqs);
+  for _ = 1 to 5 do
+    post sim a (raw ~src:0 ~dst:1 1000)
+  done;
+  Sim.run sim;
+  (* Only the first packet interrupts; the rest arrive masked. *)
+  check_int "one interrupt" 1 !irqs;
+  check_int "all pending" 5 (Nic.rx_pending b);
+  ignore (Nic.take_rx b);
+  Nic.unmask_irq b;
+  check_int "no further interrupt" 1 !irqs
+
+let test_nic_unmask_refires_when_pending () =
+  let sim, a, b = nic_rig ~coalesce:Nic.no_coalesce () in
+  let irqs = ref 0 in
+  Nic.set_interrupt b (fun () -> incr irqs);
+  for _ = 1 to 3 do
+    post sim a (raw ~src:0 ~dst:1 500)
+  done;
+  Sim.run sim;
+  check_int "first irq" 1 !irqs;
+  (* ISR drains only partially here: take everything, then more arrives *)
+  ignore (Nic.take_rx b);
+  post sim a (raw ~src:0 ~dst:1 500);
+  Nic.unmask_irq b;
+  Sim.run sim;
+  check_int "second irq for late packet" 2 !irqs
+
+let test_nic_coalescing_count () =
+  let coalesce =
+    { Nic.max_frames = 4; quiet = Time.ms 10.; absolute = Time.ms 100. }
+  in
+  let sim, a, b = nic_rig ~coalesce () in
+  let irqs = ref 0 in
+  Nic.set_interrupt b (fun () -> incr irqs);
+  for _ = 1 to 4 do
+    post sim a (raw ~src:0 ~dst:1 1000)
+  done;
+  Sim.run sim;
+  check_int "one irq for four frames" 1 !irqs;
+  check_int "four pending" 4 (Nic.rx_pending b)
+
+let test_nic_coalescing_quiet_timer () =
+  let coalesce =
+    { Nic.max_frames = 100; quiet = Time.us 5.; absolute = Time.ms 100. }
+  in
+  let sim, a, b = nic_rig ~coalesce () in
+  let irq_at = ref 0 in
+  Nic.set_interrupt b (fun () -> irq_at := Sim.now sim);
+  post sim a (raw ~src:0 ~dst:1 1000);
+  Sim.run sim;
+  check_bool "fired by quiet timer" true (!irq_at > 0);
+  check_int "one pending" 1 (Nic.rx_pending b)
+
+let test_nic_rx_ring_overflow () =
+  let sim = Sim.create () in
+  let pci = Pci.create sim () in
+  let membus = Membus.create sim () in
+  let a =
+    Nic.create sim ~name:"a" ~mtu:1500 ~pci ~membus
+      ~coalesce:Nic.no_coalesce ()
+  in
+  let b =
+    Nic.create sim ~name:"b" ~mtu:1500 ~pci ~membus ~rx_ring:2
+      ~coalesce:Nic.no_coalesce ()
+  in
+  let ab = Link.create sim ~name:"a->b" ~bits_per_s:1e9 () in
+  Nic.attach_uplink a ab;
+  Link.connect ab (Nic.rx_from_wire b);
+  Nic.set_interrupt b (fun () -> ());
+  for _ = 1 to 5 do
+    post sim a (raw ~src:0 ~dst:1 1000)
+  done;
+  Sim.run sim;
+  check_int "ring holds two" 2 (Nic.rx_pending b);
+  check_int "rest dropped" 3 (Nic.rx_dropped b)
+
+let test_nic_tx_ring_full () =
+  let sim = Sim.create () in
+  let pci = Pci.create sim () in
+  let membus = Membus.create sim () in
+  let nic =
+    Nic.create sim ~name:"a" ~mtu:1500 ~pci ~membus ~tx_ring:1
+      ~coalesce:Nic.no_coalesce ()
+  in
+  (* No uplink: the pump still consumes, but slowly enough that a second
+     immediate post finds the ring full. *)
+  let d frame =
+    { Nic.frame; needs_dma = true; internal_copy = false;
+      on_complete = (fun () -> ()) }
+  in
+  let first = ref false and second = ref true in
+  Process.spawn sim (fun () ->
+      first := Nic.try_post_tx nic (d (raw ~src:0 ~dst:1 1500));
+      second := Nic.try_post_tx nic (d (raw ~src:0 ~dst:1 1500)));
+  Sim.run sim;
+  check_bool "first accepted" true !first;
+  check_bool "second rejected" false !second
+
+let test_nic_mtu_enforced () =
+  let sim, a, _ = nic_rig () in
+  Process.spawn sim (fun () ->
+      match
+        Nic.try_post_tx a
+          { Nic.frame = raw ~src:0 ~dst:1 2000; needs_dma = true;
+            internal_copy = false; on_complete = (fun () -> ()) }
+      with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ());
+  Sim.run sim
+
+let test_nic_fragmentation_roundtrip () =
+  let sim, a, b = nic_rig ~fragmentation:true ~mtu:1500 () in
+  let irqs = ref 0 in
+  Nic.set_interrupt b (fun () -> incr irqs);
+  (* 4000B packet -> 3 wire frames -> one reassembled host packet *)
+  post sim a (raw ~src:0 ~dst:1 4000);
+  Sim.run sim;
+  check_int "one host packet" 1 (Nic.rx_packets b);
+  (match Nic.take_rx b with
+  | [ d ] ->
+      check_int "reassembled size" 4000 d.Nic.rx_frame.Eth_frame.payload_bytes;
+      check_bool "frag cleared" true (d.Nic.rx_frame.Eth_frame.frag = None)
+  | l -> Alcotest.failf "expected 1 desc, got %d" (List.length l));
+  check_int "one interrupt for the whole packet" 1 !irqs
+
+let prop_fragmentation_counts =
+  QCheck.Test.make ~count:100 ~name:"NIC fragmentation frame count"
+    QCheck.(pair (int_range 1 100_000) (int_range 100 9000))
+    (fun (size, mtu) ->
+      let sim = Sim.create () in
+      let pci = Pci.create sim () in
+      let membus = Membus.create sim () in
+      let a =
+        Nic.create sim ~name:"a" ~mtu ~pci ~membus ~fragmentation:true
+          ~tx_ring:4096 ()
+      in
+      let b =
+        Nic.create sim ~name:"b" ~mtu ~pci ~membus ~fragmentation:true
+          ~rx_ring:4096 ()
+      in
+      let ab = Link.create sim ~name:"ab" ~bits_per_s:1e9 () in
+      Nic.attach_uplink a ab;
+      Link.connect ab (Nic.rx_from_wire b);
+      Nic.set_interrupt b (fun () -> ());
+      post sim a (raw ~src:0 ~dst:1 size);
+      Sim.run sim;
+      let expected_frames = (size + mtu - 1) / mtu in
+      Link.frames_sent ab = expected_frames
+      && Nic.rx_packets b = 1
+      &&
+      match Nic.take_rx b with
+      | [ d ] -> d.Nic.rx_frame.Eth_frame.payload_bytes = size
+      | _ -> false)
+
+let test_nic_coalescing_absolute_cap () =
+  (* A steady trickle keeps resetting the quiet timer; the absolute timer
+     must still fire and bound the latency. *)
+  let coalesce =
+    { Nic.max_frames = 1000; quiet = Time.us 50.; absolute = Time.us 120. }
+  in
+  let sim, a, b = nic_rig ~coalesce () in
+  let first_irq_at = ref 0 in
+  Nic.set_interrupt b (fun () ->
+      if !first_irq_at = 0 then first_irq_at := Sim.now sim);
+  (* one small frame every 30us: quiet timer (50us) never expires *)
+  for i = 0 to 9 do
+    Process.spawn sim ~delay:(i * Time.us 30.) (fun () ->
+        Nic.post_tx_blocking a
+          { Nic.frame = raw ~src:0 ~dst:1 64; needs_dma = true;
+            internal_copy = false; on_complete = (fun () -> ()) })
+  done;
+  Sim.run sim;
+  check_bool "absolute holdoff bounded the first interrupt" true
+    (!first_irq_at > 0 && !first_irq_at < Time.us 200.)
+
+let test_nic_tx_ring_accounting () =
+  let sim, a, _ = nic_rig () in
+  let free0 = Nic.tx_ring_free a in
+  Process.spawn sim (fun () ->
+      Nic.post_tx_blocking a
+        { Nic.frame = raw ~src:0 ~dst:1 500; needs_dma = true;
+          internal_copy = false; on_complete = (fun () -> ()) });
+  Sim.run sim;
+  check_int "slot returned after transmit" free0 (Nic.tx_ring_free a)
+
+let test_switch_multicast_group () =
+  let sim = Sim.create () in
+  let sw = make_switch sim [ 0; 1; 2 ] in
+  let got = Array.make 3 0 in
+  List.iter
+    (fun n -> Switch.connect_node sw ~node:n (fun _ -> got.(n) <- got.(n) + 1))
+    [ 0; 1; 2 ];
+  let mc =
+    Eth_frame.make ~src:(Mac.of_node 1) ~dst:(Mac.multicast 4) ~ethertype:0x88
+      ~payload_bytes:64 (Eth_frame.Raw 64)
+  in
+  Link.send (Switch.uplink sw ~node:1) mc;
+  Sim.run sim;
+  Alcotest.(check (array int)) "flooded except sender" [| 1; 0; 1 |] got
+
+let test_link_queue_depth_visible () =
+  let sim = Sim.create () in
+  let link = Link.create sim ~name:"l" ~bits_per_s:1e6 () in
+  Link.connect link (fun _ -> ());
+  for _ = 1 to 5 do
+    Link.send link (raw ~src:0 ~dst:1 1000)
+  done;
+  (* first frame is serializing; four wait behind it *)
+  check_int "queued behind transmitter" 4 (Link.queue_depth link);
+  Sim.run sim;
+  check_int "drained" 0 (Link.queue_depth link)
+
+let qprops = List.map QCheck_alcotest.to_alcotest [ prop_fragmentation_counts ]
+
+let suite =
+  [
+    ("frame sizes", `Quick, test_frame_sizes);
+    ("mac addresses", `Quick, test_mac);
+    ("link serialization time", `Quick, test_link_serialization_time);
+    ("link delivery fifo", `Quick, test_link_delivery_and_fifo);
+    ("link pipelining", `Quick, test_link_back_to_back_pipelining);
+    ("link fault injection", `Quick, test_link_fault_injection);
+    ("link without receiver", `Quick, test_link_no_receiver_drops);
+    ("switch unicast", `Quick, test_switch_unicast);
+    ("switch broadcast", `Quick, test_switch_broadcast_floods);
+    ("switch unroutable", `Quick, test_switch_unknown_destination);
+    ("switch duplicate port", `Quick, test_switch_duplicate_port);
+    ("pci peak rate", `Quick, test_pci_peak);
+    ("dma dual-bus occupancy", `Quick, test_dma_occupies_both_buses);
+    ("dma zero bytes", `Quick, test_dma_zero_bytes);
+    ("nic tx/rx roundtrip", `Quick, test_nic_tx_rx_roundtrip);
+    ("nic irq masking", `Quick, test_nic_irq_masking);
+    ("nic unmask refires", `Quick, test_nic_unmask_refires_when_pending);
+    ("nic coalescing by count", `Quick, test_nic_coalescing_count);
+    ("nic coalescing quiet timer", `Quick, test_nic_coalescing_quiet_timer);
+    ("nic rx ring overflow", `Quick, test_nic_rx_ring_overflow);
+    ("nic tx ring full", `Quick, test_nic_tx_ring_full);
+    ("nic mtu enforced", `Quick, test_nic_mtu_enforced);
+    ("nic fragmentation roundtrip", `Quick, test_nic_fragmentation_roundtrip);
+    ("nic coalescing absolute cap", `Quick, test_nic_coalescing_absolute_cap);
+    ("nic tx ring accounting", `Quick, test_nic_tx_ring_accounting);
+    ("switch multicast group", `Quick, test_switch_multicast_group);
+    ("link queue depth", `Quick, test_link_queue_depth_visible);
+  ]
+  @ qprops

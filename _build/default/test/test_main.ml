@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "clic-repro"
+    [
+      ("engine", Test_engine.suite);
+      ("hw", Test_hw.suite);
+      ("os", Test_os.suite);
+      ("proto", Test_proto.suite);
+      ("clic", Test_clic.suite);
+      ("mpi", Test_mpi.suite);
+      ("cluster", Test_cluster.suite);
+      ("rivals", Test_rivals.suite);
+      ("report", Test_report.suite);
+      ("integration", Test_integration.suite);
+    ]
