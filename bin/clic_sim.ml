@@ -4,6 +4,7 @@
      latency    ping-pong latency of any stack
      bandwidth  NetPIPE-style bandwidth of any stack at one message size
      stream     one-way saturation stream with CPU/interrupt statistics
+     chaos      reliability soak under fault injection (sweep or custom)
      figure     regenerate a paper figure/table by id
      list       list experiment ids *)
 
@@ -77,6 +78,101 @@ let run_stream verbose stack mtu zero_copy size reps =
     (100. *. r.Measure.receiver_cpu)
     r.Measure.receiver_interrupts
 
+(* One custom fault profile from the command line: uniform or bursty loss,
+   duplication and delay jitter composed onto every link. *)
+let run_chaos verbose quick loss burst dup jitter_us mtu size messages =
+  ignore (verbose : bool);
+  if loss < 0. || loss > 1. || dup < 0. || dup > 1. then begin
+    prerr_endline "clic-sim: --loss and --dup must lie in [0,1]";
+    exit 2
+  end;
+  let open Engine in
+  if loss <= 0. && dup <= 0. && jitter_us <= 0. then
+    ignore (Report.Figures.chaos ~quick Format.std_formatter)
+  else begin
+    let root = Rng.create ~seed:20030422 in
+    let mk_fault () =
+      let rng = Rng.split root in
+      let stages =
+        List.concat
+          [
+            (if loss > 0. then
+               if burst > 1 then begin
+                 (* Gilbert–Elliott with mean burst length [burst] frames
+                    and average loss [loss]: bad state drops half its
+                    frames, dwell times set the stationary bad fraction. *)
+                 let loss_bad = 0.5 in
+                 let frac_bad = min 0.9 (loss /. loss_bad) in
+                 let p_bad_to_good = 1. /. float_of_int burst in
+                 let p_good_to_bad =
+                   frac_bad *. p_bad_to_good /. (1. -. frac_bad)
+                 in
+                 [
+                   Hw.Fault.gilbert_elliott ~rng:(Rng.split rng)
+                     ~p_good_to_bad ~p_bad_to_good ~loss_bad ();
+                 ]
+               end
+               else [ Hw.Fault.drop ~rng:(Rng.split rng) ~prob:loss ]
+             else []);
+            (if dup > 0. then
+               [ Hw.Fault.duplicate ~rng:(Rng.split rng) ~prob:dup ]
+             else []);
+            (if jitter_us > 0. then
+               [
+                 Hw.Fault.jitter ~rng:(Rng.split rng)
+                   ~max_delay:(Time.us jitter_us);
+               ]
+             else []);
+          ]
+      in
+      match stages with [ f ] -> f | fs -> Hw.Fault.compose fs
+    in
+    let config =
+      { Node.default_config with mtu; link_fault = Some mk_fault }
+    in
+    let c = Net.create ~config ~n:2 () in
+    let pair = Measure.clic_pair c ~a:0 ~b:1 () in
+    let r = Measure.stream c pair ~a:0 ~b:1 ~size ~messages in
+    let sum f =
+      f (Clic.Api.kernel (Net.node c 0).Node.clic)
+      + f (Clic.Api.kernel (Net.node c 1).Node.clic)
+    in
+    Printf.printf
+      "chaos stream of %d x %dB at MTU %d (loss %.2f%%, burst %d, dup \
+       %.2f%%, jitter %.0fus):\n\
+      \  %.1f Mbit/s goodput in %.1f ms\n\
+      \  %d retransmissions (%d timer, %d fast), %d duplicates dropped\n"
+      messages size mtu (100. *. loss) burst (100. *. dup) jitter_us
+      r.Measure.st_bandwidth_mbps
+      (Time.to_us r.Measure.elapsed /. 1000.)
+      (sum Clic.Clic_module.retransmissions)
+      (sum Clic.Clic_module.timeouts)
+      (sum Clic.Clic_module.fast_retransmits)
+      (sum (fun km ->
+           match Clic.Clic_module.channel_to km ~peer:0 with
+           | Some ch -> Clic.Channel.duplicates_dropped ch
+           | None -> (
+               match Clic.Clic_module.channel_to km ~peer:1 with
+               | Some ch -> Clic.Channel.duplicates_dropped ch
+               | None -> 0)));
+    (match
+       Clic.Clic_module.channel_to (Clic.Api.kernel (Net.node c 0).Node.clic)
+         ~peer:1
+     with
+    | Some ch ->
+        let s = Clic.Channel.rto_stats ch in
+        if Stats.Summary.count s > 0 then
+          Printf.printf
+            "  sender RTO: %.0f us mean, %.0f us max over %d armings%s\n"
+            (Stats.Summary.mean s) (Stats.Summary.max s)
+            (Stats.Summary.count s)
+            (match Clic.Channel.srtt ch with
+            | Some srtt ->
+                Printf.sprintf " (srtt %.0f us)" (Time.to_us srtt)
+            | None -> "")
+    | None -> ())
+  end
+
 let run_figure verbose id quick =
   ignore (verbose : bool);
   if quick && List.mem id [ "fig4"; "fig5"; "fig6"; "tab1"; "fig1" ] then begin
@@ -106,6 +202,45 @@ let stream_cmd =
     Term.(
       const run_stream $ verbose_arg $ stack_arg $ mtu_arg $ zero_copy_arg
       $ size_arg $ reps_arg)
+
+let chaos_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweep sizes.")
+  in
+  let loss =
+    Arg.(value & opt float 0.
+         & info [ "loss" ] ~docv:"PROB"
+             ~doc:"Frame loss probability (e.g. 0.01 for 1%).")
+  in
+  let burst =
+    Arg.(value & opt int 1
+         & info [ "burst" ] ~docv:"FRAMES"
+             ~doc:
+               "Mean loss-burst length in frames; > 1 selects a \
+                Gilbert-Elliott bursty profile at the same average loss.")
+  in
+  let dup =
+    Arg.(value & opt float 0.
+         & info [ "dup" ] ~docv:"PROB" ~doc:"Frame duplication probability.")
+  in
+  let jitter =
+    Arg.(value & opt float 0.
+         & info [ "jitter-us" ] ~docv:"US"
+             ~doc:"Max extra per-frame delay (reorders frames).")
+  in
+  let messages =
+    Arg.(value & opt int 400
+         & info [ "messages" ] ~docv:"N" ~doc:"Stream length in messages.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Reliability soak under fault injection: with no fault flags, \
+          sweep loss rate x burstiness (plus duplication, jitter and link \
+          flaps); with flags, run one custom profile.")
+    Term.(
+      const run_chaos $ verbose_arg $ quick $ loss $ burst $ dup $ jitter
+      $ mtu_arg $ size_arg $ messages)
 
 let figure_cmd =
   let id =
@@ -139,4 +274,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ latency_cmd; bandwidth_cmd; stream_cmd; figure_cmd; list_cmd ]))
+          [ latency_cmd; bandwidth_cmd; stream_cmd; chaos_cmd; figure_cmd;
+            list_cmd ]))

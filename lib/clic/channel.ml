@@ -5,6 +5,8 @@ let log_src = Logs.Src.create "clic.channel" ~doc:"CLIC reliability channel"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+exception Dead of int
+
 type t = {
   sim : Sim.t;
   self : int;
@@ -18,10 +20,25 @@ type t = {
   mutable snd_nxt : int;
   mutable snd_una : int;
   unacked : (int, Wire.packet) Hashtbl.t;
+  sent_at : (int, Time.t) Hashtbl.t;
+      (* first-transmission times; entries are removed on retransmission so
+         only unambiguous packets yield RTT samples (Karn's algorithm) *)
   mutable rto_timer : Ktimer.t option;
   mutable retransmissions : int;
   mutable retries : int;  (* consecutive timeouts without progress *)
   mutable dead : bool;
+  (* adaptive RTO state (Jacobson/Karels, in float nanoseconds) *)
+  mutable srtt : float option;
+  mutable rttvar : float;
+  mutable rto : Time.span;  (* base RTO before backoff *)
+  mutable backoff : int;  (* consecutive-timeout exponent *)
+  mutable rtt_samples : int;
+  mutable timeouts : int;
+  (* fast retransmit *)
+  mutable dup_acks : int;
+  mutable last_fast_rtx : int;  (* hole already fast-retransmitted *)
+  mutable fast_retransmits : int;
+  rto_stats : Stats.Summary.t;  (* effective RTO (us) at each arming *)
   (* receive side *)
   mutable rcv_nxt : int;
   mutable ooo : (int * Wire.packet) list;
@@ -44,10 +61,21 @@ let create sim ~self ~peer ~params ~transmit ~deliver ~send_ack () =
     snd_nxt = 0;
     snd_una = 0;
     unacked = Hashtbl.create 64;
+    sent_at = Hashtbl.create 64;
     rto_timer = None;
     retransmissions = 0;
     retries = 0;
     dead = false;
+    srtt = None;
+    rttvar = 0.;
+    rto = params.Params.retransmit_timeout;
+    backoff = 0;
+    rtt_samples = 0;
+    timeouts = 0;
+    dup_acks = 0;
+    last_fast_rtx = -1;
+    fast_retransmits = 0;
+    rto_stats = Stats.Summary.create "rto_us";
     rcv_nxt = 0;
     ooo = [];
     unacked_rx = 0;
@@ -56,40 +84,91 @@ let create sim ~self ~peer ~params ~transmit ~deliver ~send_ack () =
     delivered = 0;
   }
 
-let max_retries = 30
-
 let cancel_timer slot =
   match slot with Some timer -> Ktimer.cancel timer | None -> ()
+
+(* ---------------- adaptive RTO ---------------- *)
+
+let rtt_alpha = 0.125
+let rtt_beta = 0.25
+
+let effective_rto t =
+  let shift = min t.backoff 20 in
+  min (t.rto * (1 lsl shift)) t.params.Params.rto_max
+
+(* Jacobson/Karels: SRTT and RTTVAR from each unambiguous sample; the base
+   RTO decays back toward the smoothed RTT as fresh samples arrive. *)
+let note_rtt t sample =
+  t.rtt_samples <- t.rtt_samples + 1;
+  let s = float_of_int sample in
+  (match t.srtt with
+  | None ->
+      t.srtt <- Some s;
+      t.rttvar <- s /. 2.
+  | Some srtt ->
+      t.rttvar <- ((1. -. rtt_beta) *. t.rttvar) +. (rtt_beta *. Float.abs (srtt -. s));
+      t.srtt <- Some (((1. -. rtt_alpha) *. srtt) +. (rtt_alpha *. s)));
+  let srtt = match t.srtt with Some v -> v | None -> s in
+  let raw = int_of_float (srtt +. (4. *. t.rttvar)) in
+  t.rto <- max t.params.Params.rto_min (min raw t.params.Params.rto_max)
 
 (* ---------------- transmit side ---------------- *)
 
 let rec arm_rto t =
   cancel_timer t.rto_timer;
+  let span = effective_rto t in
+  Stats.Summary.add t.rto_stats (Time.to_us span);
   t.rto_timer <-
     Some
-      (Ktimer.after t.sim t.params.Params.retransmit_timeout (fun () ->
+      (Ktimer.after t.sim span (fun () ->
            t.rto_timer <- None;
            on_rto t))
 
-(* Go-back-N: resend everything outstanding, oldest first.  A peer that
-   never acknowledges is eventually declared dead (the retry cap keeps the
-   simulation live and mirrors real give-up behaviour). *)
+(* A peer that never acknowledges is eventually declared dead.  Blocked
+   senders must not wait on the window forever: each one is woken in its
+   own event (so one sender's [Dead] raise cannot strand the others) and
+   finds [t.dead] set when its acquire returns. *)
+and teardown t =
+  t.dead <- true;
+  cancel_timer t.rto_timer;
+  t.rto_timer <- None;
+  cancel_timer t.ack_timer;
+  t.ack_timer <- None;
+  Hashtbl.reset t.unacked;
+  Hashtbl.reset t.sent_at;
+  for _ = 1 to Semaphore.waiters t.window do
+    ignore (Sim.schedule t.sim ~after:0 (fun () -> Semaphore.release t.window))
+  done;
+  ignore
+    (Sim.schedule t.sim ~after:0 (fun () ->
+         Semaphore.release ~n:t.params.Params.tx_window t.window))
+
+(* Go-back-N on timeout: resend everything outstanding, oldest first, with
+   the RTO doubled (capped) for each consecutive timeout without progress. *)
 and on_rto t =
-  if t.snd_una < t.snd_nxt && t.retries >= max_retries then begin
+  if t.dead then ()
+  else if t.snd_una < t.snd_nxt && t.retries >= t.params.Params.max_retries
+  then begin
     Log.err (fun m ->
         m "peer %d unreachable: giving up after %d retries (%d unacked)"
-          t.peer max_retries (t.snd_nxt - t.snd_una));
-    t.dead <- true
+          t.peer t.params.Params.max_retries (t.snd_nxt - t.snd_una));
+    teardown t
   end
   else if t.snd_una < t.snd_nxt then begin
     t.retries <- t.retries + 1;
+    t.timeouts <- t.timeouts + 1;
+    t.backoff <- t.backoff + 1;
     Log.debug (fun m ->
-        m "rto to peer %d: go-back-N from seq %d (%d outstanding, retry %d)"
-          t.peer t.snd_una (t.snd_nxt - t.snd_una) t.retries);
+        m "rto to peer %d: go-back-N from seq %d (%d outstanding, retry %d, \
+           next rto %a)"
+          t.peer t.snd_una (t.snd_nxt - t.snd_una) t.retries Time.pp
+          (effective_rto t));
     let seqs = ref [] in
     for seq = t.snd_nxt - 1 downto t.snd_una do
       match Hashtbl.find_opt t.unacked seq with
-      | Some pkt -> seqs := pkt :: !seqs
+      | Some pkt ->
+          Hashtbl.remove t.sent_at seq;
+          seqs := pkt :: !seqs
       | None -> ()
     done;
     t.retransmissions <- t.retransmissions + List.length !seqs;
@@ -101,18 +180,52 @@ and on_rto t =
 let next_seq t ~data_bytes kind =
   if not (Wire.is_reliable kind) then
     invalid_arg "Channel.next_seq: unreliable kind";
+  if t.dead then raise (Dead t.peer);
   Semaphore.acquire t.window;
+  if t.dead then raise (Dead t.peer);
   let seq = t.snd_nxt in
   t.snd_nxt <- t.snd_nxt + 1;
   let pkt = { Wire.src = t.self; chan_seq = Some seq; data_bytes; kind } in
   Hashtbl.replace t.unacked seq pkt;
+  Hashtbl.replace t.sent_at seq (Sim.now t.sim);
   if t.rto_timer = None then arm_rto t;
   pkt
 
+(* The hole named by [params.dup_ack_threshold] duplicate cumulative acks
+   is resent once per sequence number; the RTO (with its backoff cleared
+   by any later progress) covers a lost fast retransmit. *)
+let fast_retransmit t =
+  match Hashtbl.find_opt t.unacked t.snd_una with
+  | None -> ()
+  | Some pkt ->
+      t.last_fast_rtx <- t.snd_una;
+      t.dup_acks <- 0;
+      t.fast_retransmits <- t.fast_retransmits + 1;
+      t.retransmissions <- t.retransmissions + 1;
+      Hashtbl.remove t.sent_at t.snd_una;
+      Log.debug (fun m ->
+          m "fast retransmit of seq %d to peer %d" t.snd_una t.peer);
+      arm_rto t;
+      Process.spawn t.sim (fun () -> t.transmit pkt ~retransmission:true)
+
 let rx_ack t cum_seq =
-  if cum_seq > t.snd_una then begin
+  if t.dead then ()
+  else if cum_seq > t.snd_una then begin
+    let now = Sim.now t.sim in
+    let upper = min cum_seq t.snd_nxt in
+    (* Sample the newest acked packet that was never retransmitted. *)
+    let sample = ref None in
+    for seq = t.snd_una to upper - 1 do
+      (match Hashtbl.find_opt t.sent_at seq with
+      | Some sent -> sample := Some (Time.diff now sent)
+      | None -> ());
+      Hashtbl.remove t.sent_at seq
+    done;
+    (match !sample with Some s -> note_rtt t s | None -> ());
     t.retries <- 0;
-    let freed = min cum_seq t.snd_nxt - t.snd_una in
+    t.backoff <- 0;
+    t.dup_acks <- 0;
+    let freed = upper - t.snd_una in
     for seq = t.snd_una to t.snd_una + freed - 1 do
       Hashtbl.remove t.unacked seq
     done;
@@ -123,6 +236,13 @@ let rx_ack t cum_seq =
       t.rto_timer <- None
     end
     else arm_rto t
+  end
+  else if cum_seq = t.snd_una && t.snd_una < t.snd_nxt then begin
+    t.dup_acks <- t.dup_acks + 1;
+    if
+      t.dup_acks >= t.params.Params.dup_ack_threshold
+      && t.last_fast_rtx <> t.snd_una
+    then fast_retransmit t
   end
 
 (* ---------------- receive side ---------------- *)
@@ -154,38 +274,46 @@ let rec drain_ooo t =
       note_delivery t;
       drain_ooo t
   | (s, _) :: rest when s < t.rcv_nxt ->
+      (* A held copy the cumulative sequence has since passed: it is a
+         duplicate like any other and must be counted as one. *)
       t.ooo <- rest;
+      t.duplicates <- t.duplicates + 1;
       drain_ooo t
   | _ -> ()
 
 let rx t pkt =
-  match pkt.Wire.chan_seq with
-  | None -> invalid_arg "Channel.rx: unsequenced packet"
-  | Some seq ->
-      if seq = t.rcv_nxt then begin
-        t.rcv_nxt <- t.rcv_nxt + 1;
-        t.delivered <- t.delivered + 1;
-        t.deliver pkt;
-        note_delivery t;
-        drain_ooo t
-      end
-      else if seq > t.rcv_nxt then begin
-        if not (List.mem_assoc seq t.ooo) then begin
-          let rec ins = function
-            | [] -> [ (seq, pkt) ]
-            | (s, _) :: _ as rest when seq < s -> (seq, pkt) :: rest
-            | hd :: rest -> hd :: ins rest
-          in
-          t.ooo <- ins t.ooo
+  if t.dead then ()
+  else
+    match pkt.Wire.chan_seq with
+    | None -> invalid_arg "Channel.rx: unsequenced packet"
+    | Some seq ->
+        if seq = t.rcv_nxt then begin
+          t.rcv_nxt <- t.rcv_nxt + 1;
+          t.delivered <- t.delivered + 1;
+          t.deliver pkt;
+          note_delivery t;
+          drain_ooo t
         end
-        else t.duplicates <- t.duplicates + 1;
-        (* Announce the hole so the sender can recover promptly. *)
-        schedule_ack_now t
-      end
-      else begin
-        t.duplicates <- t.duplicates + 1;
-        schedule_ack_now t
-      end
+        else if seq > t.rcv_nxt then begin
+          if not (List.mem_assoc seq t.ooo) then begin
+            let rec ins = function
+              | [] -> [ (seq, pkt) ]
+              | (s, _) :: _ as rest when seq < s -> (seq, pkt) :: rest
+              | hd :: rest -> hd :: ins rest
+            in
+            t.ooo <- ins t.ooo
+          end
+          else t.duplicates <- t.duplicates + 1;
+          (* Announce the hole so the sender can recover promptly: each of
+             these immediate acks repeats the same cumulative sequence, and
+             the sender's duplicate-ack counter turns them into a fast
+             retransmit. *)
+          schedule_ack_now t
+        end
+        else begin
+          t.duplicates <- t.duplicates + 1;
+          schedule_ack_now t
+        end
 
 let is_dead t = t.dead
 let peer t = t.peer
@@ -193,3 +321,10 @@ let outstanding t = t.snd_nxt - t.snd_una
 let retransmissions t = t.retransmissions
 let duplicates_dropped t = t.duplicates
 let delivered t = t.delivered
+let srtt t = Option.map (fun s -> int_of_float s) t.srtt
+let rttvar t = int_of_float t.rttvar
+let rto t = effective_rto t
+let rtt_samples t = t.rtt_samples
+let timeouts t = t.timeouts
+let fast_retransmits t = t.fast_retransmits
+let rto_stats t = t.rto_stats

@@ -5,6 +5,15 @@
     go-back-N retransmission on timeout, and in-order delivery with an
     out-of-order hold queue (packets may reorder under channel bonding).
 
+    The retransmission timeout adapts to the measured path: each
+    unambiguous ack yields an RTT sample feeding Jacobson/Karels smoothing
+    (SRTT, RTTVAR; RTO = SRTT + 4 RTTVAR clamped to
+    [{!Params.rto_min}, {!Params.rto_max}]), retransmitted packets never
+    yield samples (Karn's algorithm), consecutive timeouts without
+    progress double the effective RTO up to the cap, and
+    {!Params.dup_ack_threshold} duplicate cumulative acks trigger a fast
+    retransmit of the first missing packet without waiting for the timer.
+
     The channel does not touch hardware itself: the owner (CLIC_MODULE)
     supplies [transmit] (hand a packet to a NIC), [deliver] (in-order
     upcall) and [send_ack] closures.  [transmit] for retransmissions is
@@ -14,6 +23,12 @@
 open Engine
 
 type t
+
+exception Dead of int
+(** Raised by {!next_seq} (with the peer id) once the channel has been torn
+    down: the peer exceeded {!Params.max_retries} consecutive timeouts and
+    is considered unreachable.  Senders blocked on the transmit window at
+    teardown time are woken and receive this exception too. *)
 
 val create :
   Sim.t ->
@@ -29,21 +44,26 @@ val create :
 val next_seq : t -> data_bytes:int -> Wire.kind -> Wire.packet
 (** Blocks while the transmit window is full; assigns the next sequence
     number, records the packet for retransmission and arms the timer.
-    Must run in a process.  @raise Invalid_argument on unreliable kinds. *)
+    Must run in a process.  @raise Invalid_argument on unreliable kinds.
+    @raise Dead if the peer has been declared unreachable (including while
+    blocked on the window). *)
 
 val rx : t -> Wire.packet -> unit
 (** Handles an incoming sequenced packet: delivers in order, holds
     out-of-order arrivals, acknowledges per the ack policy.  Duplicate
-    packets are dropped (re-acknowledged). *)
+    packets are dropped (re-acknowledged).  Out-of-order arrivals trigger
+    an immediate ack naming the hole, so the sender's duplicate-ack
+    counter can fire a fast retransmit. *)
 
 val rx_ack : t -> int -> unit
-(** Cumulative ack from the peer: frees window slots and retransmit
-    state. *)
+(** Cumulative ack from the peer: frees window slots and retransmit state,
+    feeds the RTT estimator, resets backoff; a duplicate ack advances the
+    fast-retransmit counter instead. *)
 
 val is_dead : t -> bool
-(** True once the retry cap (30 consecutive timeouts without progress) has
-    been hit: the channel stops retransmitting and declares the peer
-    unreachable. *)
+(** True once the retry cap ({!Params.max_retries} consecutive timeouts
+    without progress) has been hit: the channel stops retransmitting,
+    declares the peer unreachable, and releases blocked senders. *)
 
 (** {1 Statistics} *)
 
@@ -52,3 +72,26 @@ val outstanding : t -> int
 val retransmissions : t -> int
 val duplicates_dropped : t -> int
 val delivered : t -> int
+
+val srtt : t -> Time.span option
+(** Smoothed RTT; [None] until the first sample. *)
+
+val rttvar : t -> Time.span
+(** Smoothed RTT deviation. *)
+
+val rto : t -> Time.span
+(** The retransmission timeout that would be armed now, including any
+    exponential backoff from consecutive timeouts. *)
+
+val rtt_samples : t -> int
+(** Unambiguous RTT measurements folded into the estimator. *)
+
+val timeouts : t -> int
+(** Retransmission-timer expiries that caused a go-back-N resend. *)
+
+val fast_retransmits : t -> int
+(** Holes resent on duplicate acks without waiting for the timer. *)
+
+val rto_stats : t -> Stats.Summary.t
+(** Distribution (in microseconds) of the effective RTO at each arming of
+    the retransmission timer. *)

@@ -240,12 +240,16 @@ and deliver_message t msg =
     (* Send the end-to-end confirmation back on the reliable channel. *)
     let chan = get_channel t msg.msg_src in
     Process.spawn (sim t) (fun () ->
-        let pkt =
+        (* The confirmation is best-effort once the peer is unreachable:
+           the sender's own channel will give up on its side too. *)
+        match
           Channel.next_seq chan ~data_bytes:0
             (Wire.Msg_ack { msg_id = msg.msg_id })
-        in
-        Cpu.work (cpu t) t.p.Params.module_tx;
-        transmit_packet t ~dst:(Mac.of_node msg.msg_src) ~staged:true pkt)
+        with
+        | pkt ->
+            Cpu.work (cpu t) t.p.Params.module_tx;
+            transmit_packet t ~dst:(Mac.of_node msg.msg_src) ~staged:true pkt
+        | exception Channel.Dead _ -> ())
   end
 
 and handle_fragment t ~src ~sync ~broadcast ~port ~bytes (frag : Wire.frag) =
@@ -500,5 +504,11 @@ let packets_staged t = t.packets_staged
 let local_messages t = t.local_msgs
 let retransmissions t =
   Hashtbl.fold (fun _ c acc -> acc + Channel.retransmissions c) t.channels 0
+
+let timeouts t =
+  Hashtbl.fold (fun _ c acc -> acc + Channel.timeouts c) t.channels 0
+
+let fast_retransmits t =
+  Hashtbl.fold (fun _ c acc -> acc + Channel.fast_retransmits c) t.channels 0
 
 let channel_to t ~peer = Hashtbl.find_opt t.channels peer

@@ -77,4 +77,11 @@ val packets_staged : t -> int
 
 val local_messages : t -> int
 val retransmissions : t -> int
+
+val timeouts : t -> int
+(** Retransmission-timer expiries summed over all channels. *)
+
+val fast_retransmits : t -> int
+(** Duplicate-ack hole resends summed over all channels. *)
+
 val channel_to : t -> peer:int -> Channel.t option

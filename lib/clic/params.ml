@@ -15,6 +15,10 @@ type t = {
   ack_every : int;
   ack_timeout : Time.span;
   retransmit_timeout : Time.span;
+  rto_min : Time.span;
+  rto_max : Time.span;
+  dup_ack_threshold : int;
+  max_retries : int;
   tx_window : int;
   use_nic_fragmentation : bool;
   super_packet_bytes : int;
@@ -32,6 +36,10 @@ let default =
     ack_every = 2;
     ack_timeout = Time.us 100.;
     retransmit_timeout = Time.ms 20.;
+    rto_min = Time.ms 2.;
+    rto_max = Time.ms 500.;
+    dup_ack_threshold = 3;
+    max_retries = 30;
     tx_window = 48;
     use_nic_fragmentation = false;
     super_packet_bytes = 32768;

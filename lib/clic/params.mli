@@ -38,6 +38,14 @@ type t = {
   ack_every : int;  (** cumulative channel ack frequency, packets *)
   ack_timeout : Time.span;  (** ack latency bound when traffic stops *)
   retransmit_timeout : Time.span;
+      (** initial RTO, used until the first RTT sample arrives *)
+  rto_min : Time.span;  (** adaptive RTO floor *)
+  rto_max : Time.span;  (** RTO cap, also bounds exponential backoff *)
+  dup_ack_threshold : int;
+      (** duplicate cumulative acks that trigger a fast retransmit *)
+  max_retries : int;
+      (** consecutive timeouts without progress before the peer is
+          declared dead and blocked senders are released with an error *)
   tx_window : int;  (** per-peer outstanding-packet bound *)
   use_nic_fragmentation : bool;
       (** hand the NIC super-packets and let its firmware fragment (the

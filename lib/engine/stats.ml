@@ -104,9 +104,14 @@ module Series = struct
   let add t ~x ~y = t.rev_points <- (x, y) :: t.rev_points
   let points t = List.rev t.rev_points
 
+  (* X coordinates often arrive through arithmetic (byte counts scaled to
+     KB, sweep steps accumulated in floats), so exact float equality would
+     miss points that printed identically; compare within a relative
+     tolerance instead. *)
   let y_at t ~x =
+    let tol = 1e-9 *. (1. +. Float.abs x) in
     List.find_map
-      (fun (px, py) -> if px = x then Some py else None)
+      (fun (px, py) -> if Float.abs (px -. x) <= tol then Some py else None)
       (points t)
 
   let max_y t = List.fold_left (fun acc (_, y) -> Float.max acc y) 0. (points t)

@@ -55,7 +55,8 @@ module Series : sig
   val points : t -> (float * float) list
 
   val y_at : t -> x:float -> float option
-  (** Exact-x lookup. *)
+  (** Point lookup at [x], matching within a small relative tolerance (so
+      x-values reconstructed through float arithmetic still hit). *)
 
   val max_y : t -> float
   (** 0 for an empty series. *)

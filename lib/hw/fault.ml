@@ -1,30 +1,114 @@
+open Engine
+
 type kind =
   | None_
-  | Drop of { rng : Engine.Rng.t; prob : float }
+  | Drop of { rng : Rng.t; prob : float }
   | Drop_nth of { every : int; mutable seen : int }
+  | Gilbert of {
+      rng : Rng.t;
+      p_good_to_bad : float;
+      p_bad_to_good : float;
+      loss_good : float;
+      loss_bad : float;
+      mutable bad : bool;
+    }
+  | Duplicate of { rng : Rng.t; prob : float }
+  | Jitter of { rng : Rng.t; max_delay : Time.span }
+  | Flap of { up : Time.span; down : Time.span; phase : Time.span }
+  | Compose of t list
 
-type t = { kind : kind; mutable drops : int }
+and t = { kind : kind; mutable drops : int; mutable duplicates : int }
 
-let none = { kind = None_; drops = 0 }
+let make kind = { kind; drops = 0; duplicates = 0 }
+let none = make None_
+
+let check_prob name prob =
+  if prob < 0. || prob > 1. then
+    invalid_arg (Printf.sprintf "Fault.%s: prob outside [0,1]" name)
 
 let drop ~rng ~prob =
-  if prob < 0. || prob > 1. then invalid_arg "Fault.drop: prob outside [0,1]";
-  { kind = Drop { rng; prob }; drops = 0 }
+  check_prob "drop" prob;
+  make (Drop { rng; prob })
 
 let drop_nth ~every =
   if every <= 0 then invalid_arg "Fault.drop_nth: every <= 0";
-  { kind = Drop_nth { every; seen = 0 }; drops = 0 }
+  make (Drop_nth { every; seen = 0 })
 
-let should_drop t =
-  let dropped =
-    match t.kind with
-    | None_ -> false
-    | Drop { rng; prob } -> Engine.Rng.float rng 1.0 < prob
-    | Drop_nth d ->
-        d.seen <- d.seen + 1;
-        d.seen mod d.every = 0
+let gilbert_elliott ~rng ~p_good_to_bad ~p_bad_to_good ?(loss_good = 0.)
+    ~loss_bad () =
+  check_prob "gilbert_elliott" p_good_to_bad;
+  check_prob "gilbert_elliott" p_bad_to_good;
+  check_prob "gilbert_elliott" loss_good;
+  check_prob "gilbert_elliott" loss_bad;
+  make
+    (Gilbert { rng; p_good_to_bad; p_bad_to_good; loss_good; loss_bad;
+               bad = false })
+
+let duplicate ~rng ~prob =
+  check_prob "duplicate" prob;
+  make (Duplicate { rng; prob })
+
+let jitter ~rng ~max_delay =
+  if max_delay <= 0 then invalid_arg "Fault.jitter: max_delay <= 0";
+  make (Jitter { rng; max_delay })
+
+let flap ~up ~down ?(phase = 0) () =
+  if up <= 0 || down <= 0 then invalid_arg "Fault.flap: period <= 0";
+  make (Flap { up; down; phase })
+
+let compose stages = make (Compose stages)
+
+(* One copy of a frame passing one stage: the extra delays (relative to an
+   undisturbed delivery) of the copies that survive; [] means dropped. *)
+let rec stage_copy t ~now =
+  let dropped () =
+    t.drops <- t.drops + 1;
+    []
   in
-  if dropped then t.drops <- t.drops + 1;
-  dropped
+  match t.kind with
+  | None_ -> [ 0 ]
+  | Drop { rng; prob } ->
+      if Rng.float rng 1.0 < prob then dropped () else [ 0 ]
+  | Drop_nth d ->
+      d.seen <- d.seen + 1;
+      if d.seen mod d.every = 0 then dropped () else [ 0 ]
+  | Gilbert g ->
+      (* Two-state Markov channel: advance the state once per frame, then
+         lose with the state's loss rate (loss_bad ~ 1 gives solid bursts). *)
+      let flip =
+        Rng.float g.rng 1.0
+        < if g.bad then g.p_bad_to_good else g.p_good_to_bad
+      in
+      if flip then g.bad <- not g.bad;
+      let loss = if g.bad then g.loss_bad else g.loss_good in
+      if Rng.float g.rng 1.0 < loss then dropped () else [ 0 ]
+  | Duplicate { rng; prob } ->
+      if Rng.float rng 1.0 < prob then begin
+        t.duplicates <- t.duplicates + 1;
+        [ 0; 0 ]
+      end
+      else [ 0 ]
+  | Jitter { rng; max_delay } -> [ Rng.int rng max_delay ]
+  | Flap f ->
+      let pos = (now + f.phase) mod (f.up + f.down) in
+      if pos < f.up then [ 0 ] else dropped ()
+  | Compose stages ->
+      List.fold_left
+        (fun copies stage ->
+          List.concat_map
+            (fun delay ->
+              List.map (fun d -> delay + d) (stage_copy stage ~now))
+            copies)
+        [ 0 ] stages
 
-let drops t = t.drops
+let frame t ~now = stage_copy t ~now
+
+let rec drops t =
+  match t.kind with
+  | Compose stages -> List.fold_left (fun acc s -> acc + drops s) 0 stages
+  | _ -> t.drops
+
+let rec duplicates t =
+  match t.kind with
+  | Compose stages -> List.fold_left (fun acc s -> acc + duplicates s) 0 stages
+  | _ -> t.duplicates

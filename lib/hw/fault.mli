@@ -1,16 +1,23 @@
-(** Fault injection for links: probabilistic frame drops.
+(** Fault injection for links: a composable frame-weather model.
 
     The physical network in the paper's testbed is effectively lossless
     (switched full-duplex Ethernet), so experiments run with {!none}.  The
-    reliability layers of CLIC and TCP are exercised in tests by injecting
-    drops here. *)
+    reliability layers of CLIC and TCP are exercised by injecting faults
+    here: independent or bursty (Gilbert-Elliott) loss, duplication,
+    delay jitter (which reorders frames), and timed link up/down flaps.
+    Stages combine with {!compose}.
+
+    A fault is consulted once per frame ({!frame}) and answers with the
+    surviving copies of that frame and their extra delays. *)
+
+open Engine
 
 type t
 
 val none : t
-(** Never drops. *)
+(** Never disturbs a frame. *)
 
-val drop : rng:Engine.Rng.t -> prob:float -> t
+val drop : rng:Rng.t -> prob:float -> t
 (** Drops each frame independently with probability [prob] in [\[0, 1\]].
     @raise Invalid_argument if [prob] is outside [\[0, 1\]]. *)
 
@@ -18,8 +25,48 @@ val drop_nth : every:int -> t
 (** Deterministically drops every [every]-th frame (1-based), for
     reproducible unit tests.  [every] must be positive. *)
 
-val should_drop : t -> bool
-(** Stateful: call exactly once per frame. *)
+val gilbert_elliott :
+  rng:Rng.t ->
+  p_good_to_bad:float ->
+  p_bad_to_good:float ->
+  ?loss_good:float ->
+  loss_bad:float ->
+  unit ->
+  t
+(** Bursty loss from the two-state Gilbert-Elliott Markov channel.  The
+    state advances once per frame ([p_good_to_bad] / [p_bad_to_good]
+    transition probabilities); frames are lost with [loss_good] (default 0)
+    in the good state and [loss_bad] in the bad state.  Mean burst length
+    is [1 / p_bad_to_good] frames; stationary loss rate is
+    [loss_bad * p_good_to_bad / (p_good_to_bad + p_bad_to_good)] for
+    [loss_good = 0]. *)
+
+val duplicate : rng:Rng.t -> prob:float -> t
+(** Delivers each frame twice with probability [prob] (a retransmitting
+    link layer or a flooding switch loop). *)
+
+val jitter : rng:Rng.t -> max_delay:Time.span -> t
+(** Adds a uniform extra delay in [\[0, max_delay)) to each frame.  Frames
+    whose delays cross reorder, so this is also the reordering fault. *)
+
+val flap : up:Time.span -> down:Time.span -> ?phase:Time.span -> unit -> t
+(** Timed link flapping: the link repeats [up] of clean delivery followed
+    by [down] of total loss, offset by [phase] (default 0) into the
+    cycle. *)
+
+val compose : t list -> t
+(** Applies the stages in order; a frame survives a composed fault if it
+    survives every stage, delays add, duplicated copies fan out through
+    later stages independently. *)
+
+val frame : t -> now:Time.t -> Time.span list
+(** The fate of one frame at simulation time [now]: one element per
+    delivered copy, carrying that copy's extra delay ([ [0] ] is an
+    undisturbed delivery; [[]] means the frame was dropped).  Stateful:
+    call exactly once per frame. *)
 
 val drops : t -> int
-(** Number of frames dropped so far. *)
+(** Frames dropped so far (summed over composed stages). *)
+
+val duplicates : t -> int
+(** Extra copies injected so far (summed over composed stages). *)

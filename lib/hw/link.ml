@@ -45,12 +45,20 @@ let serialization_time t frame =
     (Eth_frame.on_wire_bytes frame * 8)
 
 let deliver t frame =
-  (* Fault-injected drops are counted inside [t.fault]. *)
-  if Fault.should_drop t.fault then ()
-  else
-    match t.receiver with
-    | Some rx -> rx frame
-    | None -> t.frames_dropped <- t.frames_dropped + 1
+  (* Fault-injected drops and duplications are counted inside [t.fault];
+     each surviving copy arrives after its own extra delay (jitter), so
+     copies of different frames may reorder. *)
+  match Fault.frame t.fault ~now:(Sim.now t.sim) with
+  | [] -> ()
+  | copies -> (
+      match t.receiver with
+      | Some rx ->
+          List.iter
+            (fun extra ->
+              if extra = 0 then rx frame
+              else ignore (Sim.schedule t.sim ~after:extra (fun () -> rx frame)))
+            copies
+      | None -> t.frames_dropped <- t.frames_dropped + 1)
 
 (* The transmitter drains the queue one frame at a time; each frame occupies
    the wire for its serialization time, then propagates independently (so

@@ -21,7 +21,9 @@ val create :
   t
 (** [queue_limit] bounds the transmit queue in frames (a switch's finite
     egress buffer): frames arriving at a full queue are dropped and
-    counted.  Unbounded by default. *)
+    counted.  Unbounded by default.  [fault] disturbs frames after the
+    propagation delay: drops, bursty loss, duplication, delay jitter and
+    link flaps per {!Fault}. *)
 
 val connect : t -> (Eth_frame.t -> unit) -> unit
 (** Installs the receiver.  Frames delivered before a receiver is connected

@@ -78,6 +78,25 @@ val stress : Format.formatter -> (string * int * int * float * int) list
     networks: (name, sent, delivered, MB, retransmissions).  Exactly-once
     delivery must hold in every row. *)
 
+type chaos_row = {
+  c_name : string;
+  c_latency_us : float;  (** 1 KB ping-pong one-way under the fault *)
+  c_goodput_mbps : float;  (** stream goodput *)
+  c_elapsed_ms : float;  (** stream completion time *)
+  c_retx : int;  (** total retransmissions, both nodes *)
+  c_timeouts : int;  (** retransmission-timer expiries *)
+  c_fast_rtx : int;  (** duplicate-ack fast retransmits *)
+  c_rto_mean_us : float;  (** mean armed RTO on the stream sender *)
+  c_rto_max_us : float;  (** largest armed RTO (shows backoff) *)
+}
+
+val chaos : ?quick:bool -> Format.formatter -> chaos_row list
+(** Reliability sweep: uniform loss rates, Gilbert–Elliott bursty loss,
+    duplication + delay jitter, and periodic link flaps, each driving a
+    ping-pong and a saturation stream.  Every profile must complete — the
+    sweep exists to show the adaptive RTO, fast retransmit and teardown
+    logic keep the transport live under abuse. *)
+
 val all_ids : string list
 val run : string -> Format.formatter -> unit
 (** Run one experiment by id ("fig4" ... "ext3").

@@ -121,6 +121,139 @@ let test_channel_rejects_unreliable_kind () =
     (Invalid_argument "Channel.next_seq: unreliable kind") (fun () ->
       ignore (Channel.next_seq chan ~data_bytes:0 (Wire.Chan_ack { cum_seq = 0 })))
 
+let test_channel_rtt_adaptation () =
+  let params = { Params.default with rto_min = Time.us 200. } in
+  let sim, chan, _, _, _ = channel_rig ~params () in
+  Process.spawn sim (fun () ->
+      for i = 0 to 9 do
+        ignore
+          (Channel.next_seq chan ~data_bytes:10 (Wire.Msg_ack { msg_id = i }));
+        (* the ack comes back exactly 50 us after the send *)
+        Process.delay (Time.us 50.);
+        Channel.rx_ack chan (i + 1)
+      done);
+  Sim.run sim;
+  check_int "every ack sampled" 10 (Channel.rtt_samples chan);
+  (match Channel.srtt chan with
+  | Some srtt -> check_int "srtt converged to the path RTT" (Time.us 50.) srtt
+  | None -> Alcotest.fail "no srtt after samples");
+  (* RTO decayed from the 20 ms initial value down to the floor: with zero
+     variance, srtt + 4*rttvar sinks below rto_min *)
+  check_int "rto pinned at the floor" (Time.us 200.) (Channel.rto chan);
+  check_bool "rto adapted below the initial timeout" true
+    (Channel.rto chan < Params.default.Params.retransmit_timeout)
+
+let test_channel_rto_backoff_growth () =
+  let params =
+    { Params.default with retransmit_timeout = Time.ms 1.;
+      rto_min = Time.us 500.; rto_max = Time.ms 8.; max_retries = 5 }
+  in
+  let sim = Sim.create () in
+  let retx_at = ref [] in
+  let chan =
+    Channel.create sim ~self:0 ~peer:1 ~params
+      ~transmit:(fun _ ~retransmission ->
+        if retransmission then retx_at := Sim.now sim :: !retx_at)
+      ~deliver:(fun _ -> ())
+      ~send_ack:(fun ~cum_seq -> ignore cum_seq)
+      ()
+  in
+  Process.spawn sim (fun () ->
+      ignore
+        (Channel.next_seq chan ~data_bytes:10 (Wire.Msg_ack { msg_id = 0 })));
+  Sim.run sim;
+  (* no ack ever arrives: resends at +1, +3, +7, +15, +23 ms (doubling
+     gaps capped at rto_max), then the retry cap declares the peer dead *)
+  check_bool "declared dead" true (Channel.is_dead chan);
+  check_int "one resend per timeout" 5 (Channel.timeouts chan);
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+    | _ -> []
+  in
+  Alcotest.(check (list int))
+    "gaps double then cap"
+    [ Time.ms 2.; Time.ms 4.; Time.ms 8.; Time.ms 8. ]
+    (gaps (List.rev !retx_at));
+  check_int "largest armed rto hit the cap" (Time.ms 8.)
+    (Time.us (Stats.Summary.max (Channel.rto_stats chan)))
+
+let test_channel_fast_retransmit_on_dup_acks () =
+  let sim, chan, sent, _, _ = channel_rig () in
+  Process.spawn sim (fun () ->
+      for i = 0 to 3 do
+        ignore
+          (Channel.next_seq chan ~data_bytes:10 (Wire.Msg_ack { msg_id = i }))
+      done;
+      Channel.rx_ack chan 1;
+      (* duplicate cumulative acks naming seq 1 as the hole *)
+      Channel.rx_ack chan 1;
+      Channel.rx_ack chan 1;
+      check_int "below the threshold" 0 (Channel.fast_retransmits chan);
+      Channel.rx_ack chan 1;
+      check_int "third duplicate fires" 1 (Channel.fast_retransmits chan);
+      (* more duplicates must not resend the same hole again *)
+      Channel.rx_ack chan 1;
+      Channel.rx_ack chan 1;
+      Channel.rx_ack chan 1;
+      check_int "once per hole" 1 (Channel.fast_retransmits chan);
+      (* let the channel finish cleanly *)
+      Channel.rx_ack chan 4);
+  Sim.run sim;
+  let hole_resends =
+    List.filter (fun (p, retx) -> retx && p.Wire.chan_seq = Some 1) !sent
+  in
+  check_int "exactly the hole was resent" 1 (List.length hole_resends);
+  check_bool "no timer expiry involved" true (Channel.timeouts chan = 0)
+
+let test_channel_dead_releases_blocked_senders () =
+  let params =
+    { Params.default with tx_window = 2; retransmit_timeout = Time.ms 1.;
+      rto_max = Time.ms 2.; max_retries = 2 }
+  in
+  let sim, chan, _, _, _ = channel_rig ~params () in
+  let sent_ok = ref 0 and got_dead = ref 0 in
+  for _ = 1 to 2 do
+    Process.spawn sim (fun () ->
+        try
+          for i = 0 to 2 do
+            ignore
+              (Channel.next_seq chan ~data_bytes:10
+                 (Wire.Msg_ack { msg_id = i }));
+            incr sent_ok
+          done
+        with Channel.Dead peer ->
+          check_int "exception names the peer" 1 peer;
+          incr got_dead)
+  done;
+  (* Sim.run must terminate: both blocked senders are woken at teardown
+     instead of waiting on the window forever. *)
+  Sim.run sim;
+  check_bool "declared dead" true (Channel.is_dead chan);
+  check_int "window slots granted before death" 2 !sent_ok;
+  check_int "both blocked senders released" 2 !got_dead;
+  (* later sends fail immediately rather than blocking *)
+  Process.spawn sim (fun () ->
+      match Channel.next_seq chan ~data_bytes:1 (Wire.Msg_ack { msg_id = 9 })
+      with
+      | _ -> Alcotest.fail "send on a dead channel succeeded"
+      | exception Channel.Dead _ -> incr got_dead);
+  Sim.run sim;
+  check_int "immediate error after death" 3 !got_dead
+
+let test_channel_ooo_duplicate_counted () =
+  let sim, chan, _, delivered, acks = channel_rig () in
+  Process.spawn sim (fun () ->
+      Channel.rx chan (mk_data 2);
+      Channel.rx chan (mk_data 2);
+      (* a duplicate of a packet still parked in the hold queue *)
+      Channel.rx chan (mk_data 0);
+      Channel.rx chan (mk_data 1));
+  Sim.run sim;
+  check_int "each delivered once" 3 (List.length !delivered);
+  check_int "held duplicate counted" 1 (Channel.duplicates_dropped chan);
+  (* the out-of-order arrival provoked an immediate ack naming the hole *)
+  check_bool "hole announced" true (List.mem 0 !acks)
+
 (* ------------------------------------------------------------------ *)
 (* CLIC end to end *)
 
@@ -260,6 +393,37 @@ let test_clic_reliability_under_loss () =
     (List.rev !got);
   check_bool "loss actually recovered" true
     (Clic_module.retransmissions (Api.kernel na.Node.clic) > 0)
+
+(* Deterministic loss on every link: each of the four link directions
+   (both uplinks, both downlinks) gets its own [drop_nth] instance, so
+   both data frames and the acknowledgements coming back are hit.  The
+   period is 5 on 4 links: were it 4, the per-link phases could cover
+   every residue and kill each retransmit-ack cycle at the tail of the
+   stream — with one spare residue at least every 5th cycle completes. *)
+let test_clic_drop_nth_data_and_ack_paths () =
+  let fault () = Hw.Fault.drop_nth ~every:5 in
+  let c, na, nb = two_nodes ~config:(config_with ~fault ()) () in
+  let sizes = List.init 12 (fun i -> 2_000 + (i * 1_000)) in
+  let got = ref [] in
+  Node.spawn nb (fun () ->
+      List.iter
+        (fun _ ->
+          let m = Api.recv nb.Node.clic ~port:7 in
+          got := m.Clic_module.msg_bytes :: !got)
+        sizes);
+  Node.spawn na (fun () ->
+      List.iter (fun s -> Api.send na.Node.clic ~dst:1 ~port:7 s) sizes);
+  Net.run c;
+  Alcotest.(check (list int)) "in-order exactly-once delivery" sizes
+    (List.rev !got);
+  let ka = Api.kernel na.Node.clic in
+  check_bool "losses recovered" true (Clic_module.retransmissions ka > 0);
+  (* ~90 data packets at 20% frame loss: go-back-N resends a window per
+     loss event at worst, but recovery must stay far from pathological *)
+  check_bool "retransmissions bounded" true
+    (Clic_module.retransmissions ka < 600);
+  check_bool "recovery used the adaptive machinery" true
+    (Clic_module.timeouts ka + Clic_module.fast_retransmits ka > 0)
 
 let test_clic_staging_when_ring_full () =
   (* A tiny transmit ring with a large window forces the "data cannot be
@@ -475,6 +639,11 @@ let suite =
     ("channel retransmit", `Quick, test_channel_retransmits_on_timeout);
     ("channel window", `Quick, test_channel_ack_frees_window);
     ("channel kind check", `Quick, test_channel_rejects_unreliable_kind);
+    ("channel rtt adaptation", `Quick, test_channel_rtt_adaptation);
+    ("channel rto backoff", `Quick, test_channel_rto_backoff_growth);
+    ("channel fast retransmit", `Quick, test_channel_fast_retransmit_on_dup_acks);
+    ("channel dead teardown", `Quick, test_channel_dead_releases_blocked_senders);
+    ("channel held duplicate", `Quick, test_channel_ooo_duplicate_counted);
     ("clic roundtrip", `Quick, test_clic_roundtrip_message);
     ("clic multi-fragment", `Quick, test_clic_multi_fragment_message);
     ("clic try_recv", `Quick, test_clic_try_recv_nonblocking);
@@ -485,6 +654,7 @@ let suite =
     ("clic local message", `Quick, test_clic_local_message);
     ("clic broadcast", `Quick, test_clic_broadcast);
     ("clic loss recovery", `Quick, test_clic_reliability_under_loss);
+    ("clic drop-nth both paths", `Quick, test_clic_drop_nth_data_and_ack_paths);
     ("clic staging", `Quick, test_clic_staging_when_ring_full);
     ("clic channel bonding", `Quick, test_clic_channel_bonding_two_nics);
     ("clic nic fragmentation", `Quick, test_clic_nic_fragmentation_mode);

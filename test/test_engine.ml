@@ -432,7 +432,13 @@ let test_series () =
     (Stats.Series.y_at s ~x:1.);
   Alcotest.(check (option (float 1e-9))) "interp" (Some 20.)
     (Stats.Series.interpolate s ~x:2.);
-  Alcotest.(check (float 1e-9)) "max" 30. (Stats.Series.max_y s)
+  Alcotest.(check (float 1e-9)) "max" 30. (Stats.Series.max_y s);
+  (* y_at tolerates float-arithmetic noise in x but not a different point *)
+  Stats.Series.add s ~x:0.3 ~y:99.;
+  Alcotest.(check (option (float 1e-9))) "fp-noise x still matches" (Some 99.)
+    (Stats.Series.y_at s ~x:(0.1 +. 0.2));
+  Alcotest.(check (option (float 1e-9))) "nearby x misses" None
+    (Stats.Series.y_at s ~x:0.300001)
 
 (* ------------------------------------------------------------------ *)
 (* Trace *)

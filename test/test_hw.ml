@@ -89,6 +89,92 @@ let test_link_fault_injection () =
   check_int "two thirds delivered" 6 !count;
   check_int "drops counted" 3 (Link.frames_dropped link)
 
+let test_fault_duplicate_copies () =
+  let sim = Sim.create () in
+  let fault = Fault.duplicate ~rng:(Rng.create ~seed:7) ~prob:1. in
+  let link = Link.create sim ~name:"l" ~bits_per_s:1e9 ~fault () in
+  let count = ref 0 in
+  Link.connect link (fun _ -> incr count);
+  for _ = 1 to 5 do
+    Link.send link (raw ~src:0 ~dst:1 100)
+  done;
+  Sim.run sim;
+  check_int "every frame arrives twice" 10 !count;
+  check_int "duplications counted" 5 (Fault.duplicates fault);
+  check_int "no drops" 0 (Link.frames_dropped link)
+
+let test_fault_gilbert_elliott_bursts () =
+  let fault =
+    Fault.gilbert_elliott ~rng:(Rng.create ~seed:42) ~p_good_to_bad:0.05
+      ~p_bad_to_good:0.2 ~loss_bad:1. ()
+  in
+  let n = 2000 in
+  let pattern = List.init n (fun _ -> Fault.frame fault ~now:0 = []) in
+  let drops = List.length (List.filter Fun.id pattern) in
+  check_int "drops counted" drops (Fault.drops fault);
+  (* stationary bad-state fraction is 0.05 / (0.05 + 0.2) = 20%, and the
+     bad state loses everything: average loss must sit near 20% *)
+  check_bool "loss near the stationary rate" true
+    (drops > n / 10 && drops < (2 * n) / 5);
+  (* losses must clump: mean dwell in the bad state is 1/0.2 = 5 frames,
+     while uniform loss at the same rate would give runs of ~1.25 *)
+  let runs, _ =
+    List.fold_left
+      (fun (runs, prev) d -> ((if d && not prev then runs + 1 else runs), d))
+      (0, false) pattern
+  in
+  check_bool "drops arrive in bursts" true
+    (runs > 0 && float_of_int drops /. float_of_int runs > 2.5)
+
+let test_fault_flap_windows () =
+  let fault = Fault.flap ~up:(Time.us 10.) ~down:(Time.us 5.) () in
+  check_bool "up at t=0" true (Fault.frame fault ~now:0 <> []);
+  check_bool "still up late in the window" true
+    (Fault.frame fault ~now:(Time.us 9.) <> []);
+  check_bool "down between windows" true
+    (Fault.frame fault ~now:(Time.us 12.) = []);
+  check_bool "up again next period" true
+    (Fault.frame fault ~now:(Time.us 16.) <> []);
+  check_int "the outage counted one drop" 1 (Fault.drops fault)
+
+let test_fault_jitter_reorders () =
+  let sim = Sim.create () in
+  let fault = Fault.jitter ~rng:(Rng.create ~seed:3) ~max_delay:(Time.us 100.) in
+  let link = Link.create sim ~name:"l" ~bits_per_s:1e9 ~fault () in
+  let order = ref [] in
+  Link.connect link (fun f -> order := f.Eth_frame.payload_bytes :: !order);
+  let sent = List.init 10 (fun i -> 100 + i) in
+  List.iter (fun n -> Link.send link (raw ~src:0 ~dst:1 n)) sent;
+  Sim.run sim;
+  let got = List.rev !order in
+  check_int "nothing lost" 10 (List.length got);
+  Alcotest.(check (list int)) "same frames" sent (List.sort compare got);
+  (* back-to-back frames are ~0.7us apart on the wire; up to 100us of
+     per-frame jitter must have reordered at least one pair *)
+  check_bool "delivery order scrambled" true (got <> sent)
+
+let test_fault_compose_stages () =
+  let sim = Sim.create () in
+  let fault =
+    Fault.compose
+      [
+        Fault.drop_nth ~every:2;
+        Fault.duplicate ~rng:(Rng.create ~seed:5) ~prob:1.;
+      ]
+  in
+  let link = Link.create sim ~name:"l" ~bits_per_s:1e9 ~fault () in
+  let count = ref 0 in
+  Link.connect link (fun _ -> incr count);
+  for _ = 1 to 6 do
+    Link.send link (raw ~src:0 ~dst:1 100)
+  done;
+  Sim.run sim;
+  (* every 2nd frame dropped before the duplicator sees it; the three
+     survivors each arrive twice *)
+  check_int "survivors duplicated" 6 !count;
+  check_int "drops counted through compose" 3 (Fault.drops fault);
+  check_int "duplications counted through compose" 3 (Fault.duplicates fault)
+
 let test_link_no_receiver_drops () =
   let sim = Sim.create () in
   let link = Link.create sim ~name:"l" ~bits_per_s:1e9 () in
@@ -443,6 +529,11 @@ let suite =
     ("link delivery fifo", `Quick, test_link_delivery_and_fifo);
     ("link pipelining", `Quick, test_link_back_to_back_pipelining);
     ("link fault injection", `Quick, test_link_fault_injection);
+    ("fault duplication", `Quick, test_fault_duplicate_copies);
+    ("fault gilbert-elliott", `Quick, test_fault_gilbert_elliott_bursts);
+    ("fault link flap", `Quick, test_fault_flap_windows);
+    ("fault jitter reorders", `Quick, test_fault_jitter_reorders);
+    ("fault compose", `Quick, test_fault_compose_stages);
     ("link without receiver", `Quick, test_link_no_receiver_drops);
     ("switch unicast", `Quick, test_switch_unicast);
     ("switch broadcast", `Quick, test_switch_broadcast_floods);
