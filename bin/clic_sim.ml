@@ -6,6 +6,7 @@
      stream     one-way saturation stream with CPU/interrupt statistics
      chaos      reliability soak under fault injection (sweep or custom)
      figure     regenerate a paper figure/table by id
+     check      run the analysis passes over the paper experiments
      list       list experiment ids *)
 
 open Cmdliner
@@ -242,6 +243,61 @@ let chaos_cmd =
       const run_chaos $ verbose_arg $ quick $ loss $ burst $ dup $ jitter
       $ mtu_arg $ size_arg $ messages)
 
+(* Run the sanitizer, invariant monitors and determinism detector over the
+   selected scenarios; non-zero exit on any finding so CI can gate on it. *)
+let run_check verbose scenarios seeds list =
+  if list then List.iter print_endline Check.Scenario.names
+  else begin
+    let names = if scenarios = [] then None else Some scenarios in
+    let reports =
+      try Check.run_all ~seeds ?names ()
+      with Invalid_argument msg ->
+        prerr_endline ("clic-sim: " ^ msg);
+        exit 2
+    in
+    let bad = ref 0 in
+    List.iter
+      (fun r ->
+        Format.printf "%a@." Check.pp_report r;
+        if verbose then Format.printf "%s@." r.Check.output;
+        if not (Check.ok r) then incr bad)
+      reports;
+    let total = List.length reports in
+    if !bad = 0 then
+      Format.printf "check: %d scenario(s) clean (%d tie-break seed(s))@."
+        total seeds
+    else begin
+      Format.printf "check: %d of %d scenario(s) with violations@." !bad
+        total;
+      exit 1
+    end
+  end
+
+let check_cmd =
+  let scenarios =
+    Arg.(value & opt_all string []
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:
+               "Scenario to check (repeatable); default is every paper \
+                experiment.  See $(b,--list).")
+  in
+  let seeds =
+    Arg.(value & opt int 3
+         & info [ "seeds" ] ~docv:"N"
+             ~doc:
+               "Number of seeded same-timestamp orderings to compare \
+                against the FIFO baseline.")
+  in
+  let list =
+    Arg.(value & flag & info [ "list" ] ~doc:"List checkable scenarios.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the analysis passes (object-lifecycle sanitizer, protocol \
+          invariant monitors, determinism detector) over paper experiments")
+    Term.(const run_check $ verbose_arg $ scenarios $ seeds $ list)
+
 let figure_cmd =
   let id =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
@@ -275,4 +331,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ latency_cmd; bandwidth_cmd; stream_cmd; chaos_cmd; figure_cmd;
-            list_cmd ]))
+            check_cmd; list_cmd ]))

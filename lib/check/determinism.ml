@@ -1,0 +1,109 @@
+(* The determinism / race detector's trace hash.
+
+   A scenario is re-run with seeded permutations of same-timestamp event
+   ordering ({!Engine.Sim.set_default_tie_break}); a hidden ordering race
+   is a run whose *logical* protocol behaviour changes.  The hash is
+   built to be invariant under everything a tie-break permutation may
+   legitimately change, and sensitive to everything it must not:
+
+   - Only protocol-visible outcomes are hashed: the delivery sequence out
+     of each channel, the message stream reaching each node's application
+     layer, and channel deaths.  A duplicate, gap, reordering, or a
+     different set of delivered messages changes the hash.
+
+   - Each stream is hashed as its own chain, keyed by the endpoints
+     (process-global uids and wall-clock timestamps are excluded: id
+     allocation order and contention timing legitimately vary with the
+     permutation).  Cross-stream interleaving and acknowledgement timing
+     are not part of the hash — they are covered by the invariant
+     monitors, which run under every seeded permutation as well. *)
+
+open Engine
+
+type t = {
+  (* stream key -> cumulative chained digests, newest first.  The full
+     chain (not just its head) is kept so truncated runs can be compared
+     by prefix. *)
+  streams : (string, string list) Hashtbl.t;
+  chan_index : (int, string) Hashtbl.t;  (* channel uid -> stable stream key *)
+  mutable sim_index : int;  (* scenarios run several simulations in order *)
+}
+
+let create () =
+  { streams = Hashtbl.create 64; chan_index = Hashtbl.create 64; sim_index = 0 }
+
+let fold t key item =
+  let chain = Option.value (Hashtbl.find_opt t.streams key) ~default:[] in
+  let prev = match chain with d :: _ -> d | [] -> "init" in
+  Hashtbl.replace t.streams key
+    (Digest.to_hex (Digest.string (prev ^ "|" ^ item)) :: chain)
+
+(* Channels are identified by endpoints plus order of first activity on
+   those endpoints, not by their process-global uid. *)
+let chan_key t ~chan ~node ~peer =
+  match Hashtbl.find_opt t.chan_index chan with
+  | Some key -> key
+  | None ->
+      let base = Printf.sprintf "%d/chan %d<-%d" t.sim_index node peer in
+      let occurrence =
+        Hashtbl.fold
+          (fun _ k n -> if String.starts_with ~prefix:base k then n + 1 else n)
+          t.chan_index 0
+      in
+      let key = Printf.sprintf "%s#%d" base occurrence in
+      Hashtbl.add t.chan_index chan key;
+      key
+
+let on_event t (ev : Probe.event) =
+  match ev with
+  | Probe.Sim_start -> t.sim_index <- t.sim_index + 1
+  | Probe.Msg_deliver { node; src; port; msg_id } ->
+      fold t
+        (Printf.sprintf "%d/msg %d<-%d" t.sim_index node src)
+        (Printf.sprintf "port=%d id=%d" port msg_id)
+  | Probe.Chan_deliver { chan; node; peer; seq } ->
+      fold t (chan_key t ~chan ~node ~peer) (Printf.sprintf "seq=%d" seq)
+  | Probe.Chan_dead { chan; node; peer } ->
+      fold t (chan_key t ~chan ~node ~peer) "dead"
+  | _ -> ()
+
+(* Folds the per-stream chain heads, in canonical key order, into one
+   value. *)
+let result t =
+  Hashtbl.fold
+    (fun key chain acc ->
+      (key, (match chain with d :: _ -> d | [] -> "init")) :: acc)
+    t.streams []
+  |> List.sort compare
+  |> List.map (fun (key, d) -> key ^ "=" ^ d)
+  |> String.concat "\n"
+  |> Digest.string
+  |> Digest.to_hex
+
+(* Whether two runs agree on every stream up to the shorter run's length.
+   Used for scenarios truncated by a wall-clock bound ([Net.run_for]):
+   the permutation legitimately moves how far each stream progressed by
+   the cut, but the part both runs did produce must match exactly —
+   a duplicate, gap or reordering anywhere in the common prefix still
+   differs.  Returns the offending stream key on mismatch. *)
+let prefix_divergence a b =
+  let check key chain_a acc =
+    match acc with
+    | Some _ -> acc
+    | None -> (
+        let chain_b = Option.value (Hashtbl.find_opt b.streams key) ~default:[] in
+        let la = List.length chain_a and lb = List.length chain_b in
+        let n = min la lb in
+        if n = 0 then None
+        else
+          (* chains are newest-first: the shorter chain's head must appear
+             at the same depth in the longer chain *)
+          let head_at chain len target = List.nth chain (len - target) in
+          let da = head_at chain_a la n and db = head_at chain_b lb n in
+          if da = db then None else Some key)
+  in
+  match Hashtbl.fold check a.streams None with
+  | Some key -> Some key
+  | None ->
+      (* streams only [b] saw: nothing to compare (empty prefix) *)
+      None

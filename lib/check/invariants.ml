@@ -1,0 +1,262 @@
+(* The protocol-invariant monitors.
+
+   A monitor is a small state machine fed every probe event; it answers
+   with a violation detail when the event breaks its rule.  Monitors are
+   registered as constructors so each checker run gets fresh state, and
+   each monitor resets itself on [Sim_start] (scenarios create several
+   simulations in sequence; identities that are per-simulation restart).
+
+   The default registry covers the protocol and engine properties the
+   repository relies on:
+
+   - the simulation clock never moves backwards,
+   - cumulative acknowledgements (sent and received-side [snd_una]) are
+     monotone per channel,
+   - a channel never has more than [Params.tx_window] packets outstanding,
+   - in-order exactly-once delivery out of each channel,
+   - no duplicate message delivery to the application layer,
+   - every armed RTO lies within [rto_min, rto_max],
+   - an ivar is filled at most once,
+   - semaphore permit counts follow the accounting identity
+     permits = created + released - acquired, and never go negative.
+
+   [register] adds project-specific monitors; see DESIGN.md. *)
+
+open Engine
+
+type monitor = {
+  name : string;
+  on_event : now:int -> Probe.event -> string option;
+}
+
+type ctor = unit -> monitor
+
+(* ---------------- default monitors ---------------- *)
+
+let clock_monotone () =
+  let last = ref min_int in
+  {
+    name = "clock-monotone";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Sim_start ->
+            last := min_int;
+            None
+        | Probe.Clock { now } ->
+            if now < !last then
+              Some
+                (Printf.sprintf "clock moved backwards: %dns after %dns" now
+                   !last)
+            else begin
+              last := now;
+              None
+            end
+        | _ -> None);
+  }
+
+(* Channel uids are process-unique, so cross-simulation reuse cannot alias;
+   the tables are still cleared on Sim_start to bound their size. *)
+let monotone_per_chan name proj =
+  let tbl : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  {
+    name;
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Sim_start ->
+            Hashtbl.reset tbl;
+            None
+        | _ -> (
+            match proj ev with
+            | None -> None
+            | Some (chan, node, peer, v) -> (
+                match Hashtbl.find_opt tbl chan with
+                | Some last when v < last ->
+                    Some
+                      (Printf.sprintf
+                         "chan#%d (%d->%d): value regressed to %d after %d"
+                         chan node peer v last)
+                | _ ->
+                    Hashtbl.replace tbl chan v;
+                    None)));
+  }
+
+let ack_tx_monotone () =
+  monotone_per_chan "ack-monotone" (function
+    | Probe.Ack_tx { chan; node; peer; cum_seq } ->
+        Some (chan, node, peer, cum_seq)
+    | _ -> None)
+
+let snd_una_monotone () =
+  monotone_per_chan "snd-una-monotone" (function
+    | Probe.Snd_una { chan; node; peer; snd_una } ->
+        Some (chan, node, peer, snd_una)
+    | _ -> None)
+
+let window_bound () =
+  {
+    name = "window-bound";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Window { chan; node; peer; outstanding; limit } ->
+            if outstanding < 0 || outstanding > limit then
+              Some
+                (Printf.sprintf
+                   "chan#%d (%d->%d): %d packets outstanding, window %d"
+                   chan node peer outstanding limit)
+            else None
+        | _ -> None);
+  }
+
+(* The channel contract is stronger than no-duplicates: delivery out of a
+   channel is exactly the sequence 0, 1, 2, ... — so track the expected
+   next sequence and flag any duplicate, gap or reordering. *)
+let chan_deliver_in_order () =
+  let tbl : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  {
+    name = "chan-deliver-in-order";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Sim_start ->
+            Hashtbl.reset tbl;
+            None
+        | Probe.Chan_deliver { chan; node; peer; seq } ->
+            let expected =
+              Option.value (Hashtbl.find_opt tbl chan) ~default:0
+            in
+            if seq <> expected then
+              Some
+                (Printf.sprintf
+                   "chan#%d (%d<-%d): delivered seq %d, expected %d" chan
+                   node peer seq expected)
+            else begin
+              Hashtbl.replace tbl chan (expected + 1);
+              None
+            end
+        | _ -> None);
+  }
+
+(* Local deliveries carry msg_id -1 and are exempt (they are not uniquely
+   identified); everything else must reach a node's application layer at
+   most once per (source, message). *)
+let msg_deliver_once () =
+  let seen : (int * int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  {
+    name = "msg-deliver-once";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Sim_start ->
+            Hashtbl.reset seen;
+            None
+        | Probe.Msg_deliver { node; src; port; msg_id } ->
+            if msg_id < 0 then None
+            else if Hashtbl.mem seen (node, src, msg_id) then
+              Some
+                (Printf.sprintf
+                   "node %d: message %d from %d (port %d) delivered twice"
+                   node msg_id src port)
+            else begin
+              Hashtbl.add seen (node, src, msg_id) ();
+              None
+            end
+        | _ -> None);
+  }
+
+let rto_bounds () =
+  {
+    name = "rto-bounds";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Rto_armed { chan; node; peer; rto_ns; lo_ns; hi_ns } ->
+            if rto_ns < lo_ns || rto_ns > hi_ns then
+              Some
+                (Printf.sprintf
+                   "chan#%d (%d->%d): armed RTO %dns outside [%dns, %dns]"
+                   chan node peer rto_ns lo_ns hi_ns)
+            else None
+        | _ -> None);
+  }
+
+let ivar_single_fill () =
+  let filled : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  {
+    name = "ivar-single-fill";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Sim_start ->
+            Hashtbl.reset filled;
+            None
+        | Probe.Ivar_fill { id } ->
+            if Hashtbl.mem filled id then
+              Some (Printf.sprintf "ivar#%d filled twice" id)
+            else begin
+              Hashtbl.add filled id ();
+              None
+            end
+        | _ -> None);
+  }
+
+(* Checked as an accounting identity rather than a bound against the
+   initial permit count: Channel.teardown intentionally over-releases its
+   window to wake blocked senders, so permits may legitimately exceed the
+   creation value — but they must always equal
+   created + released - acquired, and never be negative. *)
+let sem_balance () =
+  let expected : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let check id n permits op =
+    match Hashtbl.find_opt expected id with
+    | None -> None  (* created before the probe was installed *)
+    | Some e ->
+        let e = if op = `Acquire then e - n else e + n in
+        Hashtbl.replace expected id e;
+        if permits <> e then
+          Some
+            (Printf.sprintf
+               "sem#%d: reported %d permits, accounting expects %d" id
+               permits e)
+        else if permits < 0 then
+          Some (Printf.sprintf "sem#%d: negative permits %d" id permits)
+        else None
+  in
+  {
+    name = "sem-balance";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Sim_start ->
+            Hashtbl.reset expected;
+            None
+        | Probe.Sem_create { id; permits } ->
+            Hashtbl.replace expected id permits;
+            None
+        | Probe.Sem_acquire { id; n; permits } ->
+            check id n permits `Acquire
+        | Probe.Sem_release { id; n; permits } ->
+            check id n permits `Release
+        | _ -> None);
+  }
+
+let defaults : ctor list =
+  [
+    clock_monotone;
+    ack_tx_monotone;
+    snd_una_monotone;
+    window_bound;
+    chan_deliver_in_order;
+    msg_deliver_once;
+    rto_bounds;
+    ivar_single_fill;
+    sem_balance;
+  ]
+
+let registry : ctor list ref = ref defaults
+
+let register ctor = registry := !registry @ [ ctor ]
+
+let create_all () = List.map (fun ctor -> ctor ()) !registry

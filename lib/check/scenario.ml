@@ -1,0 +1,58 @@
+(* The checkable scenarios: every paper experiment the repository renders,
+   wrapped behind a uniform (formatter -> unit) runner.  Bandwidth sweeps
+   use their quick size lists — the checker cares about behaviour, not
+   curve resolution — and everything else runs exactly as the figure
+   command does.
+
+   [truncated] is set for ext4 only: that experiment deliberately cuts
+   the run with [Net.run_for] while infinite TCP pump processes are still
+   mid-flight.  At the cut, buffers legitimately remain live (so the leak
+   check is off) and per-stream progress legitimately depends on timing
+   (so the determinism pass compares traces by common prefix instead of
+   exact equality). *)
+
+type t = {
+  name : string;
+  descr : string;
+  truncated : bool;
+  run : Format.formatter -> unit;
+}
+
+let sc ?(truncated = false) name descr run = { name; descr; truncated; run }
+
+let all : t list =
+  [
+    sc "fig4" "CLIC bandwidth: MTU x 0/1-copy (quick sizes)" (fun fmt ->
+        ignore (Report.Figures.fig4 ~quick:true fmt));
+    sc "fig5" "CLIC vs TCP/IP bandwidth (quick sizes)" (fun fmt ->
+        ignore (Report.Figures.fig5 ~quick:true fmt));
+    sc "fig6" "CLIC, MPI-CLIC, MPI, PVM bandwidth (quick sizes)" (fun fmt ->
+        ignore (Report.Figures.fig6 ~quick:true fmt));
+    sc "fig7" "1400B packet stage timing" (fun fmt ->
+        ignore (Report.Figures.fig7 fmt));
+    sc "tab1" "headline scalars (quick sizes)" (fun fmt ->
+        ignore (Report.Figures.tab1 ~quick:true fmt));
+    sc "fig1" "user-to-NIC data path ablation (quick sizes)" (fun fmt ->
+        ignore (Report.Figures.fig1 ~quick:true fmt));
+    sc "sec2" "interrupt coalescing under saturated streams" (fun fmt ->
+        ignore (Report.Figures.sec2 fmt));
+    sc "sec3" "CLIC vs GAMMA vs VIA design points" (fun fmt ->
+        ignore (Report.Figures.sec3 fmt));
+    sc "ext1" "NIC-side fragmentation" (fun fmt ->
+        ignore (Report.Figures.ext1 fmt));
+    sc "ext2" "channel bonding" (fun fmt ->
+        ignore (Report.Figures.ext2 fmt));
+    sc "ext3" "64KB broadcast to 8 nodes" (fun fmt ->
+        ignore (Report.Figures.ext3 fmt));
+    sc "ext4" ~truncated:true
+      "latency under competing TCP bulk load (truncated run)" (fun fmt ->
+        ignore (Report.Figures.ext4 fmt));
+    sc "stress" "synthetic workloads, clean and 2% loss" (fun fmt ->
+        ignore (Report.Figures.stress fmt));
+    sc "chaos" "reliability under fault injection (quick)" (fun fmt ->
+        ignore (Report.Figures.chaos ~quick:true fmt));
+  ]
+
+let names = List.map (fun s -> s.name) all
+
+let find name = List.find_opt (fun s -> s.name = name) all

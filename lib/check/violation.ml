@@ -1,0 +1,22 @@
+(* A single finding from any analysis pass, with enough context to act on:
+   which pass, which rule, the simulation instant, and a free-form detail
+   line (for lifecycle findings, the object's event backtrace). *)
+
+type t = {
+  pass : string;  (* "lifecycle", "invariant:<rule>", "determinism", "crash" *)
+  rule : string;
+  time_ns : int;
+  detail : string;
+}
+
+let make ~pass ~rule ~time_ns detail = { pass; rule; time_ns; detail }
+
+let pp fmt v =
+  Format.fprintf fmt "[%s] %s at t=%dns: %s" v.pass v.rule v.time_ns v.detail
+
+let to_string v = Format.asprintf "%a" pp v
+
+let by_time a b =
+  match compare a.time_ns b.time_ns with
+  | 0 -> compare (a.pass, a.rule, a.detail) (b.pass, b.rule, b.detail)
+  | c -> c

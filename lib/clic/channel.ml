@@ -9,6 +9,7 @@ exception Dead of int
 
 type t = {
   sim : Sim.t;
+  uid : int;  (* process-unique: Gamma and CLIC channels share node ids *)
   self : int;
   peer : int;
   params : Params.t;
@@ -48,9 +49,14 @@ type t = {
   mutable delivered : int;
 }
 
+let next_uid = ref 0
+
 let create sim ~self ~peer ~params ~transmit ~deliver ~send_ack () =
+  let uid = !next_uid in
+  incr next_uid;
   {
     sim;
+    uid;
     self;
     peer;
     params;
@@ -87,6 +93,25 @@ let create sim ~self ~peer ~params ~transmit ~deliver ~send_ack () =
 let cancel_timer slot =
   match slot with Some timer -> Ktimer.cancel timer | None -> ()
 
+(* Feed the invariant monitors (lib/check); all no-ops when no probe sink
+   is installed. *)
+let probe_window t =
+  if Probe.enabled () then
+    Probe.emit
+      (Probe.Window
+         {
+           chan = t.uid;
+           node = t.self;
+           peer = t.peer;
+           outstanding = t.snd_nxt - t.snd_una;
+           limit = t.params.Params.tx_window;
+         })
+
+let probe_deliver t seq =
+  if Probe.enabled () then
+    Probe.emit
+      (Probe.Chan_deliver { chan = t.uid; node = t.self; peer = t.peer; seq })
+
 (* ---------------- adaptive RTO ---------------- *)
 
 let rtt_alpha = 0.125
@@ -117,6 +142,17 @@ let note_rtt t sample =
 let rec arm_rto t =
   cancel_timer t.rto_timer;
   let span = effective_rto t in
+  if Probe.enabled () then
+    Probe.emit
+      (Probe.Rto_armed
+         {
+           chan = t.uid;
+           node = t.self;
+           peer = t.peer;
+           rto_ns = span;
+           lo_ns = t.params.Params.rto_min;
+           hi_ns = t.params.Params.rto_max;
+         });
   Stats.Summary.add t.rto_stats (Time.to_us span);
   t.rto_timer <-
     Some
@@ -129,6 +165,8 @@ let rec arm_rto t =
    own event (so one sender's [Dead] raise cannot strand the others) and
    finds [t.dead] set when its acquire returns. *)
 and teardown t =
+  if Probe.enabled () then
+    Probe.emit (Probe.Chan_dead { chan = t.uid; node = t.self; peer = t.peer });
   t.dead <- true;
   cancel_timer t.rto_timer;
   t.rto_timer <- None;
@@ -188,6 +226,7 @@ let next_seq t ~data_bytes kind =
   let pkt = { Wire.src = t.self; chan_seq = Some seq; data_bytes; kind } in
   Hashtbl.replace t.unacked seq pkt;
   Hashtbl.replace t.sent_at seq (Sim.now t.sim);
+  probe_window t;
   if t.rto_timer = None then arm_rto t;
   pkt
 
@@ -209,6 +248,9 @@ let fast_retransmit t =
       Process.spawn t.sim (fun () -> t.transmit pkt ~retransmission:true)
 
 let rx_ack t cum_seq =
+  if Probe.enabled () then
+    Probe.emit
+      (Probe.Ack_rx { chan = t.uid; node = t.self; peer = t.peer; cum_seq });
   if t.dead then ()
   else if cum_seq > t.snd_una then begin
     let now = Sim.now t.sim in
@@ -231,6 +273,11 @@ let rx_ack t cum_seq =
     done;
     t.snd_una <- t.snd_una + freed;
     Semaphore.release ~n:freed t.window;
+    if Probe.enabled () then
+      Probe.emit
+        (Probe.Snd_una
+           { chan = t.uid; node = t.self; peer = t.peer; snd_una = t.snd_una });
+    probe_window t;
     if t.snd_una = t.snd_nxt then begin
       cancel_timer t.rto_timer;
       t.rto_timer <- None
@@ -252,6 +299,9 @@ let schedule_ack_now t =
   cancel_timer t.ack_timer;
   t.ack_timer <- None;
   let cum = t.rcv_nxt in
+  if Probe.enabled () then
+    Probe.emit
+      (Probe.Ack_tx { chan = t.uid; node = t.self; peer = t.peer; cum_seq = cum });
   Process.spawn t.sim (fun () -> t.send_ack ~cum_seq:cum)
 
 let note_delivery t =
@@ -270,6 +320,7 @@ let rec drain_ooo t =
       t.ooo <- rest;
       t.rcv_nxt <- t.rcv_nxt + 1;
       t.delivered <- t.delivered + 1;
+      probe_deliver t s;
       t.deliver pkt;
       note_delivery t;
       drain_ooo t
@@ -290,6 +341,7 @@ let rx t pkt =
         if seq = t.rcv_nxt then begin
           t.rcv_nxt <- t.rcv_nxt + 1;
           t.delivered <- t.delivered + 1;
+          probe_deliver t seq;
           t.deliver pkt;
           note_delivery t;
           drain_ooo t

@@ -103,6 +103,12 @@ let prepare_skb t ~staged bytes =
 (* Hand one prepared packet to the NIC behind [eth].  Returns false when
    the transmit ring is full. *)
 let try_post t ~eth ~dst ~skb ~needs_dma ~internal_copy ~on_complete pkt =
+  (* Once posted, the buffer lives until transmit completion; when the post
+     fails the caller still owns (and must release) it. *)
+  let on_complete () =
+    Skbuff.release skb ~where:"clic:tx-complete";
+    on_complete ()
+  in
   let env = Ethernet.env eth in
   let driver = env.Hostenv.driver in
   let posted =
@@ -146,9 +152,14 @@ let rec drain_backlog t =
               ~internal_copy ~on_complete:(on_complete t) job.st_pkt
           then begin
             ignore (Queue.pop t.backlog);
-            Kmem.free (kmem t) job.st_pkt.Wire.data_bytes;
+            if job.st_pkt.Wire.data_bytes > 0 then
+              Kmem.free (kmem t) job.st_pkt.Wire.data_bytes;
             go ()
           end
+          else
+            (* Ring still full: the job stays staged in the pool and a fresh
+               SK_BUFF is built on the next completion. *)
+            Skbuff.release skb ~where:"clic:backlog-wait"
     in
     go ();
     t.draining <- false
@@ -171,12 +182,14 @@ let transmit_packet t ~dst ~staged pkt =
   then
     if
       t.p.Params.stage_on_busy
-      && Kmem.try_alloc (kmem t) pkt.Wire.data_bytes
+      && (pkt.Wire.data_bytes = 0
+         || Kmem.try_alloc (kmem t) pkt.Wire.data_bytes)
     then begin
       (* Ring full: copy into system memory and return — the application
          continues while the packet waits for ring space (Section 3.1). *)
       if was_zero_copy then stage_copy t pkt.Wire.data_bytes;
       t.packets_staged <- t.packets_staged + 1;
+      Skbuff.release skb ~where:"clic:stage-abandon";
       Queue.add { st_pkt = pkt; st_dst = dst; st_eth = eth } t.backlog
     end
     else begin
@@ -188,7 +201,15 @@ let transmit_packet t ~dst ~staged pkt =
           (Wire.Clic pkt)
       in
       Nic.post_tx_blocking (Driver.nic (Ethernet.env eth).Hostenv.driver)
-        { Nic.frame; needs_dma; internal_copy; on_complete = on_complete t };
+        {
+          Nic.frame;
+          needs_dma;
+          internal_copy;
+          on_complete =
+            (fun () ->
+              Skbuff.release skb ~where:"clic:tx-complete";
+              on_complete t ());
+        };
       t.packets_sent <- t.packets_sent + 1
     end
 
@@ -220,6 +241,15 @@ let rec get_channel t peer =
 
 and deliver_message t msg =
   t.messages_delivered <- t.messages_delivered + 1;
+  if Probe.enabled () then
+    Probe.emit
+      (Probe.Msg_deliver
+         {
+           node = node t;
+           src = msg.msg_src;
+           port = msg.msg_port;
+           msg_id = msg.msg_id;
+         });
   let port = get_port t msg.msg_port in
   (match port.waiter with
   | Some slot ->

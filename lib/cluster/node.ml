@@ -100,7 +100,11 @@ let create sim ~id ~switches (config : config) =
   in
   let sched = Sched.create sim ~cpu () in
   let syscall = Syscall.create cpu in
-  let kmem = Kmem.create ~capacity:config.kmem_capacity in
+  let kmem =
+    Kmem.create
+      ~name:(Printf.sprintf "kmem%d" id)
+      ~capacity:config.kmem_capacity ()
+  in
   let intr = Interrupt.create sim ~cpu ~dispatch_latency:config.irq_dispatch () in
   let bh = Bottom_half.create sim ~cpu () in
   let trace = if config.trace then Some (Trace.create sim) else None in

@@ -1,12 +1,22 @@
+(* Entries carry an explicit monotone insertion stamp so that FIFO
+   tie-breaking among cmp-equal elements is guaranteed by the comparator
+   itself, not by the accident of sift order. *)
+type 'a entry = { item : 'a; stamp : int }
+
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  mutable data : 'a array;
+  mutable data : 'a entry array;
   mutable size : int;
+  mutable next_stamp : int;
 }
 
-let create ~cmp = { cmp; data = [||]; size = 0 }
+let create ~cmp = { cmp; data = [||]; size = 0; next_stamp = 0 }
 let length h = h.size
 let is_empty h = h.size = 0
+
+let entry_cmp h a b =
+  let c = h.cmp a.item b.item in
+  if c <> 0 then c else compare a.stamp b.stamp
 
 let grow h x =
   let cap = Array.length h.data in
@@ -22,7 +32,7 @@ let grow h x =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+    if entry_cmp h h.data.(i) h.data.(parent) < 0 then begin
       let tmp = h.data.(i) in
       h.data.(i) <- h.data.(parent);
       h.data.(parent) <- tmp;
@@ -33,8 +43,10 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
-  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if l < h.size && entry_cmp h h.data.(l) h.data.(!smallest) < 0 then
+    smallest := l;
+  if r < h.size && entry_cmp h h.data.(r) h.data.(!smallest) < 0 then
+    smallest := r;
   if !smallest <> i then begin
     let tmp = h.data.(i) in
     h.data.(i) <- h.data.(!smallest);
@@ -43,14 +55,16 @@ let rec sift_down h i =
   end
 
 let push h x =
-  grow h x;
-  h.data.(h.size) <- x;
+  let e = { item = x; stamp = h.next_stamp } in
+  h.next_stamp <- h.next_stamp + 1;
+  grow h e;
+  h.data.(h.size) <- e;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
-let peek h = if h.size = 0 then None else Some h.data.(0)
+let peek h = if h.size = 0 then None else Some h.data.(0).item
 
-let pop h =
+let pop_entry h =
   if h.size = 0 then None
   else begin
     let top = h.data.(0) in
@@ -64,6 +78,8 @@ let pop h =
     Some top
   end
 
+let pop h = match pop_entry h with None -> None | Some e -> Some e.item
+
 let pop_exn h =
   match pop h with
   | Some x -> x
@@ -71,10 +87,18 @@ let pop_exn h =
 
 let clear h =
   h.data <- [||];
-  h.size <- 0
+  h.size <- 0;
+  h.next_stamp <- 0
 
 let to_sorted_list h =
-  let copy = { cmp = h.cmp; data = Array.sub h.data 0 h.size; size = h.size } in
+  let copy =
+    {
+      cmp = h.cmp;
+      data = Array.sub h.data 0 h.size;
+      size = h.size;
+      next_stamp = h.next_stamp;
+    }
+  in
   let rec drain acc =
     match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
   in

@@ -1,8 +1,11 @@
-(** A polymorphic binary min-heap.
+(** A polymorphic, {e stable} binary min-heap.
 
     Used as the event queue of the simulator, but generic: ordering is given
-    by a comparison function at creation time.  Amortised O(log n) insert and
-    pop, O(1) peek.  Not thread-safe — the simulator is single-domain. *)
+    by a comparison function at creation time.  Every entry carries an
+    explicit monotone insertion stamp and the internal comparator falls back
+    to it, so elements that compare equal under [cmp] pop in insertion
+    (FIFO) order by construction.  Amortised O(log n) insert and pop, O(1)
+    peek.  Not thread-safe — the simulator is single-domain. *)
 
 type 'a t
 

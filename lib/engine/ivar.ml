@@ -1,12 +1,22 @@
 type 'a state = Empty of ('a -> unit) list | Filled of 'a
-type 'a t = { mutable state : 'a state }
+type 'a t = { id : int; mutable state : 'a state }
 
-let create () = { state = Empty [] }
+let next_id = ref 0
+
+let create () =
+  let id = !next_id in
+  incr next_id;
+  { id; state = Empty [] }
+
+let id t = t.id
 
 let is_filled t =
   match t.state with Filled _ -> true | Empty _ -> false
 
 let fill t v =
+  (* Emitted before the single-fill check so the invariant monitor sees the
+     offending second fill as well as the raise. *)
+  if Probe.enabled () then Probe.emit (Probe.Ivar_fill { id = t.id });
   match t.state with
   | Filled _ -> invalid_arg "Ivar.fill: already filled"
   | Empty waiters ->

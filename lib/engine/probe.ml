@@ -1,0 +1,111 @@
+(* A process-global instrumentation hub.
+
+   Simulation components emit typed events here; nothing listens by
+   default, so the cost of an uninstalled probe is one flag test.  The
+   analysis layer (lib/check) installs a sink around a scenario run and
+   reconstructs object lifecycles, protocol invariants and determinism
+   hashes from the stream. *)
+
+type owner = App | Channel | Driver | Bh | Nic
+
+type obj_kind = Skb | Rx_buffer
+
+type event =
+  | Sim_start
+  | Clock of { now : int }
+  | Obj_alloc of {
+      kind : obj_kind;
+      id : int;
+      bytes : int;
+      owner : owner;
+      where : string;
+    }
+  | Obj_transfer of { kind : obj_kind; id : int; owner : owner; where : string }
+  | Obj_free of { kind : obj_kind; id : int; where : string }
+  | Pool_alloc of { pool : string; bytes : int; used : int; capacity : int }
+  | Pool_free of { pool : string; bytes : int; used : int }
+  | Ivar_fill of { id : int }
+  | Sem_create of { id : int; permits : int }
+  | Sem_acquire of { id : int; n : int; permits : int }
+  | Sem_release of { id : int; n : int; permits : int }
+  | Ack_tx of { chan : int; node : int; peer : int; cum_seq : int }
+  | Ack_rx of { chan : int; node : int; peer : int; cum_seq : int }
+  | Snd_una of { chan : int; node : int; peer : int; snd_una : int }
+  | Window of {
+      chan : int;
+      node : int;
+      peer : int;
+      outstanding : int;
+      limit : int;
+    }
+  | Chan_deliver of { chan : int; node : int; peer : int; seq : int }
+  | Chan_dead of { chan : int; node : int; peer : int }
+  | Msg_deliver of { node : int; src : int; port : int; msg_id : int }
+  | Rto_armed of {
+      chan : int;
+      node : int;
+      peer : int;
+      rto_ns : int;
+      lo_ns : int;
+      hi_ns : int;
+    }
+
+let sink : (event -> unit) option ref = ref None
+
+let enabled () = !sink <> None
+
+let emit ev = match !sink with Some f -> f ev | None -> ()
+
+let install f = sink := Some f
+let uninstall () = sink := None
+
+let owner_name = function
+  | App -> "app"
+  | Channel -> "channel"
+  | Driver -> "driver"
+  | Bh -> "bottom-half"
+  | Nic -> "nic"
+
+let kind_name = function Skb -> "skbuff" | Rx_buffer -> "rx-buffer"
+
+let to_string = function
+  | Sim_start -> "sim-start"
+  | Clock { now } -> Printf.sprintf "clock %d" now
+  | Obj_alloc { kind; id; bytes; owner; where } ->
+      Printf.sprintf "alloc %s#%d %dB owner=%s at %s" (kind_name kind) id
+        bytes (owner_name owner) where
+  | Obj_transfer { kind; id; owner; where } ->
+      Printf.sprintf "transfer %s#%d -> %s at %s" (kind_name kind) id
+        (owner_name owner) where
+  | Obj_free { kind; id; where } ->
+      Printf.sprintf "free %s#%d at %s" (kind_name kind) id where
+  | Pool_alloc { pool; bytes; used; capacity } ->
+      Printf.sprintf "pool-alloc %s %dB (used %d/%d)" pool bytes used capacity
+  | Pool_free { pool; bytes; used } ->
+      Printf.sprintf "pool-free %s %dB (used %d)" pool bytes used
+  | Ivar_fill { id } -> Printf.sprintf "ivar-fill #%d" id
+  | Sem_create { id; permits } ->
+      Printf.sprintf "sem-create #%d permits=%d" id permits
+  | Sem_acquire { id; n; permits } ->
+      Printf.sprintf "sem-acquire #%d n=%d permits=%d" id n permits
+  | Sem_release { id; n; permits } ->
+      Printf.sprintf "sem-release #%d n=%d permits=%d" id n permits
+  | Ack_tx { chan; node; peer; cum_seq } ->
+      Printf.sprintf "ack-tx chan#%d %d->%d cum=%d" chan node peer cum_seq
+  | Ack_rx { chan; node; peer; cum_seq } ->
+      Printf.sprintf "ack-rx chan#%d %d<-%d cum=%d" chan node peer cum_seq
+  | Snd_una { chan; node; peer; snd_una } ->
+      Printf.sprintf "snd-una chan#%d %d->%d una=%d" chan node peer snd_una
+  | Window { chan; node; peer; outstanding; limit } ->
+      Printf.sprintf "window chan#%d %d->%d %d/%d" chan node peer outstanding
+        limit
+  | Chan_deliver { chan; node; peer; seq } ->
+      Printf.sprintf "chan-deliver chan#%d %d<-%d seq=%d" chan node peer seq
+  | Chan_dead { chan; node; peer } ->
+      Printf.sprintf "chan-dead chan#%d %d->%d" chan node peer
+  | Msg_deliver { node; src; port; msg_id } ->
+      Printf.sprintf "msg-deliver node=%d src=%d port=%d msg=%d" node src
+        port msg_id
+  | Rto_armed { chan; node; peer; rto_ns; lo_ns; hi_ns } ->
+      Printf.sprintf "rto-armed chan#%d %d->%d %dns in [%d,%d]" chan node
+        peer rto_ns lo_ns hi_ns

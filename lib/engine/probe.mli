@@ -1,0 +1,75 @@
+(** Process-global instrumentation hub for the analysis layer.
+
+    Simulation components report lifecycle and protocol events here.  With
+    no sink installed (the default) an emission costs one flag test; the
+    checker in [lib/check] installs a sink for the duration of a scenario
+    run.  Emission sites should guard event construction with {!enabled}
+    so that the disabled path does not allocate:
+
+    {[ if Probe.enabled () then Probe.emit (Probe.Clock { now }) ]} *)
+
+type owner =
+  | App  (** user memory / the application side *)
+  | Channel  (** protocol- or kernel-owned staging *)
+  | Driver
+  | Bh  (** bottom-half context *)
+  | Nic  (** NIC ring ownership *)
+
+type obj_kind = Skb | Rx_buffer
+
+type event =
+  | Sim_start  (** a fresh simulator was created: per-sim state resets *)
+  | Clock of { now : int }  (** an event fired at [now] (ns) *)
+  | Obj_alloc of {
+      kind : obj_kind;
+      id : int;
+      bytes : int;
+      owner : owner;
+      where : string;
+    }
+  | Obj_transfer of { kind : obj_kind; id : int; owner : owner; where : string }
+  | Obj_free of { kind : obj_kind; id : int; where : string }
+  | Pool_alloc of { pool : string; bytes : int; used : int; capacity : int }
+  | Pool_free of { pool : string; bytes : int; used : int }
+  | Ivar_fill of { id : int }
+  | Sem_create of { id : int; permits : int }
+  | Sem_acquire of { id : int; n : int; permits : int }
+      (** [permits] is the count {e after} the acquire *)
+  | Sem_release of { id : int; n : int; permits : int }
+  | Ack_tx of { chan : int; node : int; peer : int; cum_seq : int }
+  | Ack_rx of { chan : int; node : int; peer : int; cum_seq : int }
+  | Snd_una of { chan : int; node : int; peer : int; snd_una : int }
+  | Window of {
+      chan : int;
+      node : int;
+      peer : int;
+      outstanding : int;
+      limit : int;
+    }
+  | Chan_deliver of { chan : int; node : int; peer : int; seq : int }
+  | Chan_dead of { chan : int; node : int; peer : int }
+  | Msg_deliver of { node : int; src : int; port : int; msg_id : int }
+  | Rto_armed of {
+      chan : int;
+      node : int;
+      peer : int;
+      rto_ns : int;
+      lo_ns : int;
+      hi_ns : int;
+    }
+
+val enabled : unit -> bool
+val emit : event -> unit
+
+val install : (event -> unit) -> unit
+(** At most one sink; a second [install] replaces the first.  The sink runs
+    synchronously inside the emitting component — it must not schedule
+    simulation work. *)
+
+val uninstall : unit -> unit
+
+val owner_name : owner -> string
+val kind_name : obj_kind -> string
+
+val to_string : event -> string
+(** Stable textual form, used for reports and determinism hashing. *)

@@ -1,6 +1,7 @@
 type event = {
   at : Time.t;
   seq : int; (* tiebreak: FIFO among same-instant events *)
+  tie : int; (* seeded permutation key; 0 in FIFO mode *)
   thunk : unit -> unit;
   mutable cancelled : bool;
 }
@@ -10,19 +11,39 @@ type handle = event
 type t = {
   mutable clock : Time.t;
   heap : event Heap.t;
+  tie_rng : Rng.t option;
   mutable next_seq : int;
   mutable executed : int;
   mutable live : int; (* scheduled and not cancelled/fired *)
 }
 
+(* The comparator orders by time, then the tie key, then scheduling order.
+   In FIFO mode every tie key is 0, so same-instant events fire strictly in
+   scheduling order; under a seeded tie-break the race detector permutes
+   same-instant events while staying fully deterministic for a given seed
+   (the stable heap breaks equal tie keys by insertion). *)
 let compare_event a b =
   let c = compare a.at b.at in
-  if c <> 0 then c else compare a.seq b.seq
+  if c <> 0 then c
+  else
+    let c = compare a.tie b.tie in
+    if c <> 0 then c else compare a.seq b.seq
 
-let create () =
+(* The determinism checker sets a process-wide default so that scenarios
+   which create simulators internally (figures, nested nets) inherit the
+   permuted tie-breaking without plumbing a parameter everywhere. *)
+let default_tie_break : int option ref = ref None
+let set_default_tie_break seed = default_tie_break := seed
+
+let create ?tie_break () =
+  let seed =
+    match tie_break with Some s -> Some s | None -> !default_tie_break
+  in
+  if Probe.enabled () then Probe.emit Probe.Sim_start;
   {
     clock = Time.zero;
     heap = Heap.create ~cmp:compare_event;
+    tie_rng = Option.map (fun seed -> Rng.create ~seed) seed;
     next_seq = 0;
     executed = 0;
     live = 0;
@@ -35,7 +56,10 @@ let schedule_at sim ~at thunk =
     invalid_arg
       (Printf.sprintf "Sim.schedule_at: %d is in the past (now=%d)" at
          sim.clock);
-  let ev = { at; seq = sim.next_seq; thunk; cancelled = false } in
+  let tie =
+    match sim.tie_rng with None -> 0 | Some rng -> Rng.int rng 0x3FFFFFFF
+  in
+  let ev = { at; seq = sim.next_seq; tie; thunk; cancelled = false } in
   sim.next_seq <- sim.next_seq + 1;
   sim.live <- sim.live + 1;
   Heap.push sim.heap ev;
@@ -61,6 +85,7 @@ let step sim =
         sim.clock <- ev.at;
         sim.live <- sim.live - 1;
         sim.executed <- sim.executed + 1;
+        if Probe.enabled () then Probe.emit (Probe.Clock { now = ev.at });
         ev.thunk ();
         true
   in

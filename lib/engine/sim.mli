@@ -12,8 +12,22 @@ type t
 type handle
 (** A scheduled event that can still be cancelled. *)
 
-val create : unit -> t
-(** A fresh simulator with the clock at {!Time.zero}. *)
+val create : ?tie_break:int -> unit -> t
+(** A fresh simulator with the clock at {!Time.zero}.
+
+    [tie_break] seeds a deterministic permutation of same-instant event
+    ordering: events scheduled for the same time fire in an order decided
+    by a seeded draw instead of FIFO.  Any observable difference between
+    runs with different seeds is a hidden ordering race — this hook exists
+    for the determinism detector in [lib/check], not for normal use.
+    Without it (and with no process default), same-instant events fire in
+    scheduling order. *)
+
+val set_default_tie_break : int option -> unit
+(** Process-wide default for [tie_break], consulted by {!create} when no
+    explicit seed is given.  Used by the checker so that scenarios creating
+    simulators internally inherit the permutation; reset it to [None] when
+    done. *)
 
 val now : t -> Time.t
 

@@ -21,10 +21,13 @@ type tx_desc = {
 }
 
 type rx_desc = {
+  rx_id : int;  (* process-unique, for the lifecycle sanitizer *)
   rx_frame : Eth_frame.t;
   host_bytes : int;
   arrived : Time.t;
 }
+
+let next_rx_id = ref 0
 
 type reasm = { mutable seen : int; mutable template : Eth_frame.t option }
 
@@ -195,8 +198,20 @@ let rx_pump t () =
         if Semaphore.try_acquire t.rx_slots then begin
           let host_bytes = Eth_frame.buffer_bytes packet in
           Dma.transfer ~pci:t.pci ~membus:t.membus host_bytes;
+          let rx_id = !next_rx_id in
+          incr next_rx_id;
+          if Probe.enabled () then
+            Probe.emit
+              (Probe.Obj_alloc
+                 {
+                   kind = Probe.Rx_buffer;
+                   id = rx_id;
+                   bytes = host_bytes;
+                   owner = Probe.Nic;
+                   where = "nic:rx-ring";
+                 });
           Queue.add
-            { rx_frame = packet; host_bytes; arrived = Sim.now t.sim }
+            { rx_id; rx_frame = packet; host_bytes; arrived = Sim.now t.sim }
             t.pending;
           t.rx_packets <- t.rx_packets + 1;
           evaluate_coalescing t

@@ -50,6 +50,7 @@ type tx_desc = {
 }
 
 type rx_desc = {
+  rx_id : int;  (** process-unique identity, for the lifecycle sanitizer *)
   rx_frame : Eth_frame.t;  (** reassembled: fragment metadata cleared *)
   host_bytes : int;  (** bytes DMA'd into the host ring buffer *)
   arrived : Time.t;  (** wire arrival time of the (last) frame *)

@@ -47,7 +47,19 @@ let traced t label f =
 
 let deliver_one t desc =
   t.rx_upcalls <- t.rx_upcalls + 1;
-  match t.rx_upcall with Some f -> f desc | None -> ()
+  (match t.rx_upcall with Some f -> f desc | None -> ());
+  (* The upcall has consumed the ring buffer's contents; its slot was
+     already recycled by [Nic.take_rx], so the buffer's life ends here. *)
+  if Probe.enabled () then
+    Probe.emit
+      (Probe.Obj_free
+         { kind = Probe.Rx_buffer; id = desc.Nic.rx_id; where = "driver:rx-upcall" })
+
+let transfer_rx desc owner ~where =
+  if Probe.enabled () then
+    Probe.emit
+      (Probe.Obj_transfer
+         { kind = Probe.Rx_buffer; id = desc.Nic.rx_id; owner; where })
 
 (* The interrupt service routine: drain the ring, do the per-packet driver
    work, hand the batch to the protocol (via bottom half or directly), then
@@ -57,8 +69,9 @@ let isr t () =
       Cpu.work ~priority:`High t.cpu t.params.isr_entry;
       let descs = Nic.take_rx t.nic in
       List.iter
-        (fun (_ : Nic.rx_desc) ->
-          Cpu.work ~priority:`High t.cpu t.params.isr_per_packet)
+        (fun desc ->
+          Cpu.work ~priority:`High t.cpu t.params.isr_per_packet;
+          transfer_rx desc Probe.Driver ~where:"driver:isr")
         descs;
       (match t.params.rx_mode with
       | Direct_from_isr ->
@@ -73,6 +86,7 @@ let isr t () =
                 traced t "driver:bottom-half" (fun () ->
                     List.iter
                       (fun desc ->
+                        transfer_rx desc Probe.Bh ~where:"driver:bottom-half";
                         Cpu.work ~priority:`High t.cpu
                           (rx_packet_cost t.params desc);
                         deliver_one t desc)
@@ -92,6 +106,7 @@ let set_rx_upcall t f =
 
 let transmit t ~skb ~dst ~src ~ethertype ~payload ?(internal_copy = true)
     ~on_complete () =
+  Skbuff.transfer skb Probe.Driver ~where:"driver:tx-routine";
   traced t "driver:tx-routine" (fun () ->
       Cpu.work t.cpu t.params.tx_routine);
   let frame =

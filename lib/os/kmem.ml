@@ -1,19 +1,31 @@
+open Engine
+
 type t = {
+  name : string;
   capacity : int;
   mutable used : int;
   mutable high_water : int;
   mutable failed : int;
 }
 
-let create ~capacity =
-  if capacity <= 0 then invalid_arg "Kmem.create: capacity <= 0";
-  { capacity; used = 0; high_water = 0; failed = 0 }
+let create ?(name = "kmem") ~capacity () =
+  if capacity <= 0 then
+    invalid_arg (Printf.sprintf "Kmem.create(%s): capacity <= 0" name);
+  { name; capacity; used = 0; high_water = 0; failed = 0 }
 
 let try_alloc t n =
-  if n < 0 then invalid_arg "Kmem.try_alloc: negative size";
+  if n <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Kmem.try_alloc(%s): non-positive size %dB (%dB outstanding of %dB)"
+         t.name n t.used t.capacity);
   if t.used + n <= t.capacity then begin
     t.used <- t.used + n;
     if t.used > t.high_water then t.high_water <- t.used;
+    if Probe.enabled () then
+      Probe.emit
+        (Probe.Pool_alloc
+           { pool = t.name; bytes = n; used = t.used; capacity = t.capacity });
     true
   end
   else begin
@@ -22,9 +34,21 @@ let try_alloc t n =
   end
 
 let free t n =
-  if n < 0 || n > t.used then invalid_arg "Kmem.free: bad size";
-  t.used <- t.used - n
+  if n <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Kmem.free(%s): non-positive size %dB (%dB outstanding of %dB)"
+         t.name n t.used t.capacity);
+  if n > t.used then
+    invalid_arg
+      (Printf.sprintf
+         "Kmem.free(%s): freeing %dB but only %dB outstanding (capacity %dB)"
+         t.name n t.used t.capacity);
+  t.used <- t.used - n;
+  if Probe.enabled () then
+    Probe.emit (Probe.Pool_free { pool = t.name; bytes = n; used = t.used })
 
+let name t = t.name
 let in_use t = t.used
 let capacity t = t.capacity
 let high_water t = t.high_water

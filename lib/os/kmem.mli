@@ -8,15 +8,20 @@
 
 type t
 
-val create : capacity:int -> t
-(** [capacity] in bytes; must be positive. *)
+val create : ?name:string -> capacity:int -> unit -> t
+(** [capacity] in bytes; must be positive.  [name] labels the pool in
+    error messages and {!Probe} pool events. *)
 
 val try_alloc : t -> int -> bool
-(** Takes [n] bytes if available. *)
+(** Takes [n] bytes if available.
+    @raise Invalid_argument on a non-positive size. *)
 
 val free : t -> int -> unit
-(** @raise Invalid_argument when freeing more than is allocated. *)
+(** @raise Invalid_argument on a non-positive size or when freeing more
+    than is outstanding; the message names the pool and both byte
+    counts. *)
 
+val name : t -> string
 val in_use : t -> int
 val capacity : t -> int
 val high_water : t -> int

@@ -13,12 +13,27 @@ type region = User_memory | Kernel_memory
 type fragment = { region : region; bytes : int }
 
 type t = {
+  sk_id : int;  (** process-unique identity, for the lifecycle sanitizer *)
   header_bytes : int;  (** protocol headers prepended by the stack *)
   fragments : fragment list;  (** data fragments, in order *)
 }
 
 val create : header_bytes:int -> fragment list -> t
-(** @raise Invalid_argument on negative sizes. *)
+(** Allocates a fresh identity and reports it to {!Engine.Probe} (owner
+    [App] when any fragment lives in user memory, [Channel] otherwise).
+    @raise Invalid_argument on negative sizes. *)
+
+val id : t -> int
+
+val transfer : t -> Engine.Probe.owner -> where:string -> unit
+(** Reports an ownership handoff to the lifecycle sanitizer.  [where] names
+    the code point (e.g. ["driver:tx-routine"]).  A no-op without an
+    installed probe sink. *)
+
+val release : t -> where:string -> unit
+(** Reports the end of the buffer's life (transmit completion, or an
+    abandoned post).  Releasing twice is exactly the double-free the
+    sanitizer exists to catch. *)
 
 val of_user : header_bytes:int -> int -> t
 (** One fragment living in user memory (the 0-copy send shape). *)

@@ -27,10 +27,16 @@ let pump t () =
   let src = Hostenv.mac t.env in
   let rec loop () =
     let job = Mailbox.recv t.jobs in
+    (* The pump owns the buffer until transmit completion: release it to
+       the lifecycle sanitizer exactly when the NIC reports the frame has
+       left, whichever posting path carried it. *)
+    let on_complete () =
+      Skbuff.release job.skb ~where:"eth:tx-complete";
+      job.on_complete ()
+    in
     let posted =
       Driver.transmit driver ~skb:job.skb ~dst:job.dst ~src
-        ~ethertype:job.ethertype ~payload:job.payload
-        ~on_complete:job.on_complete ()
+        ~ethertype:job.ethertype ~payload:job.payload ~on_complete ()
     in
     if not posted then begin
       let frame =
@@ -39,8 +45,7 @@ let pump t () =
           job.payload
       in
       Nic.post_tx_blocking (Driver.nic driver)
-        { Nic.frame; needs_dma = true; internal_copy = true;
-          on_complete = job.on_complete }
+        { Nic.frame; needs_dma = true; internal_copy = true; on_complete }
     end;
     Semaphore.release t.slots;
     loop ()

@@ -113,24 +113,27 @@ let send t ~dst ~skb payload =
     Ethernet.send t.eth ~dst:(Mac.of_node dst) ~ethertype:Packet.ethertype_ip
       ~skb:skb' ~payload:(Packet.Ip pkt) ()
   in
-  if l4_bytes <= max_payload then
-    emit l4_bytes
-      (Skbuff.create
-         ~header_bytes:(Packet.ip_header_bytes + skb.Skbuff.header_bytes)
-         skb.Skbuff.fragments)
-  else begin
-    let count = (l4_bytes + max_payload - 1) / max_payload in
-    let ip_id = t.next_ip_id in
-    t.next_ip_id <- t.next_ip_id + 1;
-    for index = 0 to count - 1 do
-      let bytes =
-        if index = count - 1 then l4_bytes - (index * max_payload)
-        else max_payload
-      in
-      emit ~frag:{ Packet.ip_id; frag_index = index; frag_count = count }
-        bytes (fragment_skb skb bytes)
-    done
-  end
+  (if l4_bytes <= max_payload then
+     emit l4_bytes
+       (Skbuff.create
+          ~header_bytes:(Packet.ip_header_bytes + skb.Skbuff.header_bytes)
+          skb.Skbuff.fragments)
+   else begin
+     let count = (l4_bytes + max_payload - 1) / max_payload in
+     let ip_id = t.next_ip_id in
+     t.next_ip_id <- t.next_ip_id + 1;
+     for index = 0 to count - 1 do
+       let bytes =
+         if index = count - 1 then l4_bytes - (index * max_payload)
+         else max_payload
+       in
+       emit ~frag:{ Packet.ip_id; frag_index = index; frag_count = count }
+         bytes (fragment_skb skb bytes)
+     done
+   end);
+  (* Encapsulation re-wraps the fragments under fresh IP-framed buffers;
+     the caller's L4 buffer is dead from here on. *)
+  Skbuff.release skb ~where:"ip:encap"
 
 let packets_sent t = t.packets_sent
 let packets_received t = t.packets_received

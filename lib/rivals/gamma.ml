@@ -59,12 +59,11 @@ let payload_per_packet t =
 let transmit t ~dst (pkt : Clic.Wire.packet) =
   let driver = (Ethernet.env t.eth).Hostenv.driver in
   let skb = Skbuff.of_user ~header_bytes pkt.Clic.Wire.data_bytes in
+  let on_complete () = Skbuff.release skb ~where:"gamma:tx-complete" in
   let posted =
     Driver.transmit driver ~skb ~dst:(Mac.of_node dst)
       ~src:(Mac.of_node (node t)) ~ethertype ~payload:(Gamma pkt)
-      ~internal_copy:false
-      ~on_complete:(fun () -> ())
-      ()
+      ~internal_copy:false ~on_complete ()
   in
   if not posted then begin
     let frame =
@@ -74,8 +73,7 @@ let transmit t ~dst (pkt : Clic.Wire.packet) =
         (Gamma pkt)
     in
     Nic.post_tx_blocking (Driver.nic driver)
-      { Nic.frame; needs_dma = true; internal_copy = false;
-        on_complete = (fun () -> ()) }
+      { Nic.frame; needs_dma = true; internal_copy = false; on_complete }
   end
 
 (* In-order delivery from the channel (interrupt context): each fragment

@@ -1,0 +1,338 @@
+(* Tests for the analysis layer: heap/sim tie-break determinism hooks, the
+   lifecycle sanitizer's true positives, the invariant monitors, and the
+   determinism detector — including that the whole checker runs a real
+   scenario clean end to end. *)
+
+open Engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: FIFO stability of the event heap under many equal keys *)
+
+let test_heap_fifo_stability () =
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  (* 500 entries with the same key: pop order must be insertion order *)
+  for i = 0 to 499 do
+    Heap.push h (7, i)
+  done;
+  (* sprinkle earlier and later keys around them *)
+  Heap.push h (9, -1);
+  Heap.push h (1, -2);
+  check_int "first is smallest key" (-2) (snd (Heap.pop_exn h));
+  for i = 0 to 499 do
+    let k, v = Heap.pop_exn h in
+    check_int "equal keys stay FIFO" i v;
+    check_int "key" 7 k
+  done;
+  check_int "largest key last" (-1) (snd (Heap.pop_exn h))
+
+(* ------------------------------------------------------------------ *)
+(* Seeded tie-break: same set of same-instant events, permuted order *)
+
+let fire_order ?tie_break () =
+  let sim = Sim.create ?tie_break () in
+  let order = ref [] in
+  for i = 0 to 15 do
+    ignore (Sim.schedule sim ~after:100 (fun () -> order := i :: !order))
+  done;
+  Sim.run sim;
+  List.rev !order
+
+let test_sim_tie_break () =
+  let fifo = fire_order () in
+  Alcotest.(check (list int))
+    "no seed: scheduling order"
+    (List.init 16 Fun.id)
+    fifo;
+  let seeded = fire_order ~tie_break:42 () in
+  Alcotest.(check (list int))
+    "seeded run is a permutation"
+    (List.init 16 Fun.id)
+    (List.sort compare seeded);
+  check_bool "seed 42 actually permutes" true (seeded <> fifo);
+  Alcotest.(check (list int))
+    "same seed, same order" seeded
+    (fire_order ~tie_break:42 ())
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle sanitizer true positives (synthetic event streams) *)
+
+let lifecycle_rules ?(leak_check = true) evs =
+  let l = Check.Lifecycle.create ~leak_check () in
+  List.iter (Check.Lifecycle.on_event l) evs;
+  List.map (fun v -> v.Check.Violation.rule) (Check.Lifecycle.finish l)
+
+let alloc id =
+  Probe.Obj_alloc
+    { kind = Probe.Skb; id; bytes = 1500; owner = Probe.App; where = "test" }
+
+let free id = Probe.Obj_free { kind = Probe.Skb; id; where = "test" }
+
+let transfer id =
+  Probe.Obj_transfer
+    { kind = Probe.Skb; id; owner = Probe.Driver; where = "test" }
+
+let test_lifecycle_double_free () =
+  Alcotest.(check (list string))
+    "double free caught" [ "double-free" ]
+    (lifecycle_rules [ alloc 1; free 1; free 1 ])
+
+let test_lifecycle_use_after_free () =
+  Alcotest.(check (list string))
+    "use after free caught" [ "use-after-free" ]
+    (lifecycle_rules [ alloc 2; transfer 2; free 2; transfer 2 ])
+
+let test_lifecycle_leak () =
+  Alcotest.(check (list string))
+    "leak at sim end caught" [ "leak" ]
+    (lifecycle_rules [ alloc 3 ]);
+  Alcotest.(check (list string))
+    "leak check can be waived" []
+    (lifecycle_rules ~leak_check:false [ alloc 3 ])
+
+let test_lifecycle_pool_leak () =
+  Alcotest.(check (list string))
+    "outstanding pool bytes caught" [ "pool-leak" ]
+    (lifecycle_rules
+       [ Probe.Pool_alloc { pool = "p"; bytes = 64; used = 64; capacity = 1024 } ])
+
+let test_lifecycle_clean () =
+  Alcotest.(check (list string))
+    "balanced lifecycle is clean" []
+    (lifecycle_rules [ alloc 4; transfer 4; free 4 ])
+
+(* The same double-free caught through the real instrumentation: a probe
+   sink sees Os.Skbuff.release called twice on a real buffer. *)
+let test_skbuff_double_free_probed () =
+  let l = Check.Lifecycle.create ~leak_check:false () in
+  Probe.install (Check.Lifecycle.on_event l);
+  Fun.protect ~finally:Probe.uninstall (fun () ->
+      let skb = Os_model.Skbuff.of_kernel ~header_bytes:42 1400 in
+      Os_model.Skbuff.release skb ~where:"test:first";
+      Os_model.Skbuff.release skb ~where:"test:second");
+  match Check.Lifecycle.finish l with
+  | [ v ] ->
+      Alcotest.(check string) "rule" "double-free" v.Check.Violation.rule;
+      check_bool "backtrace names both code points" true
+        (contains v.Check.Violation.detail "test:first"
+        && contains v.Check.Violation.detail "test:second")
+  | vs -> Alcotest.failf "expected one violation, got %d" (List.length vs)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant monitors *)
+
+let monitor_hits evs =
+  let monitors = Check.Invariants.create_all () in
+  List.concat_map
+    (fun (m : Check.Invariants.monitor) ->
+      List.filter_map (fun ev -> Option.map (fun _ -> m.name) (m.on_event ~now:0 ev)) evs
+      |> List.sort_uniq compare)
+    monitors
+
+let deliver seq = Probe.Chan_deliver { chan = 1; node = 0; peer = 1; seq }
+
+let test_invariant_duplicate_delivery () =
+  Alcotest.(check (list string))
+    "duplicate channel delivery caught" [ "chan-deliver-in-order" ]
+    (monitor_hits [ deliver 0; deliver 1; deliver 1 ]);
+  Alcotest.(check (list string))
+    "sequence gap caught" [ "chan-deliver-in-order" ]
+    (monitor_hits [ deliver 0; deliver 2 ]);
+  Alcotest.(check (list string))
+    "in-order delivery clean" []
+    (monitor_hits [ deliver 0; deliver 1; deliver 2 ])
+
+let test_invariant_msg_once () =
+  let msg id = Probe.Msg_deliver { node = 0; src = 1; port = 7; msg_id = id } in
+  Alcotest.(check (list string))
+    "duplicate app delivery caught" [ "msg-deliver-once" ]
+    (monitor_hits [ msg 5; msg 5 ]);
+  Alcotest.(check (list string)) "distinct ids clean" []
+    (monitor_hits [ msg 5; msg 6 ])
+
+let test_invariant_ack_monotone () =
+  let ack c = Probe.Ack_tx { chan = 1; node = 0; peer = 1; cum_seq = c } in
+  Alcotest.(check (list string))
+    "cumulative ack regression caught" [ "ack-monotone" ]
+    (monitor_hits [ ack 4; ack 2 ])
+
+let test_invariant_window_bound () =
+  let w outstanding =
+    Probe.Window { chan = 1; node = 0; peer = 1; outstanding; limit = 8 }
+  in
+  Alcotest.(check (list string))
+    "window overrun caught" [ "window-bound" ]
+    (monitor_hits [ w 9 ]);
+  Alcotest.(check (list string)) "full window is legal" [] (monitor_hits [ w 8 ])
+
+let test_invariant_register () =
+  let saved = !Check.Invariants.registry in
+  Fun.protect
+    ~finally:(fun () -> Check.Invariants.registry := saved)
+    (fun () ->
+      Check.Invariants.register (fun () ->
+          {
+            Check.Invariants.name = "no-ivar-at-all";
+            on_event =
+              (fun ~now:_ ev ->
+                match ev with
+                | Probe.Ivar_fill _ -> Some "ivar use forbidden"
+                | _ -> None);
+          });
+      Alcotest.(check (list string))
+        "registered monitor runs" [ "no-ivar-at-all" ]
+        (monitor_hits [ Probe.Ivar_fill { id = 1 } ]))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism trace hash *)
+
+let hash_of evs =
+  let d = Check.Determinism.create () in
+  List.iter (Check.Determinism.on_event d) evs;
+  Check.Determinism.result d
+
+let test_determinism_hash () =
+  let msg src id = Probe.Msg_deliver { node = 0; src; port = 7; msg_id = id } in
+  (* cross-stream interleaving is not part of the logical trace *)
+  Alcotest.(check string)
+    "interleaving-invariant"
+    (hash_of [ msg 1 0; msg 2 0; msg 1 1; msg 2 1 ])
+    (hash_of [ msg 2 0; msg 1 0; msg 2 1; msg 1 1 ]);
+  (* but per-stream content and order are *)
+  check_bool "content-sensitive" true
+    (hash_of [ msg 1 0; msg 1 1 ] <> hash_of [ msg 1 1; msg 1 0 ]);
+  check_bool "delivery-sequence-sensitive" true
+    (hash_of [ deliver 0; deliver 1 ] <> hash_of [ deliver 0; deliver 1; deliver 2 ])
+
+let test_determinism_prefix () =
+  let trace evs =
+    let d = Check.Determinism.create () in
+    List.iter (Check.Determinism.on_event d) evs;
+    d
+  in
+  let short = trace [ deliver 0; deliver 1 ] in
+  let long = trace [ deliver 0; deliver 1; deliver 2 ] in
+  let conflicting = trace [ deliver 0; deliver 2 ] in
+  Alcotest.(check (option string))
+    "prefix of longer run is consistent" None
+    (Check.Determinism.prefix_divergence short long);
+  Alcotest.(check (option string))
+    "and symmetrically" None
+    (Check.Determinism.prefix_divergence long short);
+  check_bool "conflicting common prefix flagged" true
+    (Check.Determinism.prefix_divergence short conflicting <> None)
+
+(* ------------------------------------------------------------------ *)
+(* The full checker, end to end *)
+
+let quiet_scenario ?(truncated = false) name run =
+  { Check.Scenario.name; descr = name; truncated; run = (fun _fmt -> run ()) }
+
+(* A deliberate hidden ordering race: eight same-instant events draw
+   message ids from a shared counter, so the (source -> id) binding
+   depends on same-instant firing order.  The seeded permutation runs
+   must expose it. *)
+let test_check_catches_race () =
+  let sc =
+    quiet_scenario "race" (fun () ->
+        let sim = Sim.create () in
+        let next = ref 0 in
+        for src = 1 to 8 do
+          ignore
+            (Sim.schedule sim ~after:50 (fun () ->
+                 let id = !next in
+                 incr next;
+                 Probe.emit
+                   (Probe.Msg_deliver { node = 0; src; port = 1; msg_id = id })))
+        done;
+        Sim.run sim)
+  in
+  let r = Check.run_scenario ~seeds:3 sc in
+  check_bool "race detected" false (Check.ok r);
+  check_bool "as a trace divergence" true
+    (List.exists
+       (fun v -> v.Check.Violation.rule = "trace-divergence")
+       r.Check.violations)
+
+(* The same shape without the shared counter is order-independent and
+   must pass clean under every permutation. *)
+let test_check_clean_synthetic () =
+  let sc =
+    quiet_scenario "no-race" (fun () ->
+        let sim = Sim.create () in
+        for src = 1 to 8 do
+          ignore
+            (Sim.schedule sim ~after:50 (fun () ->
+                 Probe.emit
+                   (Probe.Msg_deliver { node = 0; src; port = 1; msg_id = src })))
+        done;
+        Sim.run sim)
+  in
+  let r = Check.run_scenario ~seeds:3 sc in
+  check_bool "clean" true (Check.ok r);
+  check_int "baseline + 3 seeded runs" 4 r.Check.runs
+
+(* A real two-node CLIC ping-pong through the whole stack: zero
+   violations, zero leaks, stable logical trace across seeds. *)
+let test_check_real_scenario_clean () =
+  let sc =
+    quiet_scenario "mini-pingpong" (fun () ->
+        let c = Cluster.Net.create ~n:2 () in
+        let pair = Cluster.Measure.clic_pair c ~a:0 ~b:1 () in
+        ignore (Cluster.Measure.pingpong c pair ~size:1024 ~reps:4 ~warmup:1 ()))
+  in
+  let r = Check.run_scenario ~seeds:2 sc in
+  List.iter
+    (fun v -> Printf.printf "unexpected: %s\n" (Check.Violation.to_string v))
+    r.Check.violations;
+  check_bool "full stack runs clean" true (Check.ok r);
+  check_bool "objects were actually tracked" true
+    (List.exists
+       (fun n -> n <> "peak live objects 0")
+       r.Check.notes)
+
+let suite =
+  [
+    Alcotest.test_case "heap: equal keys drain FIFO" `Quick
+      test_heap_fifo_stability;
+    Alcotest.test_case "sim: seeded tie-break permutes same-instant events"
+      `Quick test_sim_tie_break;
+    Alcotest.test_case "lifecycle: double free" `Quick
+      test_lifecycle_double_free;
+    Alcotest.test_case "lifecycle: use after free" `Quick
+      test_lifecycle_use_after_free;
+    Alcotest.test_case "lifecycle: leak at sim end" `Quick test_lifecycle_leak;
+    Alcotest.test_case "lifecycle: pool bytes outstanding" `Quick
+      test_lifecycle_pool_leak;
+    Alcotest.test_case "lifecycle: balanced run is clean" `Quick
+      test_lifecycle_clean;
+    Alcotest.test_case "lifecycle: real skbuff double free" `Quick
+      test_skbuff_double_free_probed;
+    Alcotest.test_case "invariants: duplicate/gap delivery" `Quick
+      test_invariant_duplicate_delivery;
+    Alcotest.test_case "invariants: duplicate app message" `Quick
+      test_invariant_msg_once;
+    Alcotest.test_case "invariants: ack monotonicity" `Quick
+      test_invariant_ack_monotone;
+    Alcotest.test_case "invariants: window bound" `Quick
+      test_invariant_window_bound;
+    Alcotest.test_case "invariants: custom registration" `Quick
+      test_invariant_register;
+    Alcotest.test_case "determinism: logical trace hash" `Quick
+      test_determinism_hash;
+    Alcotest.test_case "determinism: truncated-run prefix compare" `Quick
+      test_determinism_prefix;
+    Alcotest.test_case "check: catches a seeded ordering race" `Quick
+      test_check_catches_race;
+    Alcotest.test_case "check: clean synthetic scenario" `Quick
+      test_check_clean_synthetic;
+    Alcotest.test_case "check: real CLIC ping-pong end to end" `Quick
+      test_check_real_scenario_clean;
+  ]

@@ -10,5 +10,6 @@ let () =
       ("cluster", Test_cluster.suite);
       ("rivals", Test_rivals.suite);
       ("report", Test_report.suite);
+      ("check", Test_check.suite);
       ("integration", Test_integration.suite);
     ]

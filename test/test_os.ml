@@ -182,15 +182,28 @@ let test_skbuff_shapes () =
   check_int "scatter-gather total" 526 (Skbuff.total_bytes sg)
 
 let test_kmem_accounting () =
-  let pool = Kmem.create ~capacity:1000 in
+  let pool = Kmem.create ~name:"testpool" ~capacity:1000 () in
   check_bool "alloc ok" true (Kmem.try_alloc pool 600);
   check_bool "overcommit refused" false (Kmem.try_alloc pool 600);
   check_int "failed count" 1 (Kmem.failed_allocs pool);
   Kmem.free pool 600;
   check_bool "after free" true (Kmem.try_alloc pool 1000);
   check_int "high water" 1000 (Kmem.high_water pool);
-  Alcotest.check_raises "over-free" (Invalid_argument "Kmem.free: bad size")
-    (fun () -> Kmem.free pool 2000)
+  Alcotest.check_raises "over-free"
+    (Invalid_argument
+       "Kmem.free(testpool): freeing 2000B but only 1000B outstanding \
+        (capacity 1000B)")
+    (fun () -> Kmem.free pool 2000);
+  Alcotest.check_raises "non-positive free"
+    (Invalid_argument
+       "Kmem.free(testpool): non-positive size 0B (1000B outstanding of \
+        1000B)")
+    (fun () -> Kmem.free pool 0);
+  Alcotest.check_raises "non-positive alloc"
+    (Invalid_argument
+       "Kmem.try_alloc(testpool): non-positive size -5B (1000B outstanding \
+        of 1000B)")
+    (fun () -> ignore (Kmem.try_alloc pool (-5)))
 
 (* ------------------------------------------------------------------ *)
 (* Ktimer *)
