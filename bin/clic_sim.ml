@@ -7,6 +7,8 @@
      chaos      reliability soak under fault injection (sweep or custom)
      figure     regenerate a paper figure/table by id
      check      run the analysis passes over the paper experiments
+     timeline   export a scenario's Perfetto/Chrome trace timeline
+     metrics    export a scenario's time-series metrics (CSV/JSON)
      list       list experiment ids *)
 
 open Cmdliner
@@ -298,6 +300,116 @@ let check_cmd =
           invariant monitors, determinism detector) over paper experiments")
     Term.(const run_check $ verbose_arg $ scenarios $ seeds $ list)
 
+(* ------------------------------------------------------------------ *)
+(* Observability: timeline and metrics exports over the probe stream *)
+
+let find_scenario name =
+  match Check.Scenario.find name with
+  | Some sc -> sc
+  | None ->
+      Printf.eprintf "clic-sim: unknown scenario %S (know: %s)\n" name
+        (String.concat ", " Check.Scenario.names);
+      exit 2
+
+let write_output ~out content =
+  match out with
+  | "-" -> print_string content
+  | path ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length content)
+
+let scenario_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO"
+       ~doc:"Scenario id (see `clic-sim check --list').")
+
+let out_arg default =
+  Arg.(value & opt string default
+       & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file; `-' writes to stdout.")
+
+let run_timeline verbose name out =
+  ignore (verbose : bool);
+  let sc = find_scenario name in
+  let recorder, _rendered = Obs.Recorder.record sc in
+  write_output ~out (Obs.Timeline.export recorder);
+  if out <> "-" then
+    Printf.printf
+      "%d probe events; open in ui.perfetto.dev or chrome://tracing\n"
+      (Obs.Recorder.count recorder)
+
+let run_metrics verbose name out format bucket_us attribution =
+  ignore (verbose : bool);
+  let sc = find_scenario name in
+  let recorder, _rendered = Obs.Recorder.record sc in
+  let bucket_ns =
+    if bucket_us <= 0. then None
+    else Some (int_of_float (bucket_us *. 1000.))
+  in
+  let m = Obs.Metrics.build ?bucket_ns recorder in
+  (match format with
+  | "csv" -> write_output ~out (Obs.Metrics.to_csv m)
+  | "json" -> write_output ~out (Obs.Metrics.to_json m)
+  | "summary" | _ ->
+      if out = "-" then Obs.Metrics.pp_summary Format.std_formatter m
+      else begin
+        let buf = Buffer.create 4096 in
+        let fmt = Format.formatter_of_buffer buf in
+        Obs.Metrics.pp_summary fmt m;
+        Format.pp_print_flush fmt ();
+        write_output ~out (Buffer.contents buf)
+      end);
+  if attribution then begin
+    let msgs = Obs.Attribution.messages recorder in
+    Format.printf "@.per-message latency attribution (%d messages):@."
+      (List.length msgs);
+    Obs.Attribution.pp_table Format.std_formatter msgs
+  end
+
+let timeline_cmd =
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Run a scenario under the probe and export a Chrome \
+          trace-event/Perfetto timeline: per-node process, ISR, \
+          bottom-half, CLIC-module, DMA and wire tracks, with flow arrows \
+          from each send syscall to its delivery.")
+    Term.(
+      const run_timeline $ verbose_arg $ scenario_pos
+      $ out_arg "timeline.json")
+
+let metrics_cmd =
+  let format =
+    Arg.(value & opt (enum [ ("csv", "csv"); ("json", "json");
+                             ("summary", "summary") ]) "summary"
+         & info [ "f"; "format" ] ~docv:"FMT"
+             ~doc:"Export format: csv, json or summary.")
+  in
+  let bucket =
+    Arg.(value & opt float 0.
+         & info [ "bucket-us" ] ~docv:"US"
+             ~doc:
+               "Bucket width for utilization/rate series; default divides \
+                the run into ~200 buckets.")
+  in
+  let attribution =
+    Arg.(value & flag
+         & info [ "attribution" ]
+             ~doc:
+               "Also print the per-message latency attribution table (the \
+                Figure 7 stage breakdown for every message).")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a scenario under the probe and export time-series metrics: \
+          CPU/bus utilization, interrupt rates, ring and egress queue \
+          depths, channel windows, kernel pool bytes, message counters.")
+    Term.(
+      const run_metrics $ verbose_arg $ scenario_pos $ out_arg "-" $ format
+      $ bucket $ attribution)
+
 let figure_cmd =
   let id =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
@@ -331,4 +443,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ latency_cmd; bandwidth_cmd; stream_cmd; chaos_cmd; figure_cmd;
-            check_cmd; list_cmd ]))
+            check_cmd; timeline_cmd; metrics_cmd; list_cmd ]))

@@ -53,8 +53,25 @@ let sim t = t.env.Hostenv.sim
 let membus t = t.env.Hostenv.membus
 let kmem t = t.env.Hostenv.kmem
 
-let traced t label f =
-  match t.trace with Some tr -> Trace.run tr label f | None -> f ()
+(* Stage work is reported to the node's [Trace] (when attached) for the
+   Figure 7 table and to [Probe] as a timeline span for the observability
+   layer. *)
+let traced t ~track label f =
+  let f =
+    match t.trace with
+    | Some tr -> fun () -> Trace.run tr label f
+    | None -> f
+  in
+  if Probe.enabled () then begin
+    let start = Sim.now (sim t) in
+    let v = f () in
+    Probe.emit
+      (Probe.Span
+         { host = Cpu.name (cpu t); track; label; start;
+           finish = Sim.now (sim t) });
+    v
+  end
+  else f ()
 
 let link_mtu t =
   Nic.mtu (Driver.nic (Ethernet.env t.eths.(0)).Hostenv.driver)
@@ -258,7 +275,7 @@ and deliver_message t msg =
          any remainder and wake it. *)
       port.waiter <- None;
       if msg.msg_uncopied > 0 then begin
-        traced t "clic:copy-to-user" (fun () ->
+        traced t ~track:Probe.Module "clic:copy-to-user" (fun () ->
             Cpu.copy ~priority:`High (cpu t) ~membus:(membus t)
               msg.msg_uncopied);
         msg.msg_uncopied <- 0
@@ -297,7 +314,7 @@ and handle_fragment t ~src ~sync ~broadcast ~port ~bytes (frag : Wire.frag) =
      goes straight to user memory (the paper's Figure 3, step 7); only a
      process that asks later pays the copy in its own receive call. *)
   if (get_port t port).waiter <> None && bytes > 0 then begin
-    traced t "clic:copy-to-user" (fun () ->
+    traced t ~track:Probe.Module "clic:copy-to-user" (fun () ->
         Cpu.copy ~priority:`High (cpu t) ~membus:(membus t) bytes);
     slot.copied_bytes <- slot.copied_bytes + bytes
   end;
@@ -317,7 +334,7 @@ and handle_fragment t ~src ~sync ~broadcast ~port ~bytes (frag : Wire.frag) =
   end
 
 and handle_reliable t (pkt : Wire.packet) =
-  traced t "clic:module-rx" (fun () ->
+  traced t ~track:Probe.Module "clic:module-rx" (fun () ->
       Cpu.work ~priority:`High (cpu t) t.p.Params.module_rx);
   match pkt.kind with
   | Wire.Data { port; sync; frag } ->
@@ -336,7 +353,7 @@ and handle_reliable t (pkt : Wire.packet) =
 and handle_rwrite_fragment t ~src ~region ~bytes frag =
   (* Remote write: data goes straight to the target user memory, fragment
      by fragment, with no receive call involved. *)
-  traced t "clic:copy-to-user" (fun () ->
+  traced t ~track:Probe.Module "clic:copy-to-user" (fun () ->
       Cpu.copy ~priority:`High (cpu t) ~membus:(membus t) bytes);
   (match Hashtbl.find_opt t.regions region with
   | Some (count, notify) ->
@@ -354,7 +371,7 @@ let rx t (desc : Nic.rx_desc) =
           Cpu.work ~priority:`High (cpu t) t.p.Params.module_rx;
           Channel.rx_ack (get_channel t pkt.src) cum_seq
       | Wire.Bcast { port; frag } ->
-          traced t "clic:module-rx" (fun () ->
+          traced t ~track:Probe.Module "clic:module-rx" (fun () ->
               Cpu.work ~priority:`High (cpu t) t.p.Params.module_rx);
           handle_fragment t ~src:pkt.src ~sync:false ~broadcast:true ~port
             ~bytes:pkt.data_bytes frag
@@ -430,11 +447,13 @@ let send_message t ~dst ~port ?(sync = false) bytes ~sync_done =
   else begin
     let msg_id = t.next_msg_id in
     t.next_msg_id <- t.next_msg_id + 1;
+    if Probe.enabled () then
+      Probe.emit (Probe.Msg_send { node = node t; dst; port; msg_id; bytes });
     if sync then Hashtbl.replace t.sync_done msg_id sync_done;
     let chan = get_channel t dst in
     List.iter
       (fun (frag_index, frag_count, len) ->
-        traced t "clic:module-tx" (fun () ->
+        traced t ~track:Probe.Process "clic:module-tx" (fun () ->
             Cpu.work (cpu t) t.p.Params.module_tx);
         let frag =
           { Wire.msg_id; frag_index; frag_count; msg_bytes = bytes }
@@ -500,6 +519,15 @@ let recv_poll t ~port =
         Cpu.copy (cpu t) ~membus:(membus t) msg.msg_uncopied;
         msg.msg_uncopied <- 0
       end;
+      if Probe.enabled () then
+        Probe.emit
+          (Probe.Msg_recv
+             {
+               node = node t;
+               src = msg.msg_src;
+               port = msg.msg_port;
+               msg_id = msg.msg_id;
+             });
       Some msg
 
 let recv_wait t ~port =

@@ -29,6 +29,144 @@ let is_reliable = function
 
 let wire_bytes ~header_bytes pkt = header_bytes + pkt.data_bytes
 
+(* ------------------------------------------------------------------ *)
+(* Header codec.
+
+   The simulation carries packets as values, but the header layout is
+   part of the protocol being reproduced: the fixed header a real driver
+   would prepend to each fragment payload.  All multi-byte fields are
+   big-endian:
+
+     off  size  field
+      0     1   kind tag (0=data 1=rwrite 2=bcast 3=chan-ack 4=msg-ack)
+      1     1   flags (bit0: sync, bit1: chan_seq present)
+      2     2   src node
+      4     4   chan_seq (0 when absent)
+      8     2   data_bytes (payload carried by this packet)
+     10     2   port (data/bcast) or region (rwrite); 0 for acks
+     12     4   msg_id (frag kinds, msg-ack) or cum_seq (chan-ack)
+     16     4   msg_bytes (total message size; 0 for acks)
+     20     2   frag_index
+     22     2   frag_count (0 for ack kinds)
+
+   [Params.header_bytes] stays the modelled per-packet cost; this codec
+   is the bit-level contract the property-based tests pin down. *)
+
+let header_len = 24
+
+exception Decode_error of string
+
+let check_range what v lo hi =
+  if v < lo || v > hi then
+    invalid_arg
+      (Printf.sprintf "Wire.encode: %s = %d outside [%d, %d]" what v lo hi)
+
+let put16 b off v =
+  Bytes.set_uint8 b off ((v lsr 8) land 0xff);
+  Bytes.set_uint8 b (off + 1) (v land 0xff)
+
+let put32 b off v =
+  put16 b off ((v lsr 16) land 0xffff);
+  put16 b (off + 2) (v land 0xffff)
+
+let get16 b off = (Bytes.get_uint8 b off lsl 8) lor Bytes.get_uint8 b (off + 1)
+let get32 b off = (get16 b off lsl 16) lor get16 b (off + 2)
+
+let kind_tag = function
+  | Data _ -> 0
+  | Remote_write _ -> 1
+  | Bcast _ -> 2
+  | Chan_ack _ -> 3
+  | Msg_ack _ -> 4
+
+let encode pkt =
+  check_range "src" pkt.src 0 0xffff;
+  check_range "data_bytes" pkt.data_bytes 0 0xffff;
+  (match pkt.chan_seq with
+  | Some s -> check_range "chan_seq" s 0 0x7fffffff
+  | None -> ());
+  let b = Bytes.make header_len '\000' in
+  Bytes.set_uint8 b 0 (kind_tag pkt.kind);
+  let sync = match pkt.kind with Data { sync; _ } -> sync | _ -> false in
+  let flags =
+    (if sync then 1 else 0)
+    lor (match pkt.chan_seq with Some _ -> 2 | None -> 0)
+  in
+  Bytes.set_uint8 b 1 flags;
+  put16 b 2 pkt.src;
+  put32 b 4 (match pkt.chan_seq with Some s -> s | None -> 0);
+  put16 b 8 pkt.data_bytes;
+  let put_frag frag =
+    check_range "msg_id" frag.msg_id 0 0x7fffffff;
+    check_range "msg_bytes" frag.msg_bytes 0 0x7fffffff;
+    check_range "frag_index" frag.frag_index 0 0xffff;
+    check_range "frag_count" frag.frag_count 1 0xffff;
+    check_range "frag_index < frag_count" frag.frag_index 0
+      (frag.frag_count - 1);
+    put32 b 12 frag.msg_id;
+    put32 b 16 frag.msg_bytes;
+    put16 b 20 frag.frag_index;
+    put16 b 22 frag.frag_count
+  in
+  (match pkt.kind with
+  | Data { port; sync = _; frag } ->
+      check_range "port" port 0 0xffff;
+      put16 b 10 port;
+      put_frag frag
+  | Remote_write { region; frag } ->
+      check_range "region" region 0 0xffff;
+      put16 b 10 region;
+      put_frag frag
+  | Bcast { port; frag } ->
+      check_range "port" port 0 0xffff;
+      put16 b 10 port;
+      put_frag frag
+  | Chan_ack { cum_seq } ->
+      check_range "cum_seq" cum_seq 0 0x7fffffff;
+      put32 b 12 cum_seq
+  | Msg_ack { msg_id } ->
+      check_range "msg_id" msg_id 0 0x7fffffff;
+      put32 b 12 msg_id);
+  b
+
+let decode b =
+  if Bytes.length b <> header_len then
+    raise
+      (Decode_error
+         (Printf.sprintf "header length %d, want %d" (Bytes.length b)
+            header_len));
+  let tag = Bytes.get_uint8 b 0 in
+  let flags = Bytes.get_uint8 b 1 in
+  if flags land lnot 0x3 <> 0 then
+    raise (Decode_error (Printf.sprintf "unknown flags 0x%x" flags));
+  let sync = flags land 1 <> 0 in
+  let src = get16 b 2 in
+  let chan_seq = if flags land 2 <> 0 then Some (get32 b 4) else None in
+  let data_bytes = get16 b 8 in
+  let frag () =
+    let frag_count = get16 b 22 in
+    if frag_count = 0 then raise (Decode_error "frag_count = 0");
+    let frag_index = get16 b 20 in
+    if frag_index >= frag_count then
+      raise
+        (Decode_error
+           (Printf.sprintf "frag_index %d >= frag_count %d" frag_index
+              frag_count));
+    { msg_id = get32 b 12; msg_bytes = get32 b 16; frag_index; frag_count }
+  in
+  let kind =
+    match tag with
+    | 0 -> Data { port = get16 b 10; sync; frag = frag () }
+    | 1 -> Remote_write { region = get16 b 10; frag = frag () }
+    | 2 -> Bcast { port = get16 b 10; frag = frag () }
+    | 3 -> Chan_ack { cum_seq = get32 b 12 }
+    | 4 -> Msg_ack { msg_id = get32 b 12 }
+    | t -> raise (Decode_error (Printf.sprintf "unknown kind tag %d" t))
+  in
+  if sync && tag <> 0 then
+    raise (Decode_error "sync flag on a non-data kind");
+  { src; chan_seq; data_bytes; kind }
+
 let pp fmt pkt =
   let kind_str =
     match pkt.kind with

@@ -48,3 +48,27 @@ val wire_bytes : header_bytes:int -> packet -> int
 (** CLIC header plus payload (the L2 payload size). *)
 
 val pp : Format.formatter -> packet -> unit
+
+(** {1 Header codec}
+
+    The bit-level header layout (see the implementation for the field
+    table): a fixed {!header_len}-byte big-endian header a real driver
+    would prepend to each fragment payload.  [decode (encode p) = p] for
+    every encodable packet; [decode] is total over arbitrary
+    {!header_len}-byte strings — it either returns a packet or raises
+    {!Decode_error}, never a packet that [encode] could not have
+    produced. *)
+
+val header_len : int
+(** 24 bytes. *)
+
+exception Decode_error of string
+
+val encode : packet -> bytes
+(** @raise Invalid_argument when a field exceeds its wire width
+    (e.g. [src] beyond 16 bits, [frag_index >= frag_count]). *)
+
+val decode : bytes -> packet
+(** @raise Decode_error on a malformed header (wrong length, unknown
+    kind tag or flags, zero [frag_count], sync flag on a non-data
+    kind). *)

@@ -1,4 +1,5 @@
 type t = {
+  sim : Sim.t;
   res : Resource.t;
   name : string;
   effective_bps : float;
@@ -12,6 +13,7 @@ let create sim ~name ~bytes_per_s ?(efficiency = 1.0) ?(setup = 0) () =
     invalid_arg "Bus.create: efficiency outside (0,1]";
   if setup < 0 then invalid_arg "Bus.create: negative setup";
   {
+    sim;
     res = Resource.create sim ~name;
     name;
     effective_bps = bytes_per_s *. efficiency;
@@ -20,6 +22,7 @@ let create sim ~name ~bytes_per_s ?(efficiency = 1.0) ?(setup = 0) () =
   }
 
 let name t = t.name
+let sim t = t.sim
 
 let transfer_time t n =
   if n < 0 then invalid_arg "Bus.transfer_time: negative size";

@@ -21,6 +21,7 @@ val create :
     (0, 1]. *)
 
 val name : t -> string
+val sim : t -> Sim.t
 
 val transfer_time : t -> int -> Time.span
 (** Uncontended duration of an [n]-byte transfer. *)

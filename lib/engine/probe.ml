@@ -10,9 +10,23 @@ type owner = App | Channel | Driver | Bh | Nic
 
 type obj_kind = Skb | Rx_buffer
 
+type track = Process | Isr | Bh_track | Module | Dma | Link | Busy
+
 type event =
   | Sim_start
   | Clock of { now : int }
+  | Span of {
+      host : string;
+      track : track;
+      label : string;
+      start : int;
+      finish : int;
+    }
+  | Sched_run of { host : string }
+  | Sched_block of { host : string }
+  | Irq of { host : string }
+  | Queue_depth of { queue : string; depth : int }
+  | Msg_send of { node : int; dst : int; port : int; msg_id : int; bytes : int }
   | Obj_alloc of {
       kind : obj_kind;
       id : int;
@@ -41,6 +55,7 @@ type event =
   | Chan_deliver of { chan : int; node : int; peer : int; seq : int }
   | Chan_dead of { chan : int; node : int; peer : int }
   | Msg_deliver of { node : int; src : int; port : int; msg_id : int }
+  | Msg_recv of { node : int; src : int; port : int; msg_id : int }
   | Rto_armed of {
       chan : int;
       node : int;
@@ -68,9 +83,29 @@ let owner_name = function
 
 let kind_name = function Skb -> "skbuff" | Rx_buffer -> "rx-buffer"
 
+let track_name = function
+  | Process -> "process"
+  | Isr -> "isr"
+  | Bh_track -> "bottom-half"
+  | Module -> "module"
+  | Dma -> "dma"
+  | Link -> "link"
+  | Busy -> "busy"
+
 let to_string = function
   | Sim_start -> "sim-start"
   | Clock { now } -> Printf.sprintf "clock %d" now
+  | Span { host; track; label; start; finish } ->
+      Printf.sprintf "span %s/%s %s %d..%d" host (track_name track) label
+        start finish
+  | Sched_run { host } -> Printf.sprintf "sched-run %s" host
+  | Sched_block { host } -> Printf.sprintf "sched-block %s" host
+  | Irq { host } -> Printf.sprintf "irq %s" host
+  | Queue_depth { queue; depth } ->
+      Printf.sprintf "queue-depth %s %d" queue depth
+  | Msg_send { node; dst; port; msg_id; bytes } ->
+      Printf.sprintf "msg-send node=%d dst=%d port=%d msg=%d %dB" node dst
+        port msg_id bytes
   | Obj_alloc { kind; id; bytes; owner; where } ->
       Printf.sprintf "alloc %s#%d %dB owner=%s at %s" (kind_name kind) id
         bytes (owner_name owner) where
@@ -106,6 +141,9 @@ let to_string = function
   | Msg_deliver { node; src; port; msg_id } ->
       Printf.sprintf "msg-deliver node=%d src=%d port=%d msg=%d" node src
         port msg_id
+  | Msg_recv { node; src; port; msg_id } ->
+      Printf.sprintf "msg-recv node=%d src=%d port=%d msg=%d" node src port
+        msg_id
   | Rto_armed { chan; node; peer; rto_ns; lo_ns; hi_ns } ->
       Printf.sprintf "rto-armed chan#%d %d->%d %dns in [%d,%d]" chan node
         peer rto_ns lo_ns hi_ns

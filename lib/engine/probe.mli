@@ -17,9 +17,39 @@ type owner =
 
 type obj_kind = Skb | Rx_buffer
 
+type track =
+  | Process  (** work charged in a process/syscall context *)
+  | Isr  (** interrupt service routine *)
+  | Bh_track  (** bottom-half (softirq) context *)
+  | Module  (** CLIC_MODULE receive-side work (runs in ISR/BH context) *)
+  | Dma  (** a DMA engine moving bytes over the I/O bus *)
+  | Link  (** a wire occupied by a frame's serialization *)
+  | Busy  (** raw resource occupancy (CPU / bus grants) *)
+
 type event =
   | Sim_start  (** a fresh simulator was created: per-sim state resets *)
   | Clock of { now : int }  (** an event fired at [now] (ns) *)
+  | Span of {
+      host : string;  (** resource name: "cpu0", "nic0.1", a link name *)
+      track : track;
+      label : string;
+      start : int;
+      finish : int;
+    }
+      (** a completed activity interval (ns), reported at [finish].  The
+          observability layer ([lib/obs]) renders these as timeline slices
+          and derives utilization metrics from them. *)
+  | Sched_run of { host : string }
+      (** the scheduler woke a blocked process on this CPU *)
+  | Sched_block of { host : string }
+      (** a process blocked waiting on this CPU's scheduler *)
+  | Irq of { host : string }  (** a NIC asserted its interrupt line *)
+  | Queue_depth of { queue : string; depth : int }
+      (** instantaneous occupancy of a named queue (NIC rx ring, switch
+          egress buffer) after a push/pop *)
+  | Msg_send of { node : int; dst : int; port : int; msg_id : int; bytes : int }
+      (** a message entered the send syscall; pairs with [Msg_deliver] for
+          flow arrows and per-message latency attribution *)
   | Obj_alloc of {
       kind : obj_kind;
       id : int;
@@ -49,6 +79,11 @@ type event =
   | Chan_deliver of { chan : int; node : int; peer : int; seq : int }
   | Chan_dead of { chan : int; node : int; peer : int }
   | Msg_deliver of { node : int; src : int; port : int; msg_id : int }
+  | Msg_recv of { node : int; src : int; port : int; msg_id : int }
+      (** the receiving process took the message out of its port queue and
+          the copy to user memory finished — the end of the message's
+          latency window for the attribution pass (the syscall return is a
+          fixed cost later) *)
   | Rto_armed of {
       chan : int;
       node : int;
@@ -70,6 +105,7 @@ val uninstall : unit -> unit
 
 val owner_name : owner -> string
 val kind_name : obj_kind -> string
+val track_name : track -> string
 
 val to_string : event -> string
 (** Stable textual form, used for reports and determinism hashing. *)

@@ -40,6 +40,17 @@ let acquire ?(priority = `Low) t =
         Queue.add resume q)
   else t.busy <- true
 
+(* Positive-duration grants double as occupancy spans for the
+   observability layer; zero-length grants (scheduling points) would only
+   add noise. *)
+let probe_span t started =
+  let finish = Sim.now t.sim in
+  if finish > started && Probe.enabled () then
+    Probe.emit
+      (Probe.Span
+         { host = t.name; track = Probe.Busy; label = "busy"; start = started;
+           finish })
+
 let use_f ?priority t f =
   acquire ?priority t;
   let started = Sim.now t.sim in
@@ -47,10 +58,12 @@ let use_f ?priority t f =
   match f () with
   | v ->
       t.busy_time <- t.busy_time + Time.diff (Sim.now t.sim) started;
+      probe_span t started;
       release t;
       v
   | exception exn ->
       t.busy_time <- t.busy_time + Time.diff (Sim.now t.sim) started;
+      probe_span t started;
       release t;
       raise exn
 

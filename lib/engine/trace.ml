@@ -42,6 +42,33 @@ let duration t label =
   let seen = List.exists (fun s -> String.equal s.label label) (spans t) in
   if seen then Some total else None
 
+(* Merge-sweep over start-sorted intervals: extend the open interval while
+   the next one overlaps (or abuts), otherwise close it out. *)
+let merged_length intervals =
+  let sorted = List.sort compare intervals in
+  let total, open_iv =
+    List.fold_left
+      (fun (total, open_iv) (s, f) ->
+        match open_iv with
+        | None -> (total, Some (s, f))
+        | Some (os, of_) ->
+            if s <= of_ then (total, Some (os, max of_ f))
+            else (total + Time.diff of_ os, Some (s, f)))
+      (0, None) sorted
+  in
+  match open_iv with
+  | None -> total
+  | Some (os, of_) -> total + Time.diff of_ os
+
+let disjoint_duration t label =
+  let intervals =
+    List.filter_map
+      (fun s ->
+        if String.equal s.label label then Some (s.start, s.finish) else None)
+      (spans t)
+  in
+  match intervals with [] -> None | _ -> Some (merged_length intervals)
+
 let pp fmt t =
   List.iter
     (fun s ->

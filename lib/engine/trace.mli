@@ -28,6 +28,23 @@ val spans : t -> span list
 val clear : t -> unit
 
 val duration : t -> string -> Time.span option
-(** Total time of all spans with the given label. *)
+(** Total time of all spans with the given label, summed {e with}
+    multiplicity: two overlapping spans of the same label each contribute
+    their full length, so the result can exceed wall-clock time.  This is
+    the right reading for per-stage {e work} (Figure 7 sums stage costs),
+    but not for occupancy.  Use {!disjoint_duration} for wall-clock
+    coverage.  [None] when no span carries the label. *)
+
+val disjoint_duration : t -> string -> Time.span option
+(** Wall-clock time covered by spans with the given label: overlapping
+    intervals are merged before measuring, so each instant counts once.
+    [disjoint_duration t l <= duration t l] always.  The latency
+    attribution pass in [lib/obs] uses this reading.  [None] when no span
+    carries the label. *)
+
+val merged_length : (Time.t * Time.t) list -> Time.span
+(** Total length of the union of the given [(start, finish)] intervals
+    (overlaps counted once).  Exposed for observability-layer passes that
+    merge probe spans without building a trace. *)
 
 val pp : Format.formatter -> t -> unit

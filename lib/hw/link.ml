@@ -63,6 +63,11 @@ let deliver t frame =
 (* The transmitter drains the queue one frame at a time; each frame occupies
    the wire for its serialization time, then propagates independently (so
    back-to-back frames pipeline across the propagation delay). *)
+let probe_depth t =
+  if Probe.enabled () then
+    Probe.emit
+      (Probe.Queue_depth { queue = t.name; depth = Queue.length t.queue })
+
 let rec pump t =
   match Queue.take_opt t.queue with
   | None -> t.transmitting <- false
@@ -70,6 +75,16 @@ let rec pump t =
       let ser = serialization_time t frame in
       t.frames_sent <- t.frames_sent + 1;
       t.bytes_sent <- t.bytes_sent + Eth_frame.on_wire_bytes frame;
+      probe_depth t;
+      (* The wire-occupancy span is known up front: serialization is not
+         preemptible, so it can be reported at schedule time. *)
+      if ser > 0 && Probe.enabled () then begin
+        let start = Sim.now t.sim in
+        Probe.emit
+          (Probe.Span
+             { host = t.name; track = Probe.Link; label = "frame";
+               start; finish = start + ser })
+      end;
       ignore
         (Sim.schedule t.sim ~after:ser (fun () ->
              ignore
@@ -86,6 +101,7 @@ let send t frame =
   if full then t.frames_dropped <- t.frames_dropped + 1
   else begin
     Queue.add frame t.queue;
+    probe_depth t;
     if not t.transmitting then begin
       t.transmitting <- true;
       pump t

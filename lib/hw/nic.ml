@@ -66,6 +66,12 @@ type t = {
 
 let cancel_timer = function Some h -> Sim.cancel h | None -> ()
 
+let probe_ring_depth t =
+  if Probe.enabled () then
+    Probe.emit
+      (Probe.Queue_depth
+         { queue = t.name ^ ":rx-ring"; depth = Queue.length t.pending })
+
 let internal_move_time t bytes =
   Time.of_bytes_at_rate ~bytes_per_s:t.internal_bytes_per_s bytes
 
@@ -79,6 +85,7 @@ let assert_irq t =
   t.abs_timer <- None;
   t.masked <- true;
   t.interrupts_raised <- t.interrupts_raised + 1;
+  if Probe.enabled () then Probe.emit (Probe.Irq { host = t.name });
   match t.irq_handler with
   | Some handler -> handler ()
   | None -> ()
@@ -213,6 +220,7 @@ let rx_pump t () =
           Queue.add
             { rx_id; rx_frame = packet; host_bytes; arrived = Sim.now t.sim }
             t.pending;
+          probe_ring_depth t;
           t.rx_packets <- t.rx_packets + 1;
           evaluate_coalescing t
         end
@@ -305,6 +313,7 @@ let take_rx t =
   Queue.iter (fun d -> out := d :: !out) t.pending;
   let n = Queue.length t.pending in
   Queue.clear t.pending;
+  if n > 0 then probe_ring_depth t;
   Semaphore.release ~n t.rx_slots;
   List.rev !out
 

@@ -1,0 +1,59 @@
+(* Host-name → node attribution.
+
+   Every simulated resource carries a conventional name ([Node.create],
+   [Net.create], [Switch]): "cpu3", "mem3", "pci3" / "pci3.1", "kmem3",
+   "nic3.0", and per-port switch links "switch0<-n3" (uplink from node 3)
+   and "switch0->n3" (downlink to node 3).  The exporters group timeline
+   tracks and metric series by the node a resource belongs to; switch
+   fabric itself has no node. *)
+
+let is_digit c = c >= '0' && c <= '9'
+
+let int_at s i =
+  let n = String.length s in
+  if i >= n || not (is_digit s.[i]) then None
+  else begin
+    let j = ref i in
+    while !j < n && is_digit s.[!j] do incr j done;
+    Some (int_of_string (String.sub s i (!j - i)))
+  end
+
+let after_prefix s p =
+  if String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  then Some (String.length p)
+  else None
+
+(* The node a host belongs to, if any.  Switch-port links attribute to the
+   node on their far end; plain "switchN" resources (and anything
+   unrecognized) return [None] and render under the fabric group. *)
+let node_of name =
+  let from_port () =
+    (* "...<-nK" or "...->nK" *)
+    let n = String.length name in
+    let rec find i =
+      if i + 3 > n then None
+      else if
+        (String.sub name i 2 = "<-" || String.sub name i 2 = "->")
+        && i + 2 < n
+        && name.[i + 2] = 'n'
+      then int_at name (i + 3)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let prefixed p = Option.bind (after_prefix name p) (int_at name) in
+  match prefixed "cpu" with
+  | Some n -> Some n
+  | None -> (
+      match prefixed "mem" with
+      | Some n -> Some n
+      | None -> (
+          match prefixed "pci" with
+          | Some n -> Some n
+          | None -> (
+              match prefixed "kmem" with
+              | Some n -> Some n
+              | None -> (
+                  match prefixed "nic" with
+                  | Some n -> Some n
+                  | None -> from_port ()))))

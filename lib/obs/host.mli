@@ -1,0 +1,10 @@
+(** Host-name → node attribution for exporters.
+
+    Simulated resources follow the naming conventions of [Node.create] /
+    [Switch]: "cpu3", "mem3", "pci3" (or "pci3.1"), "kmem3", "nic3.0",
+    and switch-port links "switch0<-n3" / "switch0->n3". *)
+
+val node_of : string -> int option
+(** The node a host name belongs to; [None] for switch-internal
+    resources and unrecognized names (rendered under the fabric group).
+    Switch-port links attribute to the node on their far end. *)

@@ -1,0 +1,245 @@
+(* Time-series metrics derived from a recorded probe stream.
+
+   Seven instrument families:
+
+   - [cpu-utilization]   gauge, per CPU: busy fraction per time bucket,
+                         from [Busy] spans on "cpuN" hosts
+   - [bus-utilization]   gauge, per memory/PCI bus, same derivation
+   - [irq-rate]          rate,  per NIC: interrupts per second per bucket
+   - [queue-depth]       gauge, per named queue (NIC rx ring, switch
+                         egress, link queues), event-timed samples
+   - [channel-window]    gauge, per channel direction: packets in flight
+   - [pool-bytes]        gauge, per kernel memory pool: bytes in use
+   - [msg-count]         counter, per node: cumulative messages sent and
+                         delivered
+
+   Series are sampled either at event time (gauges driven by a probe
+   event) or over fixed buckets (utilization and rates, where an
+   instantaneous reading is meaningless).  Exports are deterministic:
+   series sorted by name, fixed float formatting. *)
+
+open Engine
+
+type kind = Gauge | Rate | Counter
+
+let kind_name = function
+  | Gauge -> "gauge"
+  | Rate -> "rate"
+  | Counter -> "counter"
+
+type series = {
+  s_name : string;
+  s_kind : kind;
+  s_unit : string;
+  s_points : (int * float) list;  (* (t_ns, value), time-ascending *)
+}
+
+type t = { bucket_ns : int; series : series list }
+
+(* ------------------------------------------------------------------ *)
+(* Derivations *)
+
+let bucket_count = 200
+
+let tbl_update tbl key f =
+  let cur = Hashtbl.find_opt tbl key in
+  Hashtbl.replace tbl key (f cur)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Busy intervals per host -> busy fraction per bucket.  A [Resource] is
+   exclusive, so its spans never overlap; clip each to the bucket. *)
+let utilization_series ~bucket_ns ~horizon intervals =
+  let nbuckets = max 1 ((horizon + bucket_ns - 1) / bucket_ns) in
+  let busy = Array.make nbuckets 0 in
+  List.iter
+    (fun (start, finish) ->
+      let b0 = start / bucket_ns
+      and b1 = min (nbuckets - 1) ((finish - 1) / bucket_ns) in
+      for b = b0 to b1 do
+        let lo = max start (b * bucket_ns)
+        and hi = min finish ((b + 1) * bucket_ns) in
+        if hi > lo then busy.(b) <- busy.(b) + (hi - lo)
+      done)
+    intervals;
+  List.init nbuckets (fun b ->
+      ((b + 1) * bucket_ns, float_of_int busy.(b) /. float_of_int bucket_ns))
+
+let rate_series ~bucket_ns ~horizon stamps =
+  let nbuckets = max 1 ((horizon + bucket_ns - 1) / bucket_ns) in
+  let hits = Array.make nbuckets 0 in
+  List.iter
+    (fun at ->
+      let b = min (nbuckets - 1) (at / bucket_ns) in
+      hits.(b) <- hits.(b) + 1)
+    stamps;
+  let per_s = 1e9 /. float_of_int bucket_ns in
+  List.init nbuckets (fun b ->
+      ((b + 1) * bucket_ns, float_of_int hits.(b) *. per_s))
+
+let build ?bucket_ns recorder =
+  let horizon = max 1 (Recorder.horizon recorder) in
+  let bucket_ns =
+    match bucket_ns with
+    | Some b ->
+        if b <= 0 then invalid_arg "Metrics.build: bucket_ns <= 0" else b
+    | None -> max 1 (horizon / bucket_count)
+  in
+  let busy = Hashtbl.create 16 (* host -> intervals, reverse order *) in
+  let irqs = Hashtbl.create 16 (* host -> stamps, reverse order *) in
+  let gauges = Hashtbl.create 64 (* (family, name) -> points, reverse *) in
+  let counts = Hashtbl.create 16 (* (family, name) -> running count *) in
+  let push_gauge family name at v =
+    tbl_update gauges (family, name) (function
+      | Some pts -> (at, v) :: pts
+      | None -> [ (at, v) ])
+  in
+  let bump family name at =
+    let next =
+      match Hashtbl.find_opt counts (family, name) with
+      | Some n -> n + 1
+      | None -> 1
+    in
+    Hashtbl.replace counts (family, name) next;
+    push_gauge family name at (float_of_int next)
+  in
+  List.iter
+    (fun { Recorder.at; ev } ->
+      match ev with
+      | Probe.Span { host; track = Probe.Busy; start; finish; _ } ->
+          tbl_update busy host (function
+            | Some ivs -> (start, finish) :: ivs
+            | None -> [ (start, finish) ])
+      | Probe.Irq { host } ->
+          tbl_update irqs host (function
+            | Some ts -> at :: ts
+            | None -> [ at ])
+      | Probe.Queue_depth { queue; depth } ->
+          push_gauge "queue-depth" queue at (float_of_int depth)
+      | Probe.Window { chan; node; peer; outstanding; _ } ->
+          push_gauge "channel-window"
+            (Printf.sprintf "chan%d:%d->%d" chan node peer)
+            at
+            (float_of_int outstanding)
+      | Probe.Pool_alloc { pool; used; _ } | Probe.Pool_free { pool; used; _ }
+        ->
+          push_gauge "pool-bytes" pool at (float_of_int used)
+      | Probe.Msg_send { node; _ } ->
+          bump "msg-count" (Printf.sprintf "node%d.sent" node) at
+      | Probe.Msg_deliver { node; _ } ->
+          bump "msg-count" (Printf.sprintf "node%d.delivered" node) at
+      | _ -> ())
+    (Recorder.events recorder);
+  let util_family host =
+    match Host.node_of host with
+    | Some _ when String.length host >= 3 && String.sub host 0 3 = "cpu" ->
+        "cpu-utilization"
+    | _ -> "bus-utilization"
+  in
+  let series =
+    List.concat
+      [
+        List.map
+          (fun (host, ivs) ->
+            {
+              s_name = Printf.sprintf "%s/%s" (util_family host) host;
+              s_kind = Gauge;
+              s_unit = "fraction";
+              s_points =
+                utilization_series ~bucket_ns ~horizon (List.rev ivs);
+            })
+          (sorted_bindings busy);
+        List.map
+          (fun (host, stamps) ->
+            {
+              s_name = Printf.sprintf "irq-rate/%s" host;
+              s_kind = Rate;
+              s_unit = "irq/s";
+              s_points = rate_series ~bucket_ns ~horizon (List.rev stamps);
+            })
+          (sorted_bindings irqs);
+        List.map
+          (fun ((family, name), pts) ->
+            {
+              s_name = Printf.sprintf "%s/%s" family name;
+              s_kind =
+                (if family = "msg-count" then Counter else Gauge);
+              s_unit =
+                (match family with
+                | "queue-depth" -> "frames"
+                | "channel-window" -> "packets"
+                | "pool-bytes" -> "bytes"
+                | _ -> "messages");
+              s_points = List.rev pts;
+            })
+          (sorted_bindings gauges);
+      ]
+  in
+  let series =
+    List.sort (fun a b -> compare a.s_name b.s_name) series
+  in
+  { bucket_ns; series }
+
+(* ------------------------------------------------------------------ *)
+(* Exports *)
+
+let families t =
+  List.map
+    (fun s ->
+      match String.index_opt s.s_name '/' with
+      | Some i -> String.sub s.s_name 0 i
+      | None -> s.s_name)
+    t.series
+  |> List.sort_uniq compare
+
+let to_csv t =
+  let buf = Buffer.create (1 lsl 14) in
+  Buffer.add_string buf "series,kind,unit,t_ns,value\n";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (at, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%s,%d,%.6f\n" s.s_name
+               (kind_name s.s_kind) s.s_unit at v))
+        s.s_points)
+    t.series;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create (1 lsl 14) in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"bucket_ns\":%d,\"series\":[\n" t.bucket_ns);
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"kind\":\"%s\",\"unit\":\"%s\",\"points\":["
+           s.s_name (kind_name s.s_kind) s.s_unit);
+      List.iteri
+        (fun j (at, v) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "[%d,%.6f]" at v))
+        s.s_points;
+      Buffer.add_string buf "]}")
+    t.series;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%d series over %d families (bucket %dns):@."
+    (List.length t.series)
+    (List.length (families t))
+    t.bucket_ns;
+  List.iter
+    (fun s ->
+      let n = List.length s.s_points in
+      let last = match List.rev s.s_points with (_, v) :: _ -> v | [] -> 0. in
+      let peak =
+        List.fold_left (fun acc (_, v) -> Float.max acc v) 0. s.s_points
+      in
+      Format.fprintf fmt "  %-40s %-7s %4d pts  last %10.3f  peak %10.3f@."
+        s.s_name (kind_name s.s_kind) n last peak)
+    t.series

@@ -1,0 +1,267 @@
+(* Chrome trace-event / Perfetto exporter.
+
+   Renders a recorded probe stream as a JSON object in the trace-event
+   format (load in ui.perfetto.dev or chrome://tracing):
+
+   - one process ("pid") per node, plus a shared fabric process for
+     switch-internal resources;
+   - one thread ("tid") per (host, track) pair — a CPU contributes
+     separate process / ISR / bottom-half / CLIC-module / busy tracks, a
+     NIC its DMA track, each switch port its wire track;
+   - complete ("X") slices for [Probe.Span] activity;
+   - instant ("i") events for interrupts and scheduler wake/block;
+   - counter ("C") tracks for queue depths, channel windows, pool bytes;
+   - flow arrows ("s"/"f") from each message's send syscall to its
+     delivery upcall on the receiving node.
+
+   Output is deterministic: events are emitted in recorded order,
+   metadata in sorted order, timestamps formatted with fixed precision
+   (trace-event "ts" is in microseconds; we keep nanosecond resolution as
+   fractional digits). *)
+
+open Engine
+
+let fabric_pid = 1000
+
+let pid_of_host host =
+  match Host.node_of host with Some n -> n | None -> fabric_pid
+
+let process_label pid =
+  if pid = fabric_pid then "fabric" else Printf.sprintf "node%d" pid
+
+(* Track sort order inside a node: flow of a packet top to bottom. *)
+let track_rank = function
+  | Probe.Process -> 0
+  | Probe.Module -> 1
+  | Probe.Isr -> 2
+  | Probe.Bh_track -> 3
+  | Probe.Dma -> 4
+  | Probe.Link -> 5
+  | Probe.Busy -> 6
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let ts_us ns = Printf.sprintf "%.3f" (float_of_int ns /. 1000.)
+
+module Key = struct
+  type t = { pid : int; host : string; track : Probe.track }
+
+  let compare a b =
+    compare
+      (a.pid, track_rank a.track, a.host)
+      (b.pid, track_rank b.track, b.host)
+end
+
+module KeyMap = Map.Make (Key)
+
+(* Thread ids: assigned per (host, track) in display order, so the
+   Perfetto track list reads sender-to-receiver. *)
+let assign_tids events =
+  let keys = ref KeyMap.empty in
+  let remember pid host track =
+    let k = { Key.pid; host; track } in
+    if not (KeyMap.mem k !keys) then keys := KeyMap.add k () !keys
+  in
+  List.iter
+    (fun { Recorder.ev; _ } ->
+      match ev with
+      | Probe.Span { host; track; _ } -> remember (pid_of_host host) host track
+      | Probe.Sched_run { host } | Probe.Sched_block { host } ->
+          remember (pid_of_host host) host Probe.Process
+      | Probe.Irq { host } -> remember (pid_of_host host) host Probe.Isr
+      | Probe.Msg_send { node; _ } ->
+          remember node (Printf.sprintf "cpu%d" node) Probe.Process
+      | Probe.Msg_deliver { node; _ } ->
+          remember node (Printf.sprintf "cpu%d" node) Probe.Module
+      | _ -> ())
+    events;
+  let next = ref 0 in
+  KeyMap.mapi
+    (fun _ () ->
+      incr next;
+      !next)
+    !keys
+
+let tid_exn tids pid host track =
+  KeyMap.find { Key.pid; host; track } tids
+
+(* A message's flow id must be unique across the run; sender msg_ids are
+   per-node counters, so fold the node in. *)
+let flow_id ~src ~msg_id = (src * 1_000_000) + msg_id
+
+let emit_event buf fields =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%s" k v))
+    fields;
+  Buffer.add_string buf "},\n"
+
+let str s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let export recorder =
+  let events = Recorder.events recorder in
+  let tids = assign_tids events in
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  (* Metadata: process and thread names, in sorted (deterministic) order. *)
+  let pids =
+    KeyMap.fold (fun k _ acc -> k.Key.pid :: acc) tids []
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun pid ->
+      emit_event buf
+        [
+          ("name", str "process_name");
+          ("ph", str "M");
+          ("pid", string_of_int pid);
+          ("args", Printf.sprintf "{\"name\":%s}" (str (process_label pid)));
+        ];
+      emit_event buf
+        [
+          ("name", str "process_sort_index");
+          ("ph", str "M");
+          ("pid", string_of_int pid);
+          ("args", Printf.sprintf "{\"sort_index\":%d}" pid);
+        ])
+    pids;
+  KeyMap.iter
+    (fun k tid ->
+      let label =
+        Printf.sprintf "%s %s" k.Key.host (Probe.track_name k.Key.track)
+      in
+      emit_event buf
+        [
+          ("name", str "thread_name");
+          ("ph", str "M");
+          ("pid", string_of_int k.Key.pid);
+          ("tid", string_of_int tid);
+          ("args", Printf.sprintf "{\"name\":%s}" (str label));
+        ];
+      emit_event buf
+        [
+          ("name", str "thread_sort_index");
+          ("ph", str "M");
+          ("pid", string_of_int k.Key.pid);
+          ("tid", string_of_int tid);
+          ("args", Printf.sprintf "{\"sort_index\":%d}" tid);
+        ])
+    tids;
+  let slice ~name ~cat ~pid ~tid ~start ~finish =
+    emit_event buf
+      [
+        ("name", str name);
+        ("cat", str cat);
+        ("ph", str "X");
+        ("pid", string_of_int pid);
+        ("tid", string_of_int tid);
+        ("ts", ts_us start);
+        ("dur", ts_us (finish - start));
+      ]
+  in
+  let instant ~name ~cat ~pid ~tid ~at =
+    emit_event buf
+      [
+        ("name", str name);
+        ("cat", str cat);
+        ("ph", str "i");
+        ("s", str "t");
+        ("pid", string_of_int pid);
+        ("tid", string_of_int tid);
+        ("ts", ts_us at);
+      ]
+  in
+  let counter ~name ~pid ~at ~key ~value =
+    emit_event buf
+      [
+        ("name", str name);
+        ("ph", str "C");
+        ("pid", string_of_int pid);
+        ("ts", ts_us at);
+        ("args", Printf.sprintf "{\"%s\":%s}" key value);
+      ]
+  in
+  let flow ~ph ~pid ~tid ~at ~id extra =
+    emit_event buf
+      ([
+         ("name", str "msg");
+         ("cat", str "flow");
+         ("ph", str ph);
+         ("id", string_of_int id);
+         ("pid", string_of_int pid);
+         ("tid", string_of_int tid);
+         ("ts", ts_us at);
+       ]
+      @ extra)
+  in
+  List.iter
+    (fun { Recorder.at; ev } ->
+      match ev with
+      | Probe.Span { host; track; label; start; finish } ->
+          let pid = pid_of_host host in
+          slice ~name:label
+            ~cat:(Probe.track_name track)
+            ~pid
+            ~tid:(tid_exn tids pid host track)
+            ~start ~finish
+      | Probe.Irq { host } ->
+          let pid = pid_of_host host in
+          instant ~name:"irq" ~cat:"irq" ~pid
+            ~tid:(tid_exn tids pid host Probe.Isr)
+            ~at
+      | Probe.Sched_run { host } ->
+          let pid = pid_of_host host in
+          instant ~name:"sched-run" ~cat:"sched" ~pid
+            ~tid:(tid_exn tids pid host Probe.Process)
+            ~at
+      | Probe.Sched_block { host } ->
+          let pid = pid_of_host host in
+          instant ~name:"sched-block" ~cat:"sched" ~pid
+            ~tid:(tid_exn tids pid host Probe.Process)
+            ~at
+      | Probe.Queue_depth { queue; depth } ->
+          counter ~name:queue ~pid:(pid_of_host queue) ~at ~key:"depth"
+            ~value:(string_of_int depth)
+      | Probe.Window { chan; node; peer; outstanding; _ } ->
+          counter
+            ~name:(Printf.sprintf "chan%d:%d->%d window" chan node peer)
+            ~pid:node ~at ~key:"outstanding"
+            ~value:(string_of_int outstanding)
+      | Probe.Pool_alloc { pool; used; _ } | Probe.Pool_free { pool; used; _ }
+        ->
+          counter ~name:pool ~pid:(pid_of_host pool) ~at ~key:"bytes"
+            ~value:(string_of_int used)
+      | Probe.Msg_send { node; msg_id; _ } ->
+          let host = Printf.sprintf "cpu%d" node in
+          flow ~ph:"s" ~pid:node
+            ~tid:(tid_exn tids node host Probe.Process)
+            ~at
+            ~id:(flow_id ~src:node ~msg_id)
+            []
+      | Probe.Msg_deliver { node; src; msg_id; _ } ->
+          let host = Printf.sprintf "cpu%d" node in
+          flow ~ph:"f" ~pid:node
+            ~tid:(tid_exn tids node host Probe.Module)
+            ~at
+            ~id:(flow_id ~src ~msg_id)
+            [ ("bp", str "e") ]
+      | _ -> ())
+    events;
+  (* Closing metadata sentinel avoids trailing-comma bookkeeping. *)
+  Buffer.add_string buf
+    "{\"name\":\"clic-sim\",\"ph\":\"M\",\"pid\":0,\"args\":{}}\n]}\n";
+  Buffer.contents buf

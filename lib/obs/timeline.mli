@@ -1,0 +1,15 @@
+(** Chrome trace-event / Perfetto exporter.
+
+    Renders a recorded probe stream as trace-event JSON (open in
+    ui.perfetto.dev or chrome://tracing): one process per node plus a
+    fabric process for switch-internal resources, one thread per
+    (host, track) pair, complete slices for spans, instants for
+    interrupts and scheduler events, counter tracks for queue depths /
+    channel windows / pool bytes, and flow arrows from each message's
+    send syscall to its delivery on the receiver.
+
+    The output is deterministic: byte-identical across runs of the same
+    scenario. *)
+
+val export : Recorder.t -> string
+(** The complete JSON document. *)

@@ -42,8 +42,25 @@ type t = {
   mutable rx_upcalls : int;
 }
 
-let traced t label f =
-  match t.trace with Some tr -> Trace.run tr label f | None -> f ()
+(* Stage work is reported twice over: to the node's [Trace] (when
+   attached) for the Figure 7 table, and to [Probe] as a timeline span for
+   the observability layer. *)
+let traced t ~track label f =
+  let f =
+    match t.trace with
+    | Some tr -> fun () -> Trace.run tr label f
+    | None -> f
+  in
+  if Probe.enabled () then begin
+    let start = Sim.now t.sim in
+    let v = f () in
+    Probe.emit
+      (Probe.Span
+         { host = Cpu.name t.cpu; track; label; start;
+           finish = Sim.now t.sim });
+    v
+  end
+  else f ()
 
 let deliver_one t desc =
   t.rx_upcalls <- t.rx_upcalls + 1;
@@ -65,7 +82,7 @@ let transfer_rx desc owner ~where =
    work, hand the batch to the protocol (via bottom half or directly), then
    re-enable the NIC interrupt. *)
 let isr t () =
-  traced t "driver:isr" (fun () ->
+  traced t ~track:Probe.Isr "driver:isr" (fun () ->
       Cpu.work ~priority:`High t.cpu t.params.isr_entry;
       let descs = Nic.take_rx t.nic in
       List.iter
@@ -83,7 +100,7 @@ let isr t () =
       | Via_bottom_half ->
           if descs <> [] then
             Bottom_half.schedule t.bh (fun () ->
-                traced t "driver:bottom-half" (fun () ->
+                traced t ~track:Probe.Bh_track "driver:bottom-half" (fun () ->
                     List.iter
                       (fun desc ->
                         transfer_rx desc Probe.Bh ~where:"driver:bottom-half";
@@ -107,7 +124,7 @@ let set_rx_upcall t f =
 let transmit t ~skb ~dst ~src ~ethertype ~payload ?(internal_copy = true)
     ~on_complete () =
   Skbuff.transfer skb Probe.Driver ~where:"driver:tx-routine";
-  traced t "driver:tx-routine" (fun () ->
+  traced t ~track:Probe.Process "driver:tx-routine" (fun () ->
       Cpu.work t.cpu t.params.tx_routine);
   let frame =
     Eth_frame.make ~src ~dst ~ethertype

@@ -10,9 +10,13 @@ let create sim ~cpu ?(switch_cost = Time.us 1.) () =
 
 let slot sched = { sched; state = Fresh }
 
+let probe_sched sched mk =
+  if Probe.enabled () then mk (Cpu.name sched.cpu) |> Probe.emit
+
 let wait s =
   match s.state with
   | Fresh ->
+      probe_sched s.sched (fun host -> Probe.Sched_block { host });
       Process.await (fun resume ->
           match s.state with
           | Fresh -> s.state <- Waiting resume
@@ -28,6 +32,7 @@ let wake s =
   | Woken | Done -> ()
   | Fresh ->
       s.sched.switches <- s.sched.switches + 1;
+      probe_sched s.sched (fun host -> Probe.Sched_run { host });
       Cpu.work ~priority:`High s.sched.cpu s.sched.cost;
       (* The waiter may have arrived while the wakeup cost was paid. *)
       (match s.state with
@@ -39,6 +44,7 @@ let wake s =
   | Waiting resume ->
       s.sched.switches <- s.sched.switches + 1;
       s.state <- Done;
+      probe_sched s.sched (fun host -> Probe.Sched_run { host });
       Cpu.work ~priority:`High s.sched.cpu s.sched.cost;
       resume ()
 

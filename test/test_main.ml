@@ -11,5 +11,6 @@ let () =
       ("rivals", Test_rivals.suite);
       ("report", Test_report.suite);
       ("check", Test_check.suite);
+      ("obs", Test_obs.suite);
       ("integration", Test_integration.suite);
     ]

@@ -301,6 +301,156 @@ let test_collective_allreduce () =
     (fun mpi -> check_int "2(n-1) sends per rank" (2 * (n - 1)) (Mpi.sends mpi))
     world
 
+(* ------------------------------------------------------------------ *)
+(* Collective message-count formulas, checked at several world sizes.
+   Payloads stay under the eager threshold so [Mpi.sends] counts exactly
+   one wire transaction per send call. *)
+
+let world_ranks n = List.init n (fun i -> i)
+let total_sends world = List.fold_left (fun acc m -> acc + Mpi.sends m) 0 world
+
+let ceil_log2 n =
+  let r = ref 0 and k = ref 1 in
+  while !k < n do
+    incr r;
+    k := !k * 2
+  done;
+  !r
+
+let test_bcast_message_count () =
+  List.iter
+    (fun n ->
+      let c = Net.create ~n () in
+      let world = clic_world c (world_ranks n) in
+      run_on_all c world (fun rank mpi ->
+          Collectives.mpi_bcast mpi ~rank ~root:1 ~size:n 4096);
+      Net.run c;
+      check_int
+        (Printf.sprintf "binomial tree, n=%d: size-1 messages total" n)
+        (n - 1) (total_sends world))
+    [ 2; 3; 5; 8 ]
+
+let test_barrier_message_count () =
+  List.iter
+    (fun n ->
+      let c = Net.create ~n () in
+      let world = clic_world c (world_ranks n) in
+      run_on_all c world (fun rank mpi -> Collectives.barrier mpi ~rank ~size:n);
+      Net.run c;
+      let rounds = ceil_log2 n in
+      List.iter
+        (fun mpi ->
+          check_int
+            (Printf.sprintf "dissemination, n=%d: ceil(log2 n) sends/rank" n)
+            rounds (Mpi.sends mpi);
+          check_int
+            (Printf.sprintf "dissemination, n=%d: ceil(log2 n) recvs/rank" n)
+            rounds (Mpi.receives mpi))
+        world)
+    [ 2; 3; 4; 5; 8 ]
+
+let test_gather_message_count () =
+  List.iter
+    (fun n ->
+      let c = Net.create ~n () in
+      let world = tcp_world c (world_ranks n) in
+      run_on_all c world (fun rank mpi ->
+          Collectives.gather mpi ~rank ~root:0 ~size:n 5000);
+      Net.run c;
+      List.iteri
+        (fun rank mpi ->
+          check_int
+            (Printf.sprintf "linear gather, n=%d: sends of rank %d" n rank)
+            (if rank = 0 then 0 else 1)
+            (Mpi.sends mpi))
+        world;
+      check_int
+        (Printf.sprintf "linear gather, n=%d: root receives size-1" n)
+        (n - 1)
+        (Mpi.receives (List.hd world)))
+    [ 2; 4; 6 ]
+
+let test_allreduce_message_count () =
+  List.iter
+    (fun n ->
+      let c = Net.create ~n () in
+      let world = clic_world c (world_ranks n) in
+      run_on_all c world (fun rank mpi ->
+          Collectives.allreduce mpi ~rank ~size:n 8192);
+      Net.run c;
+      List.iter
+        (fun mpi ->
+          check_int
+            (Printf.sprintf "ring, n=%d: 2(n-1) sends/rank" n)
+            (2 * (n - 1))
+            (Mpi.sends mpi);
+          check_int
+            (Printf.sprintf "ring, n=%d: 2(n-1) recvs/rank" n)
+            (2 * (n - 1))
+            (Mpi.receives mpi))
+        world)
+    [ 2; 3; 5 ]
+
+(* Collectives under injected loss: the reliable channel underneath must
+   absorb the drops.  The fault thunks are stashed so the test can prove
+   frames really were discarded. *)
+
+let lossy_config mk =
+  let faults = ref [] in
+  let config =
+    {
+      Node.default_config with
+      link_fault =
+        Some
+          (fun () ->
+            let f = mk () in
+            faults := f :: !faults;
+            f);
+    }
+  in
+  (config, faults)
+
+let injected faults =
+  List.fold_left (fun acc f -> acc + Hw.Fault.drops f) 0 !faults
+
+let test_mpi_bcast_under_loss () =
+  let n = 5 in
+  let config, faults =
+    lossy_config (fun () -> Hw.Fault.drop ~rng:(Rng.create ~seed:11) ~prob:0.05)
+  in
+  let c = Net.create ~config ~n () in
+  let world = clic_world c (world_ranks n) in
+  let done_ = ref 0 in
+  run_on_all c world (fun rank mpi ->
+      Collectives.mpi_bcast mpi ~rank ~root:0 ~size:n 40_000;
+      incr done_);
+  Net.run c;
+  check_int "all ranks complete under loss" n !done_;
+  check_bool "loss was actually injected" true (injected faults > 0)
+
+let test_clic_bcast_under_loss () =
+  (* The broadcast data frame itself is unreliable Ethernet multicast and
+     is always the first frame on each link here; drop-every-2nd loses
+     only confirmations and acknowledgements, which the sequenced channel
+     retransmits. *)
+  let n = 5 in
+  let config, faults = lossy_config (fun () -> Hw.Fault.drop_nth ~every:2) in
+  let c = Net.create ~config ~n () in
+  let port = 34 in
+  let done_at = ref 0 in
+  let peers = List.init (n - 1) (fun i -> i + 1) in
+  List.iter
+    (fun peer ->
+      Node.spawn (Net.node c peer) (fun () ->
+          Collectives.clic_bcast_peer (Net.node c peer).Node.clic ~root:0 ~port))
+    peers;
+  Node.spawn (Net.node c 0) (fun () ->
+      Collectives.clic_bcast_root (Net.node c 0).Node.clic ~peers ~port 1_000;
+      done_at := Sim.now c.Net.sim);
+  Net.run c;
+  check_bool "root saw all confirmations despite loss" true (!done_at > 0);
+  check_bool "loss was actually injected" true (injected faults > 0)
+
 let suite =
   List.concat_map
     (fun (name, world_of) ->
@@ -324,4 +474,10 @@ let suite =
       ("barrier", `Quick, test_collective_barrier);
       ("gather", `Quick, test_collective_gather);
       ("allreduce", `Quick, test_collective_allreduce);
+      ("bcast message count", `Quick, test_bcast_message_count);
+      ("barrier message count", `Quick, test_barrier_message_count);
+      ("gather message count", `Quick, test_gather_message_count);
+      ("allreduce message count", `Quick, test_allreduce_message_count);
+      ("mpi bcast under loss", `Quick, test_mpi_bcast_under_loss);
+      ("clic bcast under loss", `Quick, test_clic_bcast_under_loss);
     ]
