@@ -26,6 +26,7 @@ module Lifecycle = Lifecycle
 module Invariants = Invariants
 module Determinism = Determinism
 module Scenario = Scenario
+module Soak = Soak
 
 type report = {
   scenario : string;

@@ -57,10 +57,10 @@ let chan_key t ~chan ~node ~peer =
 let on_event t (ev : Probe.event) =
   match ev with
   | Probe.Sim_start -> t.sim_index <- t.sim_index + 1
-  | Probe.Msg_deliver { node; src; port; msg_id } ->
+  | Probe.Msg_deliver { node; src; port; msg_id; epoch } ->
       fold t
         (Printf.sprintf "%d/msg %d<-%d" t.sim_index node src)
-        (Printf.sprintf "port=%d id=%d" port msg_id)
+        (Printf.sprintf "port=%d id=%d ep=%d" port msg_id epoch)
   | Probe.Chan_deliver { chan; node; peer; seq } ->
       fold t (chan_key t ~chan ~node ~peer) (Printf.sprintf "seq=%d" seq)
   | Probe.Chan_dead { chan; node; peer } ->

@@ -141,9 +141,10 @@ let chan_deliver_in_order () =
 
 (* Local deliveries carry msg_id -1 and are exempt (they are not uniquely
    identified); everything else must reach a node's application layer at
-   most once per (source, message). *)
+   most once per (source, epoch, message) — a rebooted sender restarts its
+   message ids, so the epoch is part of the identity. *)
 let msg_deliver_once () =
-  let seen : (int * int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let seen : (int * int * int * int, unit) Hashtbl.t = Hashtbl.create 256 in
   {
     name = "msg-deliver-once";
     on_event =
@@ -152,15 +153,16 @@ let msg_deliver_once () =
         | Probe.Sim_start ->
             Hashtbl.reset seen;
             None
-        | Probe.Msg_deliver { node; src; port; msg_id } ->
+        | Probe.Msg_deliver { node; src; port; msg_id; epoch } ->
             if msg_id < 0 then None
-            else if Hashtbl.mem seen (node, src, msg_id) then
+            else if Hashtbl.mem seen (node, src, epoch, msg_id) then
               Some
                 (Printf.sprintf
-                   "node %d: message %d from %d (port %d) delivered twice"
-                   node msg_id src port)
+                   "node %d: message %d from %d ep %d (port %d) delivered \
+                    twice"
+                   node msg_id src epoch port)
             else begin
-              Hashtbl.add seen (node, src, msg_id) ();
+              Hashtbl.add seen (node, src, epoch, msg_id) ();
               None
             end
         | _ -> None);
@@ -242,6 +244,100 @@ let sem_balance () =
         | _ -> None);
   }
 
+(* A NAPI-style poll pass may process fewer descriptors than its budget
+   (that is how the driver decides to re-enable interrupts) but never
+   more: the budget is the livelock-mitigation contract. *)
+let poll_budget () =
+  {
+    name = "poll-budget";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Poll_pass { host; processed; budget } ->
+            if processed < 0 || processed > budget then
+              Some
+                (Printf.sprintf
+                   "%s: poll pass processed %d descriptors, budget %d" host
+                   processed budget)
+            else None
+        | _ -> None);
+  }
+
+(* Once a message from a sender's epoch [e] has been delivered at a node,
+   no message from an older epoch of the same sender may be delivered
+   there: stale-epoch frames must be rejected at the CLIC module, so a
+   delivery from a pre-crash epoch after the reboot was noticed is the
+   recovery protocol failing. *)
+let epoch_monotone_delivery () =
+  let newest : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  {
+    name = "epoch-monotone-delivery";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Sim_start ->
+            Hashtbl.reset newest;
+            None
+        | Probe.Msg_deliver { node; src; port = _; msg_id; epoch } ->
+            if msg_id < 0 then None  (* local deliveries carry the node's
+                                        own epoch trivially *)
+            else begin
+              match Hashtbl.find_opt newest (node, src) with
+              | Some e when epoch < e ->
+                  Some
+                    (Printf.sprintf
+                       "node %d: delivery from %d at stale epoch %d after \
+                        epoch %d was seen"
+                       node src epoch e)
+              | _ ->
+                  Hashtbl.replace newest (node, src) epoch;
+                  None
+            end
+        | _ -> None);
+  }
+
+(* The kernel pool's reported [used] must track the sum of its own
+   alloc/free events, stay within [0, capacity], and a free may never
+   exceed what is allocated — across crashes too: Clic_module.shutdown
+   returns staged backlog bytes, so a crash must not leave the identity
+   broken (each boot's pool has a distinct name). *)
+let pool_balance () =
+  let pools : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+  let check pool ~delta ~used ~capacity =
+    let expected, cap =
+      match Hashtbl.find_opt pools pool with
+      | Some (e, c) -> (e + delta, max c capacity)
+      | None -> (used, capacity)  (* first sighting: adopt *)
+    in
+    Hashtbl.replace pools pool (expected, cap);
+    if used <> expected then
+      Some
+        (Printf.sprintf
+           "pool %s: reported %dB used, alloc/free accounting expects %dB"
+           pool used expected)
+    else if used < 0 then
+      Some (Printf.sprintf "pool %s: negative usage %dB" pool used)
+    else if cap > 0 && used > cap then
+      Some
+        (Printf.sprintf "pool %s: %dB used exceeds capacity %dB" pool used
+           cap)
+    else None
+  in
+  {
+    name = "pool-balance";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Sim_start ->
+            Hashtbl.reset pools;
+            None
+        | Probe.Pool_alloc { pool; bytes; used; capacity } ->
+            check pool ~delta:bytes ~used ~capacity
+        | Probe.Pool_free { pool; bytes; used } ->
+            check pool ~delta:(-bytes) ~used ~capacity:0
+        | _ -> None);
+  }
+
 let defaults : ctor list =
   [
     clock_monotone;
@@ -253,6 +349,9 @@ let defaults : ctor list =
     rto_bounds;
     ivar_single_fill;
     sem_balance;
+    poll_budget;
+    epoch_monotone_delivery;
+    pool_balance;
   ]
 
 let registry : ctor list ref = ref defaults

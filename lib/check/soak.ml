@@ -1,0 +1,436 @@
+(* The chaos-soak harness: randomized fault schedules against the full
+   node stack, with every sanitizer pass watching.
+
+   A soak run is a grid of trials: for each seed, [trials] cluster
+   simulations are built from a rotating set of templates, each of which
+   combines a traffic pattern with one stress axis — link weather
+   (loss, duplication, jitter, frame corruption), kernel-pool pressure
+   against the watermarks, an interrupt storm that must flip the driver
+   into polling mode, or a node crash with reboot and channel
+   re-establishment.  Every trial runs under the lifecycle sanitizer and
+   the full invariant-monitor set (the same passes as `clic-sim check`),
+   so a schedule that provokes a protocol bug fails loudly rather than
+   just producing odd numbers.
+
+   Besides violations, the harness demands *evidence*: a soak that never
+   drove the pool past its hard watermark, never entered polling mode, or
+   never re-established a channel after a crash was not soaking anything,
+   so missing evidence is a failure too (unless the template set was
+   narrowed).  The evidence counters come from the stack's own statistics
+   and are accumulated per boot — a crashed kernel's counters are
+   banked just before the hardware is rebooted. *)
+
+open Engine
+open Hw
+open Os_model
+open Proto
+open Cluster
+
+type evidence = {
+  mutable ev_delivered : int;  (* messages reaching an application layer *)
+  mutable ev_pool_drops : int;  (* NIC ingress drops at the hard watermark *)
+  mutable ev_bad_fcs : int;  (* corrupted frames dropped by the MAC *)
+  mutable ev_poll_switches : int;  (* IRQ <-> polling mode transitions *)
+  mutable ev_polled : int;  (* packets processed by budgeted poll passes *)
+  mutable ev_crashes : int;
+  mutable ev_reestablished : int;  (* channels re-created after teardown *)
+  mutable ev_peer_reboots : int;  (* newer-epoch frames noticed by peers *)
+  mutable ev_stale_drops : int;  (* older-epoch frames rejected *)
+  mutable ev_retransmissions : int;
+  mutable ev_acks_deferred : int;  (* ack batching stretched under pressure *)
+}
+
+let fresh_evidence () =
+  {
+    ev_delivered = 0;
+    ev_pool_drops = 0;
+    ev_bad_fcs = 0;
+    ev_poll_switches = 0;
+    ev_polled = 0;
+    ev_crashes = 0;
+    ev_reestablished = 0;
+    ev_peer_reboots = 0;
+    ev_stale_drops = 0;
+    ev_retransmissions = 0;
+    ev_acks_deferred = 0;
+  }
+
+(* Bank the counters of one node's *current boot*.  Called at the end of a
+   trial for every node, and additionally just before [Node.reboot]
+   replaces a crashed boot's objects. *)
+let bank_boot ev (node : Node.t) =
+  List.iter
+    (fun nic ->
+      ev.ev_pool_drops <- ev.ev_pool_drops + Nic.rx_dropped_mem nic;
+      ev.ev_bad_fcs <- ev.ev_bad_fcs + Nic.bad_fcs nic)
+    node.Node.nics;
+  List.iter
+    (fun eth ->
+      let driver = (Proto.Ethernet.env eth).Hostenv.driver in
+      ev.ev_poll_switches <- ev.ev_poll_switches + Driver.poll_mode_switches driver;
+      ev.ev_polled <- ev.ev_polled + Driver.polled_packets driver)
+    node.Node.eths;
+  let m = Clic.Api.kernel node.Node.clic in
+  ev.ev_delivered <- ev.ev_delivered + Clic.Clic_module.messages_delivered m;
+  ev.ev_reestablished <- ev.ev_reestablished + Clic.Clic_module.reestablishments m;
+  ev.ev_peer_reboots <- ev.ev_peer_reboots + Clic.Clic_module.peer_reboots m;
+  ev.ev_stale_drops <- ev.ev_stale_drops + Clic.Clic_module.stale_epoch_drops m;
+  ev.ev_retransmissions <- ev.ev_retransmissions + Clic.Clic_module.retransmissions m;
+  ev.ev_acks_deferred <- ev.ev_acks_deferred + Clic.Clic_module.acks_deferred m
+
+let bank_final ev net =
+  Array.iter
+    (fun node ->
+      bank_boot ev node;
+      ev.ev_crashes <- ev.ev_crashes + Node.crashes node)
+    net.Net.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Traffic helpers.  All loops are bounded (message counts, not wall
+   clock), so every trial runs its simulation to completion and the
+   lifecycle leak check stays on.  Senders survive peer death: a send
+   that raises [Channel.Dead] backs off and retries — the retry is a
+   fresh message (new id), which is what a real application would do. *)
+
+let sender net ~rng ~from ~to_ ~count ~min_size ~max_size ~gap_us ~port =
+  let node = Net.node net from in
+  Node.spawn node (fun () ->
+      for _ = 1 to count do
+        let size = min_size + Rng.int rng (max_size - min_size + 1) in
+        let rec attempt tries =
+          if tries > 0 then
+            match Clic.Api.send node.Node.clic ~dst:to_ ~port size with
+            | () -> ()
+            | exception Clic.Channel.Dead _ ->
+                (* peer unreachable: back off, then retry on what is by
+                   then a re-established channel (or give up) *)
+                Process.delay (Time.us (200. +. Rng.float rng 300.));
+                attempt (tries - 1)
+        in
+        attempt 6;
+        Process.delay (Time.us (Rng.float rng gap_us))
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Trial templates *)
+
+type template = {
+  tp_name : string;
+  tp_descr : string;
+  tp_run : quick:bool -> seed:int -> evidence -> unit;
+}
+
+let scale ~quick n = if quick then max 1 (n / 4) else n
+
+(* Fast-failure channel parameters: a dead peer is declared after a few
+   hundred microseconds instead of seconds, so crash trials stay short. *)
+let snappy_params =
+  {
+    Clic.Params.default with
+    rto_min = Time.us 80.;
+    rto_max = Time.us 600.;
+    max_retries = 4;
+  }
+
+(* 1. Crash & recovery: ring traffic over three nodes; the middle node
+   crashes mid-stream and reboots after a downtime, so peers must declare
+   its channels dead, reject its pre-crash stragglers by epoch, and
+   re-establish when traffic resumes. *)
+let crash_reboot ~quick ~seed ev =
+  let config = { Node.default_config with clic_params = snappy_params } in
+  let net = Net.create ~config ~n:3 () in
+  let rng = Rng.create ~seed in
+  let count = scale ~quick 120 in
+  for i = 0 to 2 do
+    sender net ~rng:(Rng.split rng) ~from:i ~to_:((i + 1) mod 3) ~count
+      ~min_size:256 ~max_size:4096 ~gap_us:40. ~port:80
+  done;
+  let victim = Net.node net 1 in
+  Process.spawn net.Net.sim (fun () ->
+      Process.delay (Time.us 900.);
+      Node.crash victim;
+      bank_boot ev victim;  (* the dead boot's objects are replaced below *)
+      Process.delay (Time.us 700.);
+      Node.reboot victim);
+  Net.run net;
+  bank_final ev net
+
+(* 2. Pool crunch: a tiny kernel pool with a large transmit window, so
+   ring-full staging races past the soft and hard watermarks — advertised
+   windows shrink, ack batching stretches, and at the hard mark the NIC
+   sheds ingress frames, which retransmission must then cover. *)
+let pool_crunch ~quick ~seed ev =
+  let clic_params =
+    {
+      snappy_params with
+      tx_window = 32;
+      kmem_soft_frac = 0.4;
+      kmem_hard_frac = 0.6;
+    }
+  in
+  let config =
+    { Node.default_config with clic_params; kmem_capacity = 32 * 1024 }
+  in
+  let net = Net.create ~config ~n:3 () in
+  let rng = Rng.create ~seed in
+  let count = scale ~quick 80 in
+  (* node 0 both blasts (staging pressure fills its pool) and is blasted
+     (so its rx admission gate has frames to shed) *)
+  sender net ~rng:(Rng.split rng) ~from:0 ~to_:1 ~count ~min_size:2048
+    ~max_size:8192 ~gap_us:5. ~port:81;
+  sender net ~rng:(Rng.split rng) ~from:1 ~to_:0 ~count ~min_size:2048
+    ~max_size:8192 ~gap_us:5. ~port:81;
+  sender net ~rng:(Rng.split rng) ~from:2 ~to_:0 ~count ~min_size:2048
+    ~max_size:8192 ~gap_us:5. ~port:81;
+  Net.run net;
+  bank_final ev net
+
+(* 3. Interrupt storm: per-packet interrupts (no coalescing) under
+   back-to-back small messages; the NAPI-enabled driver must cross its
+   hot-IRQ threshold, switch to budgeted polling, and fall back to
+   interrupts when the ring drains. *)
+let irq_storm ~quick ~seed ev =
+  let driver_params =
+    {
+      Driver.default_params with
+      Driver.napi = true;
+      napi_enter_gap = Time.us 25.;
+      napi_enter_after = 3;
+      napi_budget = 8;
+      napi_interval = Time.us 10.;
+    }
+  in
+  let config =
+    {
+      Node.default_config with
+      clic_params = snappy_params;
+      driver_params;
+      coalesce = Nic.no_coalesce;
+    }
+  in
+  let net = Net.create ~config ~n:2 () in
+  let rng = Rng.create ~seed in
+  let count = scale ~quick 400 in
+  sender net ~rng:(Rng.split rng) ~from:1 ~to_:0 ~count ~min_size:512
+    ~max_size:1024 ~gap_us:2. ~port:82;
+  Net.run net;
+  bank_final ev net
+
+(* 4. Faulty mesh: every link carries composed weather — independent
+   loss, duplication, reordering jitter and frame corruption (FCS drops
+   at the MAC) — under all-to-all traffic, plus one crash/reboot cycle,
+   because faults compose. *)
+let faults_mesh ~quick ~seed ev =
+  let fault_rng = Rng.create ~seed:(seed lxor 0x5A5A) in
+  let mk_fault () =
+    let rng = Rng.split fault_rng in
+    Fault.compose
+      [
+        Fault.drop ~rng:(Rng.split rng) ~prob:0.02;
+        Fault.duplicate ~rng:(Rng.split rng) ~prob:0.01;
+        Fault.jitter ~rng:(Rng.split rng) ~max_delay:(Time.us 30.);
+        Fault.corrupt ~rng:(Rng.split rng) ~prob:0.03;
+      ]
+  in
+  let config =
+    {
+      Node.default_config with
+      clic_params = { snappy_params with max_retries = 8 };
+      link_fault = Some mk_fault;
+    }
+  in
+  let net = Net.create ~config ~n:3 () in
+  let rng = Rng.create ~seed in
+  let count = scale ~quick 100 in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      if i <> j then
+        sender net ~rng:(Rng.split rng) ~from:i ~to_:j ~count ~min_size:128
+          ~max_size:3072 ~gap_us:60. ~port:83
+    done
+  done;
+  let victim = Net.node net 2 in
+  Process.spawn net.Net.sim (fun () ->
+      Process.delay (Time.us 1500.);
+      Node.crash victim;
+      bank_boot ev victim;
+      Process.delay (Time.us 900.);
+      Node.reboot victim);
+  Net.run net;
+  bank_final ev net
+
+let templates =
+  [
+    {
+      tp_name = "crash-reboot";
+      tp_descr = "node crash mid-stream, reboot, channel re-establishment";
+      tp_run = crash_reboot;
+    };
+    {
+      tp_name = "pool-crunch";
+      tp_descr = "kernel pool driven past both watermarks under load";
+      tp_run = pool_crunch;
+    };
+    {
+      tp_name = "irq-storm";
+      tp_descr = "per-packet interrupt storm forcing NAPI polling mode";
+      tp_run = irq_storm;
+    };
+    {
+      tp_name = "faults-mesh";
+      tp_descr = "composed link faults (loss/dup/jitter/corruption) + crash";
+      tp_run = faults_mesh;
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Running trials under the sanitizer passes *)
+
+type trial_result = {
+  tr_template : string;
+  tr_seed : int;
+  tr_violations : Violation.t list;
+  tr_crashed : bool;  (* the harness itself raised — always a failure *)
+}
+
+type report = {
+  s_trials : trial_result list;
+  s_evidence : evidence;
+  s_notes : string list;
+}
+
+let violations r = List.concat_map (fun t -> t.tr_violations) r.s_trials
+
+(* Evidence demands, checked only when the full template set ran: each
+   stress axis must actually have fired.  Returned as human-readable
+   complaints; an empty list means the soak soaked. *)
+let missing_evidence r =
+  let ev = r.s_evidence in
+  let need what ok = if ok then None else Some what in
+  List.filter_map Fun.id
+    [
+      need "no message was delivered" (ev.ev_delivered > 0);
+      need "pool hard watermark never dropped a frame" (ev.ev_pool_drops > 0);
+      need "driver never switched into polling mode" (ev.ev_poll_switches > 0);
+      need "no packets were processed by poll passes" (ev.ev_polled > 0);
+      need "no node crashed" (ev.ev_crashes > 0);
+      need "no channel was re-established" (ev.ev_reestablished > 0);
+      need "no peer noticed a reboot (newer epoch)" (ev.ev_peer_reboots > 0);
+      need "no corrupted frame reached a MAC" (ev.ev_bad_fcs > 0);
+      need "nothing was ever retransmitted" (ev.ev_retransmissions > 0);
+    ]
+
+let ok ?(require_evidence = true) r =
+  violations r = []
+  && (not (List.exists (fun t -> t.tr_crashed) r.s_trials))
+  && ((not require_evidence) || missing_evidence r = [])
+
+(* One trial: a fresh probe sink wiring the lifecycle sanitizer and every
+   invariant monitor (the determinism pass needs repeated runs and is the
+   `check` command's job; the soak's axis is schedule breadth). *)
+let run_trial (tp : template) ~quick ~seed ev =
+  let lifecycle = Lifecycle.create ~leak_check:true () in
+  let monitors = Invariants.create_all () in
+  let now = ref 0 in
+  let found = ref [] in
+  let sink event =
+    (match event with
+    | Probe.Clock { now = n } -> now := n
+    | Probe.Sim_start -> now := 0
+    | _ -> ());
+    Lifecycle.on_event lifecycle event;
+    List.iter
+      (fun (m : Invariants.monitor) ->
+        match m.on_event ~now:!now event with
+        | Some detail ->
+            found :=
+              Violation.make
+                ~pass:("invariant:" ^ m.name)
+                ~rule:m.name ~time_ns:!now detail
+              :: !found
+        | None -> ())
+      monitors;
+  in
+  Probe.install sink;
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Probe.uninstall ())
+      (fun () ->
+        match tp.tp_run ~quick ~seed ev with
+        | () -> None
+        | exception e ->
+            Some
+              (Violation.make ~pass:"crash" ~rule:"uncaught-exception"
+                 ~time_ns:!now (Printexc.to_string e)))
+  in
+  let crash = Option.to_list outcome in
+  {
+    tr_template = tp.tp_name;
+    tr_seed = seed;
+    tr_violations = Lifecycle.finish lifecycle @ List.rev !found @ crash;
+    tr_crashed = crash <> [];
+  }
+
+let default_seeds = [ 101; 202; 303 ]
+
+let run ?(seeds = default_seeds) ?(trials = List.length templates)
+    ?(quick = false) ?only () =
+  if trials <= 0 then invalid_arg "Soak.run: trials <= 0";
+  let pool =
+    match only with
+    | None -> templates
+    | Some names -> (
+        match
+          List.filter (fun tp -> List.mem tp.tp_name names) templates
+        with
+        | [] -> invalid_arg "Soak.run: no matching templates"
+        | l -> l)
+  in
+  let ev = fresh_evidence () in
+  let results = ref [] in
+  List.iter
+    (fun seed ->
+      for k = 0 to trials - 1 do
+        let tp = List.nth pool (k mod List.length pool) in
+        (* distinct trial seeds per (seed, slot), reproducible across runs *)
+        let trial_seed = seed + (k * 7717) in
+        results := run_trial tp ~quick ~seed:trial_seed ev :: !results
+      done)
+    seeds;
+  {
+    s_trials = List.rev !results;
+    s_evidence = ev;
+    s_notes =
+      (if List.length pool < List.length templates then
+         [ "template set narrowed: evidence demands not enforced" ]
+       else []);
+  }
+
+let template_names = List.map (fun tp -> tp.tp_name) templates
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let pp_summary fmt r =
+  let ev = r.s_evidence in
+  Format.fprintf fmt "%-14s %8s %6s@." "template" "seed" "result";
+  List.iter
+    (fun t ->
+      Format.fprintf fmt "%-14s %8d %6s@." t.tr_template t.tr_seed
+        (if t.tr_violations = [] then "clean"
+         else Printf.sprintf "%d!" (List.length t.tr_violations)))
+    r.s_trials;
+  Format.fprintf fmt "@.evidence over %d trial(s):@." (List.length r.s_trials);
+  let line label v = Format.fprintf fmt "  %-36s %d@." label v in
+  line "messages delivered" ev.ev_delivered;
+  line "hard-watermark ingress drops" ev.ev_pool_drops;
+  line "bad-FCS frames dropped" ev.ev_bad_fcs;
+  line "poll-mode switches" ev.ev_poll_switches;
+  line "packets via poll passes" ev.ev_polled;
+  line "node crashes" ev.ev_crashes;
+  line "channels re-established" ev.ev_reestablished;
+  line "peer reboots noticed (newer epoch)" ev.ev_peer_reboots;
+  line "stale-epoch frames rejected" ev.ev_stale_drops;
+  line "retransmissions" ev.ev_retransmissions;
+  line "acks deferred under pressure" ev.ev_acks_deferred;
+  List.iter (fun n -> Format.fprintf fmt "  note: %s@." n) r.s_notes

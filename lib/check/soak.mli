@@ -1,0 +1,73 @@
+(** The chaos-soak harness: randomized fault schedules against the full
+    node stack with every sanitizer pass watching.
+
+    For each seed, a rotation of trial templates builds a fresh cluster
+    and stresses one axis — composed link weather (loss, duplication,
+    jitter, frame corruption), kernel-pool pressure against the
+    watermarks, an interrupt storm that must flip the driver into NAPI
+    polling, or a node crash with reboot and channel re-establishment.
+    Each trial runs under the lifecycle sanitizer and the full invariant
+    monitor set; on top of violations, the harness also fails when the
+    *evidence counters* show a stress axis never actually fired (a soak
+    that never dropped a frame at the hard watermark was not soaking). *)
+
+type evidence = {
+  mutable ev_delivered : int;
+  mutable ev_pool_drops : int;
+      (** NIC ingress drops at the pool's hard watermark *)
+  mutable ev_bad_fcs : int;  (** corrupted frames dropped by the MAC *)
+  mutable ev_poll_switches : int;  (** IRQ <-> polling transitions *)
+  mutable ev_polled : int;  (** packets processed by budgeted poll passes *)
+  mutable ev_crashes : int;
+  mutable ev_reestablished : int;
+  mutable ev_peer_reboots : int;  (** newer-epoch frames noticed by peers *)
+  mutable ev_stale_drops : int;  (** older-epoch frames rejected *)
+  mutable ev_retransmissions : int;
+  mutable ev_acks_deferred : int;
+}
+
+type trial_result = {
+  tr_template : string;
+  tr_seed : int;
+  tr_violations : Violation.t list;
+  tr_crashed : bool;
+}
+
+type report = {
+  s_trials : trial_result list;
+  s_evidence : evidence;
+  s_notes : string list;
+}
+
+val template_names : string list
+(** ["crash-reboot"; "pool-crunch"; "irq-storm"; "faults-mesh"]. *)
+
+val default_seeds : int list
+(** [[101; 202; 303]] — the seeds CI pins. *)
+
+val run :
+  ?seeds:int list ->
+  ?trials:int ->
+  ?quick:bool ->
+  ?only:string list ->
+  unit ->
+  report
+(** [run ()] executes [trials] (default: one per template) trials per
+    seed, rotating through the template set ([only] narrows it — evidence
+    demands are then waived).  [quick] divides traffic volumes by four.
+    Trials always run their simulations to completion, so the lifecycle
+    leak check stays on.
+    @raise Invalid_argument on [trials <= 0] or an unknown [only] name. *)
+
+val violations : report -> Violation.t list
+
+val missing_evidence : report -> string list
+(** Human-readable complaints for stress axes that never fired; empty
+    when the soak exercised everything it promises. *)
+
+val ok : ?require_evidence:bool -> report -> bool
+(** No violations, no harness crashes and (unless [require_evidence] is
+    false or the template set was narrowed) no missing evidence. *)
+
+val pp_summary : Format.formatter -> report -> unit
+(** The summary table: one line per trial, then the evidence counters. *)

@@ -18,8 +18,9 @@ let send_sync t ~dst ~port n =
   let iv = Ivar.create () in
   wrap t (fun () ->
       Clic_module.send_message t.m ~dst ~port ~sync:true n
-        ~sync_done:(fun () -> Ivar.fill iv ()));
-  Ivar.read iv
+        ~sync_failed:(fun e -> Ivar.fill iv (Error e))
+        ~sync_done:(fun () -> Ivar.fill iv (Ok ())));
+  match Ivar.read iv with Ok () -> () | Error e -> raise e
 
 let recv t ~port = wrap t (fun () -> Clic_module.recv_wait t.m ~port)
 let try_recv t ~port = wrap t (fun () -> Clic_module.recv_poll t.m ~port)

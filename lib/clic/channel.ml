@@ -12,12 +12,19 @@ type t = {
   uid : int;  (* process-unique: Gamma and CLIC channels share node ids *)
   self : int;
   peer : int;
+  epoch : int;  (* our boot epoch, stamped into every packet we send *)
   params : Params.t;
   transmit : Wire.packet -> retransmission:bool -> unit;
   deliver : Wire.packet -> unit;
   send_ack : cum_seq:int -> unit;
+  defer_acks : (unit -> bool) option;
+      (* receive-side backpressure: while true, ack staging is deferred
+         (doubled batch size and timeout) to spare the kernel pool *)
   (* transmit side *)
   window : Semaphore.t;
+  mutable withheld : int;
+      (* permits held out of circulation because the peer advertised a
+         window smaller than [params.tx_window] *)
   mutable snd_nxt : int;
   mutable snd_una : int;
   unacked : (int, Wire.packet) Hashtbl.t;
@@ -40,6 +47,7 @@ type t = {
   mutable last_fast_rtx : int;  (* hole already fast-retransmitted *)
   mutable fast_retransmits : int;
   rto_stats : Stats.Summary.t;  (* effective RTO (us) at each arming *)
+  on_death : unit -> unit;  (* owner notification, fired once at teardown *)
   (* receive side *)
   mutable rcv_nxt : int;
   mutable ooo : (int * Wire.packet) list;
@@ -47,11 +55,13 @@ type t = {
   mutable ack_timer : Ktimer.t option;
   mutable duplicates : int;
   mutable delivered : int;
+  mutable acks_deferred : int;
 }
 
 let next_uid = ref 0
 
-let create sim ~self ~peer ~params ~transmit ~deliver ~send_ack () =
+let create sim ~self ~peer ?(epoch = 0) ~params ~transmit ~deliver ~send_ack
+    ?defer_acks ?(on_death = fun () -> ()) () =
   let uid = !next_uid in
   incr next_uid;
   {
@@ -59,11 +69,14 @@ let create sim ~self ~peer ~params ~transmit ~deliver ~send_ack () =
     uid;
     self;
     peer;
+    epoch;
     params;
     transmit;
     deliver;
     send_ack;
+    defer_acks;
     window = Semaphore.create params.Params.tx_window;
+    withheld = 0;
     snd_nxt = 0;
     snd_una = 0;
     unacked = Hashtbl.create 64;
@@ -82,12 +95,14 @@ let create sim ~self ~peer ~params ~transmit ~deliver ~send_ack () =
     last_fast_rtx = -1;
     fast_retransmits = 0;
     rto_stats = Stats.Summary.create "rto_us";
+    on_death;
     rcv_nxt = 0;
     ooo = [];
     unacked_rx = 0;
     ack_timer = None;
     duplicates = 0;
     delivered = 0;
+    acks_deferred = 0;
   }
 
 let cancel_timer slot =
@@ -165,21 +180,32 @@ let rec arm_rto t =
    own event (so one sender's [Dead] raise cannot strand the others) and
    finds [t.dead] set when its acquire returns. *)
 and teardown t =
-  if Probe.enabled () then
-    Probe.emit (Probe.Chan_dead { chan = t.uid; node = t.self; peer = t.peer });
-  t.dead <- true;
-  cancel_timer t.rto_timer;
-  t.rto_timer <- None;
-  cancel_timer t.ack_timer;
-  t.ack_timer <- None;
-  Hashtbl.reset t.unacked;
-  Hashtbl.reset t.sent_at;
-  for _ = 1 to Semaphore.waiters t.window do
-    ignore (Sim.schedule t.sim ~after:0 (fun () -> Semaphore.release t.window))
-  done;
-  ignore
-    (Sim.schedule t.sim ~after:0 (fun () ->
-         Semaphore.release ~n:t.params.Params.tx_window t.window))
+  if not t.dead then begin
+    if Probe.enabled () then
+      Probe.emit
+        (Probe.Chan_dead { chan = t.uid; node = t.self; peer = t.peer });
+    t.dead <- true;
+    cancel_timer t.rto_timer;
+    t.rto_timer <- None;
+    cancel_timer t.ack_timer;
+    t.ack_timer <- None;
+    Hashtbl.reset t.unacked;
+    Hashtbl.reset t.sent_at;
+    (* Withheld permits go back into circulation so the accounting identity
+       the sanitizer checks still balances. *)
+    if t.withheld > 0 then begin
+      Semaphore.release ~n:t.withheld t.window;
+      t.withheld <- 0
+    end;
+    for _ = 1 to Semaphore.waiters t.window do
+      ignore
+        (Sim.schedule t.sim ~after:0 (fun () -> Semaphore.release t.window))
+    done;
+    ignore
+      (Sim.schedule t.sim ~after:0 (fun () ->
+           Semaphore.release ~n:t.params.Params.tx_window t.window));
+    t.on_death ()
+  end
 
 (* Go-back-N on timeout: resend everything outstanding, oldest first, with
    the RTO doubled (capped) for each consecutive timeout without progress. *)
@@ -223,7 +249,10 @@ let next_seq t ~data_bytes kind =
   if t.dead then raise (Dead t.peer);
   let seq = t.snd_nxt in
   t.snd_nxt <- t.snd_nxt + 1;
-  let pkt = { Wire.src = t.self; chan_seq = Some seq; data_bytes; kind } in
+  let pkt =
+    { Wire.src = t.self; epoch = t.epoch; chan_seq = Some seq; data_bytes;
+      kind }
+  in
   Hashtbl.replace t.unacked seq pkt;
   Hashtbl.replace t.sent_at seq (Sim.now t.sim);
   probe_window t;
@@ -247,12 +276,31 @@ let fast_retransmit t =
       arm_rto t;
       Process.spawn t.sim (fun () -> t.transmit pkt ~retransmission:true)
 
-let rx_ack t cum_seq =
+(* Honour the peer's advertised window by holding the difference to
+   [tx_window] out of the semaphore.  Shrinking is best-effort and
+   non-blocking: only currently-free permits can be withheld (slots
+   covering packets already in flight are reclaimed as their acks free
+   them and a later ack still advertises the small window). *)
+let apply_advertised t advertised =
+  let adv = max 1 (min advertised t.params.Params.tx_window) in
+  let target = t.params.Params.tx_window - adv in
+  while t.withheld > target do
+    Semaphore.release t.window;
+    t.withheld <- t.withheld - 1
+  done;
+  let continue = ref true in
+  while t.withheld < target && !continue do
+    if Semaphore.try_acquire t.window then t.withheld <- t.withheld + 1
+    else continue := false
+  done
+
+let rx_ack t ?window cum_seq =
   if Probe.enabled () then
     Probe.emit
       (Probe.Ack_rx { chan = t.uid; node = t.self; peer = t.peer; cum_seq });
   if t.dead then ()
-  else if cum_seq > t.snd_una then begin
+  else begin
+  if cum_seq > t.snd_una then begin
     let now = Sim.now t.sim in
     let upper = min cum_seq t.snd_nxt in
     (* Sample the newest acked packet that was never retransmitted. *)
@@ -290,6 +338,8 @@ let rx_ack t cum_seq =
       t.dup_acks >= t.params.Params.dup_ack_threshold
       && t.last_fast_rtx <> t.snd_una
     then fast_retransmit t
+  end;
+  (match window with Some w -> apply_advertised t w | None -> ())
   end
 
 (* ---------------- receive side ---------------- *)
@@ -304,13 +354,29 @@ let schedule_ack_now t =
       (Probe.Ack_tx { chan = t.uid; node = t.self; peer = t.peer; cum_seq = cum });
   Process.spawn t.sim (fun () -> t.send_ack ~cum_seq:cum)
 
+let deferring t =
+  match t.defer_acks with Some f -> f () | None -> false
+
 let note_delivery t =
   t.unacked_rx <- t.unacked_rx + 1;
-  if t.unacked_rx >= t.params.Params.ack_every then schedule_ack_now t
+  (* Under pool pressure, ack staging is deferred: batches double and the
+     latency bound doubles, halving the ack packets competing for kernel
+     memory while the cumulative protocol keeps correctness. *)
+  let defer = deferring t in
+  let every =
+    if defer then 2 * t.params.Params.ack_every else t.params.Params.ack_every
+  in
+  let timeout =
+    if defer then 2 * t.params.Params.ack_timeout
+    else t.params.Params.ack_timeout
+  in
+  if defer && t.unacked_rx >= t.params.Params.ack_every && t.unacked_rx < every
+  then t.acks_deferred <- t.acks_deferred + 1;
+  if t.unacked_rx >= every then schedule_ack_now t
   else if t.ack_timer = None then
     t.ack_timer <-
       Some
-        (Ktimer.after t.sim t.params.Params.ack_timeout (fun () ->
+        (Ktimer.after t.sim timeout (fun () ->
              t.ack_timer <- None;
              if t.unacked_rx > 0 then schedule_ack_now t))
 
@@ -369,7 +435,10 @@ let rx t pkt =
 
 let is_dead t = t.dead
 let peer t = t.peer
+let epoch t = t.epoch
 let outstanding t = t.snd_nxt - t.snd_una
+let advertised_window t = t.params.Params.tx_window - t.withheld
+let acks_deferred t = t.acks_deferred
 let retransmissions t = t.retransmissions
 let duplicates_dropped t = t.duplicates
 let delivered t = t.delivered

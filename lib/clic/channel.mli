@@ -34,12 +34,23 @@ val create :
   Sim.t ->
   self:int ->
   peer:int ->
+  ?epoch:int ->
   params:Params.t ->
   transmit:(Wire.packet -> retransmission:bool -> unit) ->
   deliver:(Wire.packet -> unit) ->
   send_ack:(cum_seq:int -> unit) ->
+  ?defer_acks:(unit -> bool) ->
+  ?on_death:(unit -> unit) ->
   unit ->
   t
+(** [epoch] (default 0) is this node's boot epoch, stamped into every
+    packet the channel sends so that a peer can reject pre-crash
+    stragglers.  [defer_acks], when supplied and returning [true]
+    (kernel pool above its soft watermark), doubles the ack batch size
+    and timeout so fewer ack packets compete for kernel memory.
+    [on_death] fires exactly once, from {!teardown}, however the channel
+    dies — the owner uses it to fail work (e.g. confirmed sends) that can
+    no longer complete. *)
 
 val next_seq : t -> data_bytes:int -> Wire.kind -> Wire.packet
 (** Blocks while the transmit window is full; assigns the next sequence
@@ -55,20 +66,42 @@ val rx : t -> Wire.packet -> unit
     an immediate ack naming the hole, so the sender's duplicate-ack
     counter can fire a fast retransmit. *)
 
-val rx_ack : t -> int -> unit
+val rx_ack : t -> ?window:int -> int -> unit
 (** Cumulative ack from the peer: frees window slots and retransmit state,
     feeds the RTT estimator, resets backoff; a duplicate ack advances the
-    fast-retransmit counter instead. *)
+    fast-retransmit counter instead.  [window], when present, is the
+    peer's advertised window: the channel withholds
+    [tx_window - window] currently-free permits (best-effort,
+    non-blocking) so new transmissions respect the peer's backpressure,
+    and releases them again when the advertisement grows. *)
+
+val teardown : t -> unit
+(** Declares the channel dead immediately: cancels timers, discards
+    retransmit state, and wakes blocked senders with {!Dead}.  Invoked
+    internally when the retry cap is hit, and by the owner when the peer
+    is known to have crashed (a packet with a newer epoch arrived) or
+    the local node is shutting down. *)
 
 val is_dead : t -> bool
 (** True once the retry cap ({!Params.max_retries} consecutive timeouts
-    without progress) has been hit: the channel stops retransmitting,
-    declares the peer unreachable, and releases blocked senders. *)
+    without progress) has been hit, or after {!teardown}: the channel
+    stops retransmitting, declares the peer unreachable, and releases
+    blocked senders. *)
 
 (** {1 Statistics} *)
 
 val peer : t -> int
+val epoch : t -> int
 val outstanding : t -> int
+
+val advertised_window : t -> int
+(** The effective transmit window after honouring the peer's latest
+    advertisement ([tx_window] minus withheld permits). *)
+
+val acks_deferred : t -> int
+(** Ack transmissions pushed past the normal batch boundary because the
+    kernel pool was above its soft watermark. *)
+
 val retransmissions : t -> int
 val duplicates_dropped : t -> int
 val delivered : t -> int

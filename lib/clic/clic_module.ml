@@ -5,6 +5,7 @@ open Proto
 
 type message = {
   msg_src : int;
+  msg_epoch : int;  (* the sender's boot epoch when it sent the message *)
   msg_id : int;
   msg_port : int;
   msg_bytes : int;
@@ -23,26 +24,43 @@ type reasm = { mutable seen : int; mutable copied_bytes : int }
 
 type staged_tx = { st_pkt : Wire.packet; st_dst : Mac.t; st_eth : Ethernet.t }
 
+(* A confirmed send waiting for its end-to-end acknowledgement.  [sw_fail]
+   fires instead of [sw_done] when the channel to [sw_dst] dies before the
+   confirmation arrives — the waiter must not block forever on a peer that
+   crashed. *)
+type sync_waiter = {
+  sw_dst : int;
+  sw_done : unit -> unit;
+  sw_fail : exn -> unit;
+}
+
 type t = {
   env : Hostenv.t;
   p : Params.t;
+  epoch : int;  (* this kernel's boot epoch, stamped into every packet *)
   trace : Trace.t option;
   eths : Ethernet.t array;
   mutable rr : int;
   channels : (int, Channel.t) Hashtbl.t;
+  peer_epochs : (int, int) Hashtbl.t;
+      (* newest epoch seen per peer; older frames are stale and dropped *)
   ports : (int, port) Hashtbl.t;
   mutable next_msg_id : int;
   reassembly : (int * int, reasm) Hashtbl.t;
-  sync_done : (int, unit -> unit) Hashtbl.t;
+  sync_done : (int, sync_waiter) Hashtbl.t;
   regions : (int, int ref * (bytes:int -> src:int -> unit)) Hashtbl.t;
   backlog : staged_tx Queue.t;
   mutable draining : bool;
+  mutable shut_down : bool;
   (* statistics *)
   mutable messages_sent : int;
   mutable messages_delivered : int;
   mutable packets_sent : int;
   mutable packets_staged : int;
   mutable local_msgs : int;
+  mutable stale_epoch_drops : int;
+  mutable peer_reboots : int;
+  mutable reestablishments : int;
 }
 
 let params t = t.p
@@ -200,7 +218,8 @@ let transmit_packet t ~dst ~staged pkt =
     if
       t.p.Params.stage_on_busy
       && (pkt.Wire.data_bytes = 0
-         || Kmem.try_alloc (kmem t) pkt.Wire.data_bytes)
+         || (Kmem.level (kmem t) <> `Hard
+            && Kmem.try_alloc (kmem t) pkt.Wire.data_bytes))
     then begin
       (* Ring full: copy into system memory and return — the application
          continues while the packet waits for ring space (Section 3.1). *)
@@ -233,12 +252,47 @@ let transmit_packet t ~dst ~staged pkt =
 (* ------------------------------------------------------------------ *)
 (* Channels *)
 
+(* The transmit window this node advertises to its peers, shrunk while the
+   kernel pool is under pressure (soft: a configurable fraction; hard: a
+   single outstanding packet) so senders back off before the NIC has to
+   drop their frames. *)
+let advertised_window_of t =
+  match Kmem.level (kmem t) with
+  | `Normal -> t.p.Params.tx_window
+  | `Soft ->
+      max 1
+        (int_of_float
+           (t.p.Params.soft_window_frac *. float_of_int t.p.Params.tx_window))
+  | `Hard -> 1
+
+(* Wake every confirmed send still waiting on [peer]: its channel just
+   died, so the confirmation can never arrive. *)
+let reject_sync_waiters t peer =
+  let doomed =
+    Hashtbl.fold
+      (fun id w acc -> if w.sw_dst = peer then (id, w) :: acc else acc)
+      t.sync_done []
+  in
+  List.iter
+    (fun (id, w) ->
+      Hashtbl.remove t.sync_done id;
+      w.sw_fail (Channel.Dead peer))
+    doomed
+
 let rec get_channel t peer =
   match Hashtbl.find_opt t.channels peer with
-  | Some c -> c
-  | None ->
+  | Some c when not (Channel.is_dead c) -> c
+  | prior ->
+      (match prior with
+      | Some _ ->
+          (* The previous channel was torn down (peer unreachable or
+             rebooted); traffic to the peer re-establishes a fresh one. *)
+          Hashtbl.remove t.channels peer;
+          t.reestablishments <- t.reestablishments + 1
+      | None -> ());
       let chan =
-        Channel.create (sim t) ~self:(node t) ~peer ~params:t.p
+        Channel.create (sim t) ~self:(node t) ~peer ~epoch:t.epoch
+          ~params:t.p
           ~transmit:(fun pkt ~retransmission ->
             transmit_packet t ~dst:(Mac.of_node peer)
               ~staged:retransmission pkt)
@@ -246,8 +300,13 @@ let rec get_channel t peer =
           ~send_ack:(fun ~cum_seq ->
             Cpu.work (cpu t) t.p.Params.module_tx;
             transmit_packet t ~dst:(Mac.of_node peer) ~staged:true
-              { Wire.src = node t; chan_seq = None; data_bytes = 0;
-                kind = Wire.Chan_ack { cum_seq } })
+              { Wire.src = node t; epoch = t.epoch; chan_seq = None;
+                data_bytes = 0;
+                kind =
+                  Wire.Chan_ack
+                    { cum_seq; window = advertised_window_of t } })
+          ~defer_acks:(fun () -> Kmem.level (kmem t) <> `Normal)
+          ~on_death:(fun () -> reject_sync_waiters t peer)
           ()
       in
       Hashtbl.add t.channels peer chan;
@@ -266,6 +325,7 @@ and deliver_message t msg =
            src = msg.msg_src;
            port = msg.msg_port;
            msg_id = msg.msg_id;
+           epoch = msg.msg_epoch;
          });
   let port = get_port t msg.msg_port in
   (match port.waiter with
@@ -299,7 +359,8 @@ and deliver_message t msg =
         | exception Channel.Dead _ -> ())
   end
 
-and handle_fragment t ~src ~sync ~broadcast ~port ~bytes (frag : Wire.frag) =
+and handle_fragment t ~src ~epoch ~sync ~broadcast ~port ~bytes
+    (frag : Wire.frag) =
   let key = (src, frag.Wire.msg_id) in
   let slot =
     match Hashtbl.find_opt t.reassembly key with
@@ -323,6 +384,7 @@ and handle_fragment t ~src ~sync ~broadcast ~port ~bytes (frag : Wire.frag) =
     deliver_message t
       {
         msg_src = src;
+        msg_epoch = epoch;
         msg_id = frag.Wire.msg_id;
         msg_port = port;
         msg_bytes = frag.Wire.msg_bytes;
@@ -338,15 +400,15 @@ and handle_reliable t (pkt : Wire.packet) =
       Cpu.work ~priority:`High (cpu t) t.p.Params.module_rx);
   match pkt.kind with
   | Wire.Data { port; sync; frag } ->
-      handle_fragment t ~src:pkt.src ~sync ~broadcast:false ~port
-        ~bytes:pkt.data_bytes frag
+      handle_fragment t ~src:pkt.src ~epoch:pkt.epoch ~sync ~broadcast:false
+        ~port ~bytes:pkt.data_bytes frag
   | Wire.Remote_write { region; frag } ->
       handle_rwrite_fragment t ~src:pkt.src ~region ~bytes:pkt.data_bytes frag
   | Wire.Msg_ack { msg_id } -> (
       match Hashtbl.find_opt t.sync_done msg_id with
-      | Some k ->
+      | Some w ->
           Hashtbl.remove t.sync_done msg_id;
-          k ()
+          w.sw_done ()
       | None -> ())
   | Wire.Bcast _ | Wire.Chan_ack _ -> ()
 
@@ -362,36 +424,83 @@ and handle_rwrite_fragment t ~src ~region ~bytes frag =
         notify ~bytes:frag.Wire.msg_bytes ~src
   | None -> ())
 
+(* An arriving packet's epoch against the newest we have seen from its
+   sender.  [`Stale] frames were transmitted (or buffered in flight)
+   before the sender's last reboot and must not touch channel state;
+   [`Newer] is the first frame of a rebooted peer: its pre-crash channel
+   and half-reassembled messages are discarded before normal handling. *)
+let classify_epoch t ~src epoch =
+  match Hashtbl.find_opt t.peer_epochs src with
+  | None ->
+      Hashtbl.add t.peer_epochs src epoch;
+      `Current
+  | Some known ->
+      if epoch < known then `Stale
+      else if epoch > known then begin
+        Hashtbl.replace t.peer_epochs src epoch;
+        `Newer
+      end
+      else `Current
+
+let forget_peer t src =
+  (* The dead channel stays in the table: [get_channel] replaces it on the
+     next outbound traffic and counts the re-establishment. *)
+  (match Hashtbl.find_opt t.channels src with
+  | Some c -> if not (Channel.is_dead c) then Channel.teardown c
+  | None -> ());
+  let stale_keys =
+    Hashtbl.fold
+      (fun ((s, _) as key) _ acc -> if s = src then key :: acc else acc)
+      t.reassembly []
+  in
+  List.iter (Hashtbl.remove t.reassembly) stale_keys
+
 (* Entry point from the driver upcall. *)
 let rx t (desc : Nic.rx_desc) =
   match desc.Nic.rx_frame.Eth_frame.payload with
-  | Wire.Clic pkt -> (
-      match pkt.kind with
-      | Wire.Chan_ack { cum_seq } ->
-          Cpu.work ~priority:`High (cpu t) t.p.Params.module_rx;
-          Channel.rx_ack (get_channel t pkt.src) cum_seq
-      | Wire.Bcast { port; frag } ->
-          traced t ~track:Probe.Module "clic:module-rx" (fun () ->
-              Cpu.work ~priority:`High (cpu t) t.p.Params.module_rx);
-          handle_fragment t ~src:pkt.src ~sync:false ~broadcast:true ~port
-            ~bytes:pkt.data_bytes frag
-      | Wire.Data _ | Wire.Remote_write _ | Wire.Msg_ack _ ->
-          Channel.rx (get_channel t pkt.src) pkt)
+  | Wire.Clic pkt when not t.shut_down -> (
+      match classify_epoch t ~src:pkt.src pkt.Wire.epoch with
+      | `Stale -> t.stale_epoch_drops <- t.stale_epoch_drops + 1
+      | (`Current | `Newer) as cls -> (
+          if cls = `Newer then begin
+            t.peer_reboots <- t.peer_reboots + 1;
+            forget_peer t pkt.src
+          end;
+          match pkt.kind with
+          | Wire.Chan_ack { cum_seq; window } -> (
+              Cpu.work ~priority:`High (cpu t) t.p.Params.module_rx;
+              (* Acks only ever apply to a live channel; they must not
+                 re-establish one on their own. *)
+              match Hashtbl.find_opt t.channels pkt.src with
+              | Some c when not (Channel.is_dead c) ->
+                  Channel.rx_ack c ~window cum_seq
+              | Some _ | None -> ())
+          | Wire.Bcast { port; frag } ->
+              traced t ~track:Probe.Module "clic:module-rx" (fun () ->
+                  Cpu.work ~priority:`High (cpu t) t.p.Params.module_rx);
+              handle_fragment t ~src:pkt.src ~epoch:pkt.Wire.epoch
+                ~sync:false ~broadcast:true ~port ~bytes:pkt.data_bytes frag
+          | Wire.Data _ | Wire.Remote_write _ | Wire.Msg_ack _ ->
+              Channel.rx (get_channel t pkt.src) pkt))
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Construction *)
 
-let create env ?(params = Params.default) ?trace eths =
+let create env ?(params = Params.default) ?(epoch = 0) ?trace eths =
   if eths = [] then invalid_arg "Clic_module.create: no ethernet attachments";
+  if epoch < 0 then invalid_arg "Clic_module.create: negative epoch";
+  let params = Params.validate params in
   let t =
     {
       env;
       p = params;
+      epoch;
       trace;
       eths = Array.of_list eths;
       rr = 0;
       channels = Hashtbl.create 8;
+      peer_epochs = Hashtbl.create 8;
       ports = Hashtbl.create 8;
       next_msg_id = 0;
       reassembly = Hashtbl.create 16;
@@ -399,17 +508,45 @@ let create env ?(params = Params.default) ?trace eths =
       regions = Hashtbl.create 4;
       backlog = Queue.create ();
       draining = false;
+      shut_down = false;
       messages_sent = 0;
       messages_delivered = 0;
       packets_sent = 0;
       packets_staged = 0;
       local_msgs = 0;
+      stale_epoch_drops = 0;
+      peer_reboots = 0;
+      reestablishments = 0;
     }
   in
   List.iter
     (fun eth -> Ethernet.register eth ~ethertype:Wire.ethertype (rx t))
     eths;
   t
+
+(* Crash/orderly-stop path: tear every channel down (waking blocked senders
+   with {!Channel.Dead}), return staged backlog bytes to the pool so its
+   accounting balances, and drop all in-progress receive state.  The module
+   stops accepting frames; a rebooted node builds a fresh module with a
+   higher epoch. *)
+let shutdown t =
+  if not t.shut_down then begin
+    t.shut_down <- true;
+    Hashtbl.iter
+      (fun _ c -> if not (Channel.is_dead c) then Channel.teardown c)
+      t.channels;
+    Hashtbl.reset t.channels;
+    Queue.iter
+      (fun job ->
+        if job.st_pkt.Wire.data_bytes > 0 then
+          Kmem.free (kmem t) job.st_pkt.Wire.data_bytes)
+      t.backlog;
+    Queue.clear t.backlog;
+    Hashtbl.reset t.reassembly;
+    Hashtbl.reset t.sync_done;
+    Hashtbl.reset t.peer_epochs;
+    Hashtbl.iter (fun _ p -> Queue.clear p.queue) t.ports
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Kernel-side send/receive operations *)
@@ -430,6 +567,7 @@ let local_delivery t ~port ~sync bytes ~sync_done =
   deliver_message t
     {
       msg_src = node t;
+      msg_epoch = t.epoch;
       msg_id = -1;
       msg_port = port;
       msg_bytes = bytes;
@@ -440,7 +578,8 @@ let local_delivery t ~port ~sync bytes ~sync_done =
     };
   if sync then sync_done ()
 
-let send_message t ~dst ~port ?(sync = false) bytes ~sync_done =
+let send_message t ~dst ~port ?(sync = false) ?(sync_failed = fun _ -> ())
+    bytes ~sync_done =
   if bytes < 0 then invalid_arg "Clic_module.send_message: negative size";
   t.messages_sent <- t.messages_sent + 1;
   if dst = node t then local_delivery t ~port ~sync bytes ~sync_done
@@ -448,8 +587,12 @@ let send_message t ~dst ~port ?(sync = false) bytes ~sync_done =
     let msg_id = t.next_msg_id in
     t.next_msg_id <- t.next_msg_id + 1;
     if Probe.enabled () then
-      Probe.emit (Probe.Msg_send { node = node t; dst; port; msg_id; bytes });
-    if sync then Hashtbl.replace t.sync_done msg_id sync_done;
+      Probe.emit
+        (Probe.Msg_send
+           { node = node t; dst; port; msg_id; bytes; epoch = t.epoch });
+    if sync then
+      Hashtbl.replace t.sync_done msg_id
+        { sw_dst = dst; sw_done = sync_done; sw_fail = sync_failed };
     let chan = get_channel t dst in
     List.iter
       (fun (frag_index, frag_count, len) ->
@@ -476,8 +619,8 @@ let broadcast_message t ~port bytes =
       Cpu.work (cpu t) t.p.Params.module_tx;
       let frag = { Wire.msg_id; frag_index; frag_count; msg_bytes = bytes } in
       transmit_packet t ~dst:Mac.broadcast ~staged:false
-        { Wire.src = node t; chan_seq = None; data_bytes = len;
-          kind = Wire.Bcast { port; frag } })
+        { Wire.src = node t; epoch = t.epoch; chan_seq = None;
+          data_bytes = len; kind = Wire.Bcast { port; frag } })
     (fragments_of t bytes)
 
 let remote_write t ~dst ~region bytes =
@@ -527,6 +670,7 @@ let recv_poll t ~port =
                src = msg.msg_src;
                port = msg.msg_port;
                msg_id = msg.msg_id;
+               epoch = msg.msg_epoch;
              });
       Some msg
 
@@ -560,6 +704,14 @@ let messages_delivered t = t.messages_delivered
 let packets_sent t = t.packets_sent
 let packets_staged t = t.packets_staged
 let local_messages t = t.local_msgs
+let epoch t = t.epoch
+let stale_epoch_drops t = t.stale_epoch_drops
+let peer_reboots t = t.peer_reboots
+let reestablishments t = t.reestablishments
+let advertised_window t = advertised_window_of t
+
+let acks_deferred t =
+  Hashtbl.fold (fun _ c acc -> acc + Channel.acks_deferred c) t.channels 0
 let retransmissions t =
   Hashtbl.fold (fun _ c acc -> acc + Channel.retransmissions c) t.channels 0
 

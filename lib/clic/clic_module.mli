@@ -24,6 +24,7 @@ type t
 
 type message = {
   msg_src : int;
+  msg_epoch : int;  (** the sender's boot epoch when it sent the message *)
   msg_id : int;  (** sender-local message id *)
   msg_port : int;
   msg_bytes : int;
@@ -34,10 +35,27 @@ type message = {
 }
 
 val create :
-  Hostenv.t -> ?params:Params.t -> ?trace:Trace.t -> Ethernet.t list -> t
+  Hostenv.t ->
+  ?params:Params.t ->
+  ?epoch:int ->
+  ?trace:Trace.t ->
+  Ethernet.t list ->
+  t
 (** [create env eths] registers the CLIC ethertype on every given Ethernet
     attachment (more than one = channel bonding).  The list must not be
-    empty. *)
+    empty.  [epoch] (default 0) is this kernel's boot epoch, stamped into
+    every packet; a node that reboots after a crash builds a new module
+    with a strictly higher epoch so peers can tell its fresh channel state
+    from pre-crash stragglers.  [params] is validated
+    ({!Params.validate}).
+    @raise Invalid_argument on inconsistent parameters or a negative
+    epoch. *)
+
+val shutdown : t -> unit
+(** Crash/orderly-stop path: tears every channel down (waking blocked
+    senders with {!Channel.Dead}), returns staged backlog bytes to the
+    kernel pool so its accounting balances, discards reassembly and
+    undelivered port queues, and stops accepting frames.  Idempotent. *)
 
 val params : t -> Params.t
 val env_of : t -> Hostenv.t
@@ -46,10 +64,19 @@ val node : t -> int
 (** {1 Kernel-side operations (called by {!Api} under a system call)} *)
 
 val send_message :
-  t -> dst:int -> port:int -> ?sync:bool -> int -> sync_done:(unit -> unit) -> unit
+  t ->
+  dst:int ->
+  port:int ->
+  ?sync:bool ->
+  ?sync_failed:(exn -> unit) ->
+  int ->
+  sync_done:(unit -> unit) ->
+  unit
 (** Fragment and transmit a message.  Blocking (window/staging).  For
     [sync] sends, [sync_done] fires when the end-to-end confirmation
-    arrives. *)
+    arrives; if the channel to [dst] dies first, [sync_failed] (default: a
+    no-op) fires with {!Channel.Dead} instead, so callers never wait
+    forever on a crashed peer. *)
 
 val broadcast_message : t -> port:int -> int -> unit
 val remote_write : t -> dst:int -> region:int -> int -> unit
@@ -85,3 +112,29 @@ val fast_retransmits : t -> int
 (** Duplicate-ack hole resends summed over all channels. *)
 
 val channel_to : t -> peer:int -> Channel.t option
+
+val epoch : t -> int
+(** This kernel's boot epoch. *)
+
+val stale_epoch_drops : t -> int
+(** Frames discarded because they carried an older epoch than the newest
+    seen from their sender (pre-crash stragglers). *)
+
+val peer_reboots : t -> int
+(** Times a frame with a strictly newer epoch arrived from a known peer:
+    the peer crashed and rebooted, so its old channel and half-reassembled
+    messages were discarded. *)
+
+val reestablishments : t -> int
+(** Channels re-created after a teardown (peer declared unreachable or
+    rebooted) because traffic to/from the peer resumed. *)
+
+val advertised_window : t -> int
+(** The transmit window this node currently advertises to peers, shrunk
+    below {!Params.tx_window} while the kernel pool is above its soft
+    ({!Params.soft_window_frac} of the window) or hard (single packet)
+    watermark. *)
+
+val acks_deferred : t -> int
+(** Ack transmissions pushed past the normal batch boundary under pool
+    pressure, summed over all channels. *)

@@ -24,6 +24,9 @@ type t = {
   super_packet_bytes : int;
   staging_bytes_per_s : float;
   staging_overhead : Time.span;
+  kmem_soft_frac : float;
+  kmem_hard_frac : float;
+  soft_window_frac : float;
 }
 
 let default =
@@ -45,9 +48,36 @@ let default =
     super_packet_bytes = 32768;
     staging_bytes_per_s = 80e6;
     staging_overhead = Time.us 2.;
+    kmem_soft_frac = 0.5;
+    kmem_hard_frac = 0.875;
+    soft_window_frac = 0.5;
   }
 
 let one_copy = { default with data_path = Staged_nic_buffer }
+
+let validate t =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  if t.rto_min > t.rto_max then
+    fail "Clic.Params: rto_min %d > rto_max %d" t.rto_min t.rto_max;
+  if t.dup_ack_threshold <= 0 then
+    fail "Clic.Params: dup_ack_threshold %d <= 0" t.dup_ack_threshold;
+  if t.max_retries <= 0 then
+    fail "Clic.Params: max_retries %d <= 0" t.max_retries;
+  if t.tx_window <= 0 then fail "Clic.Params: tx_window %d <= 0" t.tx_window;
+  if t.ack_every <= 0 then fail "Clic.Params: ack_every %d <= 0" t.ack_every;
+  if
+    not
+      (t.kmem_soft_frac > 0.
+      && t.kmem_soft_frac <= t.kmem_hard_frac
+      && t.kmem_hard_frac <= 1.)
+  then
+    fail
+      "Clic.Params: kmem watermarks out of order (want 0 < soft %g <= hard \
+       %g <= 1)"
+      t.kmem_soft_frac t.kmem_hard_frac;
+  if not (t.soft_window_frac > 0. && t.soft_window_frac <= 1.) then
+    fail "Clic.Params: soft_window_frac %g outside (0, 1]" t.soft_window_frac;
+  t
 
 let payload_per_packet t ~link_mtu =
   let max_packet =

@@ -58,6 +58,18 @@ type t = {
   staging_overhead : Time.span;
       (** per-packet cost of allocating and setting up the kernel staging
           buffer *)
+  kmem_soft_frac : float;
+      (** kernel-pool soft watermark as a fraction of capacity: above it
+          CLIC sheds load — advertised windows shrink and ack staging is
+          deferred *)
+  kmem_hard_frac : float;
+      (** kernel-pool hard watermark fraction: at or above it the NIC
+          drops ingress frames (counted) and CLIC stops staging
+          ring-full transmissions; must satisfy
+          [0 < soft <= hard <= 1] *)
+  soft_window_frac : float;
+      (** fraction of {!tx_window} advertised to peers while the pool is
+          above its soft mark (at least 1 packet is always advertised) *)
 }
 
 val default : t
@@ -66,6 +78,14 @@ val default : t
 
 val one_copy : t
 (** The "1-copy" configuration of Figure 4 (path 4). *)
+
+val validate : t -> t
+(** Checks the parameter set for internal consistency and returns it
+    unchanged; {!Clic_module.create} calls this on construction.
+    @raise Invalid_argument when [rto_min > rto_max], when
+    [dup_ack_threshold], [max_retries], [tx_window] or [ack_every] is
+    non-positive, when the kernel-pool watermark fractions are out of
+    order, or when [soft_window_frac] is outside [(0, 1]]. *)
 
 val payload_per_packet : t -> link_mtu:int -> int
 (** Data bytes carried per CLIC packet: the NIC MTU (or super-packet size

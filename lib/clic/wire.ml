@@ -9,11 +9,12 @@ type kind =
   | Data of { port : int; sync : bool; frag : frag }
   | Remote_write of { region : int; frag : frag }
   | Bcast of { port : int; frag : frag }
-  | Chan_ack of { cum_seq : int }
+  | Chan_ack of { cum_seq : int; window : int }
   | Msg_ack of { msg_id : int }
 
 type packet = {
   src : int;
+  epoch : int;
   chan_seq : int option;
   data_bytes : int;
   kind : kind;
@@ -45,14 +46,25 @@ let wire_bytes ~header_bytes pkt = header_bytes + pkt.data_bytes
       8     2   data_bytes (payload carried by this packet)
      10     2   port (data/bcast) or region (rwrite); 0 for acks
      12     4   msg_id (frag kinds, msg-ack) or cum_seq (chan-ack)
-     16     4   msg_bytes (total message size; 0 for acks)
+     16     4   msg_bytes (total message size) or advertised window
+                (chan-ack); 0 for msg-ack
      20     2   frag_index
      22     2   frag_count (0 for ack kinds)
+     24     2   sender boot epoch
+     26     2   reserved, must be zero
+
+   The epoch field (and the 24 -> 28 byte growth that came with it) is
+   the crash-recovery handshake: a rebooted node bumps its epoch, and
+   receivers discard frames carrying an older epoch than the one they
+   have seen, so packets buffered from before a crash cannot corrupt the
+   re-established channel.  A 24-byte pre-epoch header no longer decodes
+   at all (the length check fails first), which is the intended total
+   failure — old and new format must never misparse as each other.
 
    [Params.header_bytes] stays the modelled per-packet cost; this codec
    is the bit-level contract the property-based tests pin down. *)
 
-let header_len = 24
+let header_len = 28
 
 exception Decode_error of string
 
@@ -81,6 +93,7 @@ let kind_tag = function
 
 let encode pkt =
   check_range "src" pkt.src 0 0xffff;
+  check_range "epoch" pkt.epoch 0 0xffff;
   check_range "data_bytes" pkt.data_bytes 0 0xffff;
   (match pkt.chan_seq with
   | Some s -> check_range "chan_seq" s 0 0x7fffffff
@@ -121,12 +134,15 @@ let encode pkt =
       check_range "port" port 0 0xffff;
       put16 b 10 port;
       put_frag frag
-  | Chan_ack { cum_seq } ->
+  | Chan_ack { cum_seq; window } ->
       check_range "cum_seq" cum_seq 0 0x7fffffff;
-      put32 b 12 cum_seq
+      check_range "window" window 0 0x7fffffff;
+      put32 b 12 cum_seq;
+      put32 b 16 window
   | Msg_ack { msg_id } ->
       check_range "msg_id" msg_id 0 0x7fffffff;
       put32 b 12 msg_id);
+  put16 b 24 pkt.epoch;
   b
 
 let decode b =
@@ -159,13 +175,18 @@ let decode b =
     | 0 -> Data { port = get16 b 10; sync; frag = frag () }
     | 1 -> Remote_write { region = get16 b 10; frag = frag () }
     | 2 -> Bcast { port = get16 b 10; frag = frag () }
-    | 3 -> Chan_ack { cum_seq = get32 b 12 }
+    | 3 -> Chan_ack { cum_seq = get32 b 12; window = get32 b 16 }
     | 4 -> Msg_ack { msg_id = get32 b 12 }
     | t -> raise (Decode_error (Printf.sprintf "unknown kind tag %d" t))
   in
   if sync && tag <> 0 then
     raise (Decode_error "sync flag on a non-data kind");
-  { src; chan_seq; data_bytes; kind }
+  let epoch = get16 b 24 in
+  if get16 b 26 <> 0 then
+    raise
+      (Decode_error
+         (Printf.sprintf "reserved bytes 26-27 not zero (0x%04x)" (get16 b 26)));
+  { src; epoch; chan_seq; data_bytes; kind }
 
 let pp fmt pkt =
   let kind_str =
@@ -177,9 +198,10 @@ let pp fmt pkt =
         Printf.sprintf "rwrite(region=%d msg=%d)" region frag.msg_id
     | Bcast { port; frag } ->
         Printf.sprintf "bcast(port=%d msg=%d)" port frag.msg_id
-    | Chan_ack { cum_seq } -> Printf.sprintf "ack(%d)" cum_seq
+    | Chan_ack { cum_seq; window } ->
+        Printf.sprintf "ack(%d win=%d)" cum_seq window
     | Msg_ack { msg_id } -> Printf.sprintf "msg-ack(%d)" msg_id
   in
-  Format.fprintf fmt "clic[src=%d seq=%s %dB %s]" pkt.src
+  Format.fprintf fmt "clic[src=%d ep=%d seq=%s %dB %s]" pkt.src pkt.epoch
     (match pkt.chan_seq with None -> "-" | Some s -> string_of_int s)
     pkt.data_bytes kind_str

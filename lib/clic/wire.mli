@@ -24,13 +24,20 @@ type kind =
   | Bcast of { port : int; frag : frag }
       (** broadcast/multicast fragment (unreliable, Ethernet data-link
           multicast) *)
-  | Chan_ack of { cum_seq : int }
-      (** cumulative channel acknowledgement (unsequenced) *)
+  | Chan_ack of { cum_seq : int; window : int }
+      (** cumulative channel acknowledgement (unsequenced); [window] is
+          the receiver's advertised transmit window — shrunk below
+          {!Params.tx_window} while its kernel pool is under pressure *)
   | Msg_ack of { msg_id : int }
       (** end-to-end confirmation for a [sync] message (sequenced) *)
 
 type packet = {
   src : int;
+  epoch : int;
+      (** the sender's boot epoch, bumped on every reboot: receivers
+          reject frames from an older epoch than the newest they have
+          seen from [src], so packets buffered from before a crash
+          cannot corrupt the re-established channel *)
   chan_seq : int option;  (** [None] for unsequenced kinds *)
   data_bytes : int;  (** payload carried by this packet *)
   kind : kind;
@@ -60,7 +67,10 @@ val pp : Format.formatter -> packet -> unit
     produced. *)
 
 val header_len : int
-(** 24 bytes. *)
+(** 28 bytes: the pre-epoch header was 24; the boot epoch (2 bytes) and
+    2 reserved zero bytes were appended for crash recovery.  The length
+    check makes old-format headers fail to decode entirely rather than
+    misparse. *)
 
 exception Decode_error of string
 
@@ -69,6 +79,7 @@ val encode : packet -> bytes
     (e.g. [src] beyond 16 bits, [frag_index >= frag_count]). *)
 
 val decode : bytes -> packet
-(** @raise Decode_error on a malformed header (wrong length, unknown
-    kind tag or flags, zero [frag_count], sync flag on a non-data
-    kind). *)
+(** @raise Decode_error on a malformed header (wrong length — including
+    the old 24-byte pre-epoch format — unknown kind tag or flags, zero
+    [frag_count], sync flag on a non-data kind, nonzero reserved
+    bytes). *)

@@ -47,15 +47,22 @@ val gigabit_jumbo : config -> config
 type t = {
   id : int;
   config : config;
-  env : Hostenv.t;  (** primary host environment (first NIC's driver) *)
-  nics : Nic.t list;
-  eths : Ethernet.t list;
-  intr : Interrupt.t;
-  ip : Ip.t;
-  tcp : Tcp.t;
-  udp : Udp.t;
-  clic : Clic.Api.t;
+  switches : Switch.t list;
+  cpu_ : Cpu.t;  (** hardware: survives crashes (use {!cpu}) *)
+  membus : Bus.t;
+  pci_for : int -> Bus.t;
+  mutable env : Hostenv.t;  (** primary host environment (first NIC's driver) *)
+  mutable nics : Nic.t list;
+  mutable eths : Ethernet.t list;
+  mutable intr : Interrupt.t;
+  mutable ip : Ip.t;
+  mutable tcp : Tcp.t;
+  mutable udp : Udp.t;
+  mutable clic : Clic.Api.t;
   trace : Trace.t option;
+  mutable epoch : int;  (** boot count; bumped by {!reboot} *)
+  mutable up : bool;
+  mutable crashes : int;
 }
 
 val create : Sim.t -> id:int -> switches:Switch.t list -> config -> t
@@ -65,3 +72,27 @@ val create : Sim.t -> id:int -> switches:Switch.t list -> config -> t
 val cpu : t -> Cpu.t
 val spawn : t -> (unit -> unit) -> unit
 (** Start an application process on this node. *)
+
+(** {1 Crash and recovery} *)
+
+val crash : t -> unit
+(** Pull the plug: the CLIC module shuts down (channels torn down, staged
+    backlog returned to the kernel pool so its accounting balances), the
+    NICs power off (in-flight frames toward the node are lost silently)
+    and the drivers stop.  Peers notice only through their own
+    {!Clic.Params.max_retries} caps.  Application processes of the dead
+    node that were blocked inside the kernel are woken with
+    {!Clic.Channel.Dead}.
+    @raise Invalid_argument if the node is already down. *)
+
+val reboot : t -> unit
+(** Build a fresh kernel on the surviving hardware with the boot epoch
+    bumped by one: switch downlinks are re-pointed at the new NICs, and
+    peers recognise the higher epoch in arriving frames, discard their
+    pre-crash channel state for this node and re-establish.  All mutable
+    fields of [t] are replaced.
+    @raise Invalid_argument if the node is up (call {!crash} first). *)
+
+val is_up : t -> bool
+val epoch : t -> int
+val crashes : t -> int

@@ -26,7 +26,14 @@ type event =
   | Sched_block of { host : string }
   | Irq of { host : string }
   | Queue_depth of { queue : string; depth : int }
-  | Msg_send of { node : int; dst : int; port : int; msg_id : int; bytes : int }
+  | Msg_send of {
+      node : int;
+      dst : int;
+      port : int;
+      msg_id : int;
+      bytes : int;
+      epoch : int;
+    }
   | Obj_alloc of {
       kind : obj_kind;
       id : int;
@@ -54,8 +61,14 @@ type event =
     }
   | Chan_deliver of { chan : int; node : int; peer : int; seq : int }
   | Chan_dead of { chan : int; node : int; peer : int }
-  | Msg_deliver of { node : int; src : int; port : int; msg_id : int }
-  | Msg_recv of { node : int; src : int; port : int; msg_id : int }
+  | Msg_deliver of {
+      node : int;
+      src : int;
+      port : int;
+      msg_id : int;
+      epoch : int;
+    }
+  | Msg_recv of { node : int; src : int; port : int; msg_id : int; epoch : int }
   | Rto_armed of {
       chan : int;
       node : int;
@@ -64,6 +77,9 @@ type event =
       lo_ns : int;
       hi_ns : int;
     }
+  | Rx_poll_mode of { host : string; polling : bool }
+  | Poll_pass of { host : string; processed : int; budget : int }
+  | Pool_pressure of { pool : string; level : int }
 
 let sink : (event -> unit) option ref = ref None
 
@@ -103,9 +119,9 @@ let to_string = function
   | Irq { host } -> Printf.sprintf "irq %s" host
   | Queue_depth { queue; depth } ->
       Printf.sprintf "queue-depth %s %d" queue depth
-  | Msg_send { node; dst; port; msg_id; bytes } ->
-      Printf.sprintf "msg-send node=%d dst=%d port=%d msg=%d %dB" node dst
-        port msg_id bytes
+  | Msg_send { node; dst; port; msg_id; bytes; epoch } ->
+      Printf.sprintf "msg-send node=%d dst=%d port=%d msg=%d %dB ep=%d" node
+        dst port msg_id bytes epoch
   | Obj_alloc { kind; id; bytes; owner; where } ->
       Printf.sprintf "alloc %s#%d %dB owner=%s at %s" (kind_name kind) id
         bytes (owner_name owner) where
@@ -138,12 +154,19 @@ let to_string = function
       Printf.sprintf "chan-deliver chan#%d %d<-%d seq=%d" chan node peer seq
   | Chan_dead { chan; node; peer } ->
       Printf.sprintf "chan-dead chan#%d %d->%d" chan node peer
-  | Msg_deliver { node; src; port; msg_id } ->
-      Printf.sprintf "msg-deliver node=%d src=%d port=%d msg=%d" node src
-        port msg_id
-  | Msg_recv { node; src; port; msg_id } ->
-      Printf.sprintf "msg-recv node=%d src=%d port=%d msg=%d" node src port
-        msg_id
+  | Msg_deliver { node; src; port; msg_id; epoch } ->
+      Printf.sprintf "msg-deliver node=%d src=%d port=%d msg=%d ep=%d" node
+        src port msg_id epoch
+  | Msg_recv { node; src; port; msg_id; epoch } ->
+      Printf.sprintf "msg-recv node=%d src=%d port=%d msg=%d ep=%d" node src
+        port msg_id epoch
   | Rto_armed { chan; node; peer; rto_ns; lo_ns; hi_ns } ->
       Printf.sprintf "rto-armed chan#%d %d->%d %dns in [%d,%d]" chan node
         peer rto_ns lo_ns hi_ns
+  | Rx_poll_mode { host; polling } ->
+      Printf.sprintf "rx-poll-mode %s %s" host
+        (if polling then "polling" else "irq")
+  | Poll_pass { host; processed; budget } ->
+      Printf.sprintf "poll-pass %s %d/%d" host processed budget
+  | Pool_pressure { pool; level } ->
+      Printf.sprintf "pool-pressure %s level=%d" pool level

@@ -47,9 +47,18 @@ type event =
   | Queue_depth of { queue : string; depth : int }
       (** instantaneous occupancy of a named queue (NIC rx ring, switch
           egress buffer) after a push/pop *)
-  | Msg_send of { node : int; dst : int; port : int; msg_id : int; bytes : int }
+  | Msg_send of {
+      node : int;
+      dst : int;
+      port : int;
+      msg_id : int;
+      bytes : int;
+      epoch : int;
+    }
       (** a message entered the send syscall; pairs with [Msg_deliver] for
-          flow arrows and per-message latency attribution *)
+          flow arrows and per-message latency attribution.  [epoch] is the
+          sender's boot epoch: message ids restart from 0 after a reboot,
+          so at-most-once delivery is keyed on (src, epoch, msg_id). *)
   | Obj_alloc of {
       kind : obj_kind;
       id : int;
@@ -78,8 +87,14 @@ type event =
     }
   | Chan_deliver of { chan : int; node : int; peer : int; seq : int }
   | Chan_dead of { chan : int; node : int; peer : int }
-  | Msg_deliver of { node : int; src : int; port : int; msg_id : int }
-  | Msg_recv of { node : int; src : int; port : int; msg_id : int }
+  | Msg_deliver of {
+      node : int;
+      src : int;
+      port : int;
+      msg_id : int;
+      epoch : int;
+    }
+  | Msg_recv of { node : int; src : int; port : int; msg_id : int; epoch : int }
       (** the receiving process took the message out of its port queue and
           the copy to user memory finished — the end of the message's
           latency window for the attribution pass (the syscall return is a
@@ -92,6 +107,15 @@ type event =
       lo_ns : int;
       hi_ns : int;
     }
+  | Rx_poll_mode of { host : string; polling : bool }
+      (** the driver switched rx servicing between per-packet interrupts
+          ([polling = false]) and a NAPI-style budgeted polling loop
+          ([polling = true]) *)
+  | Poll_pass of { host : string; processed : int; budget : int }
+      (** one polling pass completed; [processed <= budget] always *)
+  | Pool_pressure of { pool : string; level : int }
+      (** a kernel pool crossed a watermark: 0 = normal, 1 = above the
+          soft mark, 2 = at/above the hard mark *)
 
 val enabled : unit -> bool
 val emit : event -> unit

@@ -15,6 +15,7 @@ type t = {
   payload_bytes : int;
   payload : payload;
   frag : frag option;
+  corrupted : bool;
 }
 
 let header_bytes = 14
@@ -25,9 +26,10 @@ let min_payload = 46
 let standard_mtu = 1500
 let jumbo_mtu = 9000
 
-let make ~src ~dst ~ethertype ~payload_bytes ?frag payload =
+let make ~src ~dst ~ethertype ~payload_bytes ?frag ?(corrupted = false) payload
+    =
   if payload_bytes < 0 then invalid_arg "Eth_frame.make: negative payload";
-  { src; dst; ethertype; payload_bytes; payload; frag }
+  { src; dst; ethertype; payload_bytes; payload; frag; corrupted }
 
 let padded_payload t = max t.payload_bytes min_payload
 

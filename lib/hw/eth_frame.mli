@@ -29,6 +29,10 @@ type t = {
   payload_bytes : int;  (** L2 payload size, before 46-byte padding *)
   payload : payload;
   frag : frag option;
+  corrupted : bool;
+      (** bits flipped in flight (fault injection): the receiving MAC's
+          FCS check fails and the frame is dropped with a [bad_fcs]
+          count instead of being delivered *)
 }
 
 val header_bytes : int
@@ -58,9 +62,11 @@ val make :
   ethertype:int ->
   payload_bytes:int ->
   ?frag:frag ->
+  ?corrupted:bool ->
   payload ->
   t
-(** @raise Invalid_argument on a negative payload size. *)
+(** [corrupted] defaults to [false].
+    @raise Invalid_argument on a negative payload size. *)
 
 val on_wire_bytes : t -> int
 (** Bytes occupying the wire: preamble + header + padded payload + CRC +

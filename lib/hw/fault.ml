@@ -15,11 +15,19 @@ type kind =
   | Duplicate of { rng : Rng.t; prob : float }
   | Jitter of { rng : Rng.t; max_delay : Time.span }
   | Flap of { up : Time.span; down : Time.span; phase : Time.span }
+  | Corrupt of { rng : Rng.t; prob : float }
   | Compose of t list
 
-and t = { kind : kind; mutable drops : int; mutable duplicates : int }
+and t = {
+  kind : kind;
+  mutable drops : int;
+  mutable duplicates : int;
+  mutable corruptions : int;
+}
 
-let make kind = { kind; drops = 0; duplicates = 0 }
+type copy = { delay : Time.span; corrupt : bool }
+
+let make kind = { kind; drops = 0; duplicates = 0; corruptions = 0 }
 let none = make None_
 
 let check_prob name prob =
@@ -56,9 +64,15 @@ let flap ~up ~down ?(phase = 0) () =
   if up <= 0 || down <= 0 then invalid_arg "Fault.flap: period <= 0";
   make (Flap { up; down; phase })
 
+let corrupt ~rng ~prob =
+  check_prob "corrupt" prob;
+  make (Corrupt { rng; prob })
+
 let compose stages = make (Compose stages)
 
-(* One copy of a frame passing one stage: the extra delays (relative to an
+let clean = { delay = 0; corrupt = false }
+
+(* One copy of a frame passing one stage: the fates (relative to an
    undisturbed delivery) of the copies that survive; [] means dropped. *)
 let rec stage_copy t ~now =
   let dropped () =
@@ -66,12 +80,12 @@ let rec stage_copy t ~now =
     []
   in
   match t.kind with
-  | None_ -> [ 0 ]
+  | None_ -> [ clean ]
   | Drop { rng; prob } ->
-      if Rng.float rng 1.0 < prob then dropped () else [ 0 ]
+      if Rng.float rng 1.0 < prob then dropped () else [ clean ]
   | Drop_nth d ->
       d.seen <- d.seen + 1;
-      if d.seen mod d.every = 0 then dropped () else [ 0 ]
+      if d.seen mod d.every = 0 then dropped () else [ clean ]
   | Gilbert g ->
       (* Two-state Markov channel: advance the state once per frame, then
          lose with the state's loss rate (loss_bad ~ 1 gives solid bursts). *)
@@ -81,25 +95,37 @@ let rec stage_copy t ~now =
       in
       if flip then g.bad <- not g.bad;
       let loss = if g.bad then g.loss_bad else g.loss_good in
-      if Rng.float g.rng 1.0 < loss then dropped () else [ 0 ]
+      if Rng.float g.rng 1.0 < loss then dropped () else [ clean ]
   | Duplicate { rng; prob } ->
       if Rng.float rng 1.0 < prob then begin
         t.duplicates <- t.duplicates + 1;
-        [ 0; 0 ]
+        [ clean; clean ]
       end
-      else [ 0 ]
-  | Jitter { rng; max_delay } -> [ Rng.int rng max_delay ]
+      else [ clean ]
+  | Jitter { rng; max_delay } -> [ { clean with delay = Rng.int rng max_delay } ]
   | Flap f ->
       let pos = (now + f.phase) mod (f.up + f.down) in
-      if pos < f.up then [ 0 ] else dropped ()
+      if pos < f.up then [ clean ] else dropped ()
+  | Corrupt { rng; prob } ->
+      if Rng.float rng 1.0 < prob then begin
+        t.corruptions <- t.corruptions + 1;
+        [ { clean with corrupt = true } ]
+      end
+      else [ clean ]
   | Compose stages ->
       List.fold_left
         (fun copies stage ->
           List.concat_map
-            (fun delay ->
-              List.map (fun d -> delay + d) (stage_copy stage ~now))
+            (fun copy ->
+              List.map
+                (fun c ->
+                  {
+                    delay = copy.delay + c.delay;
+                    corrupt = copy.corrupt || c.corrupt;
+                  })
+                (stage_copy stage ~now))
             copies)
-        [ 0 ] stages
+        [ clean ] stages
 
 let frame t ~now = stage_copy t ~now
 
@@ -112,3 +138,8 @@ let rec duplicates t =
   match t.kind with
   | Compose stages -> List.fold_left (fun acc s -> acc + duplicates s) 0 stages
   | _ -> t.duplicates
+
+let rec corruptions t =
+  match t.kind with
+  | Compose stages -> List.fold_left (fun acc s -> acc + corruptions s) 0 stages
+  | _ -> t.corruptions

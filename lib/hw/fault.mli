@@ -14,6 +14,12 @@ open Engine
 
 type t
 
+type copy = { delay : Time.span; corrupt : bool }
+(** The fate of one surviving copy of a frame: its extra delay relative to
+    an undisturbed delivery, and whether its bits were flipped in flight
+    (the receiving MAC's FCS check will then drop it with a counted
+    [bad_fcs] reason). *)
+
 val none : t
 (** Never disturbs a frame. *)
 
@@ -54,19 +60,29 @@ val flap : up:Time.span -> down:Time.span -> ?phase:Time.span -> unit -> t
     by [down] of total loss, offset by [phase] (default 0) into the
     cycle. *)
 
+val corrupt : rng:Rng.t -> prob:float -> t
+(** Flips bits in each frame independently with probability [prob]: the
+    copy still occupies the wire and the receiver's ring, but the MAC's
+    FCS check discards it on arrival.  Unlike {!drop} the damage is only
+    detected at the receiving NIC, which counts it as [bad_fcs]. *)
+
 val compose : t list -> t
 (** Applies the stages in order; a frame survives a composed fault if it
-    survives every stage, delays add, duplicated copies fan out through
-    later stages independently. *)
+    survives every stage, delays add, corruption flags accumulate, and
+    duplicated copies fan out through later stages independently. *)
 
-val frame : t -> now:Time.t -> Time.span list
+val frame : t -> now:Time.t -> copy list
 (** The fate of one frame at simulation time [now]: one element per
-    delivered copy, carrying that copy's extra delay ([ [0] ] is an
-    undisturbed delivery; [[]] means the frame was dropped).  Stateful:
-    call exactly once per frame. *)
+    delivered copy, carrying that copy's extra delay and corruption flag
+    ([[{ delay = 0; corrupt = false }]] is an undisturbed delivery; [[]]
+    means the frame was dropped).  Stateful: call exactly once per
+    frame. *)
 
 val drops : t -> int
 (** Frames dropped so far (summed over composed stages). *)
 
 val duplicates : t -> int
 (** Extra copies injected so far (summed over composed stages). *)
+
+val corruptions : t -> int
+(** Frames whose bits were flipped so far (summed over composed stages). *)

@@ -40,6 +40,8 @@ let connect t receiver =
   if t.receiver <> None then invalid_arg "Link.connect: receiver already set";
   t.receiver <- Some receiver
 
+let reconnect t receiver = t.receiver <- Some receiver
+
 let serialization_time t frame =
   Time.of_bits_at_rate ~bits_per_s:t.bits_per_s
     (Eth_frame.on_wire_bytes frame * 8)
@@ -54,9 +56,13 @@ let deliver t frame =
       match t.receiver with
       | Some rx ->
           List.iter
-            (fun extra ->
-              if extra = 0 then rx frame
-              else ignore (Sim.schedule t.sim ~after:extra (fun () -> rx frame)))
+            (fun { Fault.delay; corrupt } ->
+              let frame =
+                if corrupt then { frame with Eth_frame.corrupted = true }
+                else frame
+              in
+              if delay = 0 then rx frame
+              else ignore (Sim.schedule t.sim ~after:delay (fun () -> rx frame)))
             copies
       | None -> t.frames_dropped <- t.frames_dropped + 1)
 

@@ -27,7 +27,13 @@ val create :
 
 val connect : t -> (Eth_frame.t -> unit) -> unit
 (** Installs the receiver.  Frames delivered before a receiver is connected
-    are counted as drops. *)
+    are counted as drops.
+    @raise Invalid_argument when a receiver is already installed. *)
+
+val reconnect : t -> (Eth_frame.t -> unit) -> unit
+(** Replaces the receiver: a rebooted node reattaching its new NIC to the
+    existing switch port.  Frames already in flight are delivered to the
+    new receiver. *)
 
 val send : t -> Eth_frame.t -> unit
 (** Non-blocking enqueue for transmission. *)

@@ -57,11 +57,15 @@ type t = {
   mutable masked : bool;
   mutable quiet_timer : Sim.handle option;
   mutable abs_timer : Sim.handle option;
+  mutable rx_admission : (bytes:int -> bool) option;
+  mutable down : bool;
   (* statistics *)
   mutable interrupts_raised : int;
   mutable tx_packets : int;
   mutable rx_packets : int;
   mutable rx_dropped : int;
+  mutable rx_dropped_mem : int;
+  mutable bad_fcs : int;
 }
 
 let cancel_timer = function Some h -> Sim.cancel h | None -> ()
@@ -79,6 +83,8 @@ let internal_move_time t bytes =
 (* Interrupt coalescing *)
 
 let assert_irq t =
+  if t.down then ()
+  else begin
   cancel_timer t.quiet_timer;
   cancel_timer t.abs_timer;
   t.quiet_timer <- None;
@@ -89,6 +95,7 @@ let assert_irq t =
   match t.irq_handler with
   | Some handler -> handler ()
   | None -> ()
+  end
 
 let timer_fired t =
   if (not t.masked) && not (Queue.is_empty t.pending) then assert_irq t
@@ -154,9 +161,11 @@ let tx_phy_pump t () =
     List.iter
       (fun f ->
         Process.delay t.firmware_per_frame;
+        (* A powered-off NIC cannot reach the wire, but completion still
+           runs so the posted buffer is released through the normal path. *)
         match t.uplink with
-        | Some link -> Link.send link f
-        | None -> ())
+        | Some link when not t.down -> Link.send link f
+        | Some _ | None -> ())
       frames;
     t.tx_packets <- t.tx_packets + 1;
     Semaphore.release t.phy_slots;
@@ -195,16 +204,39 @@ let reassemble t (frame : Eth_frame.t) =
       end
       else None
 
+let admit_host_bytes t bytes =
+  match t.rx_admission with None -> true | Some admit -> admit ~bytes
+
 let rx_pump t () =
   let rec loop () =
     let frame = Mailbox.recv t.rx_wire in
     Process.delay t.firmware_per_frame;
-    (match reassemble t frame with
+    (if t.down then ()
+     else if frame.Eth_frame.corrupted then
+       (* The MAC recomputes the FCS over the damaged bits and discards
+          the frame before it ever reaches the ring. *)
+       t.bad_fcs <- t.bad_fcs + 1
+     else
+    match reassemble t frame with
     | None -> ()
     | Some packet ->
-        if Semaphore.try_acquire t.rx_slots then begin
+        if not (admit_host_bytes t (Eth_frame.buffer_bytes packet)) then
+          (* Host kernel pool at its hard watermark: shed the frame here,
+             with its own counted reason, rather than letting the
+             allocation fail deeper in the stack.  Reliable senders
+             retransmit. *)
+          t.rx_dropped_mem <- t.rx_dropped_mem + 1
+        else if Semaphore.try_acquire t.rx_slots then begin
           let host_bytes = Eth_frame.buffer_bytes packet in
           Dma.transfer ~pci:t.pci ~membus:t.membus host_bytes;
+          if t.down then
+            (* Power failed while the DMA was in flight: the ring this
+               descriptor was headed for has already been drained, so
+               landing it now would strand it there forever.  The slot we
+               took must go back — power_off only released the slots that
+               were in the ring at the instant it ran. *)
+            Semaphore.release t.rx_slots
+          else begin
           let rx_id = !next_rx_id in
           incr next_rx_id;
           if Probe.enabled () then
@@ -223,6 +255,7 @@ let rx_pump t () =
           probe_ring_depth t;
           t.rx_packets <- t.rx_packets + 1;
           evaluate_coalescing t
+          end
         end
         else begin
           Log.warn (fun m ->
@@ -233,6 +266,39 @@ let rx_pump t () =
     loop ()
   in
   loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Power control (node crash / reboot) *)
+
+let power_off t =
+  if not t.down then begin
+    t.down <- true;
+    t.masked <- true;
+    cancel_timer t.quiet_timer;
+    cancel_timer t.abs_timer;
+    t.quiet_timer <- None;
+    t.abs_timer <- None;
+    (* Ring contents vanish with the power: report each buffer freed so
+       the lifecycle sanitizer sees the crash as a release, not a leak. *)
+    Queue.iter
+      (fun d ->
+        if Probe.enabled () then
+          Probe.emit
+            (Probe.Obj_free
+               { kind = Probe.Rx_buffer; id = d.rx_id; where = "nic:power-off" }))
+      t.pending;
+    let n = Queue.length t.pending in
+    Queue.clear t.pending;
+    if n > 0 then begin
+      probe_ring_depth t;
+      Semaphore.release ~n t.rx_slots
+    end;
+    Hashtbl.reset t.reassembly
+  end
+
+let power_on t =
+  t.down <- false;
+  t.masked <- false
 
 (* --------------------------------------------------------------- *)
 
@@ -266,10 +332,14 @@ let create sim ~name ~mtu ~pci ~membus ?(tx_ring = 64) ?(rx_ring = 128)
       masked = false;
       quiet_timer = None;
       abs_timer = None;
+      rx_admission = None;
+      down = false;
       interrupts_raised = 0;
       tx_packets = 0;
       rx_packets = 0;
       rx_dropped = 0;
+      rx_dropped_mem = 0;
+      bad_fcs = 0;
     }
   in
   Process.spawn sim (tx_dma_pump t);
@@ -281,7 +351,12 @@ let attach_uplink t link =
   if t.uplink <> None then invalid_arg "Nic.attach_uplink: already attached";
   t.uplink <- Some link
 
-let rx_from_wire t frame = Mailbox.send t.rx_wire frame
+let rx_from_wire t frame = if not t.down then Mailbox.send t.rx_wire frame
+
+let set_rx_admission t admit =
+  if t.rx_admission <> None then
+    invalid_arg "Nic.set_rx_admission: already set";
+  t.rx_admission <- Some admit
 
 let set_interrupt t handler =
   if t.irq_handler <> None then invalid_arg "Nic.set_interrupt: already set";
@@ -317,17 +392,36 @@ let take_rx t =
   Semaphore.release ~n t.rx_slots;
   List.rev !out
 
+let take_rx_budget t budget =
+  if budget <= 0 then invalid_arg "Nic.take_rx_budget: budget <= 0";
+  let out = ref [] in
+  let n = ref 0 in
+  while !n < budget && not (Queue.is_empty t.pending) do
+    out := Queue.pop t.pending :: !out;
+    incr n
+  done;
+  if !n > 0 then begin
+    probe_ring_depth t;
+    Semaphore.release ~n:!n t.rx_slots
+  end;
+  List.rev !out
+
 let unmask_irq t =
-  t.masked <- false;
-  if not (Queue.is_empty t.pending) then evaluate_coalescing t
+  if not t.down then begin
+    t.masked <- false;
+    if not (Queue.is_empty t.pending) then evaluate_coalescing t
+  end
 
 let name t = t.name
 let mtu t = t.mtu
 let pci t = t.pci
 let fragmentation_enabled t = t.fragmentation
+let is_down t = t.down
 let interrupts_raised t = t.interrupts_raised
 let tx_packets t = t.tx_packets
 let rx_packets t = t.rx_packets
 let rx_dropped t = t.rx_dropped
+let rx_dropped_mem t = t.rx_dropped_mem
+let bad_fcs t = t.bad_fcs
 let tx_ring_free t = Semaphore.available t.tx_slots
 let rx_pending t = Queue.length t.pending

@@ -80,7 +80,17 @@ val attach_uplink : t -> Link.t -> unit
 
 val rx_from_wire : t -> Eth_frame.t -> unit
 (** Entry point for frames delivered by the attached downlink; pass this to
-    {!Link.connect} / {!Switch.connect_node}. *)
+    {!Link.connect} / {!Switch.connect_node}.  Frames arriving with
+    [corrupted = true] fail the MAC's FCS check and are counted in
+    {!bad_fcs}; frames arriving while the NIC is {!power_off} are lost
+    silently. *)
+
+val set_rx_admission : t -> (bytes:int -> bool) -> unit
+(** Installs the host-memory admission gate consulted before a received
+    packet is DMA'd into the host ring (the OS layer wires this to its
+    kernel pool's watermark level).  Returning [false] drops the packet
+    with the {!rx_dropped_mem} reason.
+    @raise Invalid_argument when already set. *)
 
 val set_interrupt : t -> (unit -> unit) -> unit
 (** Installs the interrupt line.  The NIC asserts at most one interrupt
@@ -100,9 +110,27 @@ val take_rx : t -> rx_desc list
 (** Drains all pending received packets (oldest first) and frees their ring
     slots; called from the ISR. *)
 
+val take_rx_budget : t -> int -> rx_desc list
+(** Takes at most [budget] pending packets (oldest first), freeing their
+    ring slots: one pass of the driver's NAPI-style polling loop.  An
+    empty result means the ring has drained.
+    @raise Invalid_argument on a non-positive budget. *)
+
 val unmask_irq : t -> unit
 (** Re-enables interrupt assertion; re-evaluates coalescing immediately if
-    packets arrived while masked. *)
+    packets arrived while masked.  No-op while powered off. *)
+
+val power_off : t -> unit
+(** Models the node losing power: pending ring buffers are discarded (each
+    reported freed to the lifecycle sanitizer), coalescing timers are
+    cancelled, and until {!power_on} the NIC neither receives from the
+    wire, transmits onto it, nor asserts interrupts.  In-flight transmit
+    descriptors still run their completion callbacks so posted buffers
+    are released. *)
+
+val power_on : t -> unit
+(** Clears the {!power_off} state (used only if a NIC object is revived
+    rather than replaced; a rebooted node normally builds a fresh NIC). *)
 
 (** {1 Configuration and statistics} *)
 
@@ -113,6 +141,7 @@ val pci : t -> Bus.t
 (** The I/O bus this NIC sits on (for programmed-I/O transfers). *)
 
 val fragmentation_enabled : t -> bool
+val is_down : t -> bool
 val interrupts_raised : t -> int
 val tx_packets : t -> int
 val rx_packets : t -> int
@@ -120,6 +149,14 @@ val rx_packets : t -> int
 
 val rx_dropped : t -> int
 (** Packets lost to a full receive ring. *)
+
+val rx_dropped_mem : t -> int
+(** Packets shed because the host kernel pool was at its hard watermark
+    (the {!set_rx_admission} gate refused them). *)
+
+val bad_fcs : t -> int
+(** Frames discarded by the MAC's frame-check-sequence over corrupted
+    bits. *)
 
 val tx_ring_free : t -> int
 val rx_pending : t -> int

@@ -85,6 +85,7 @@ let get_port t node =
 
 let uplink t ~node = (get_port t node).uplink
 let connect_node t ~node rx = Link.connect (get_port t node).downlink rx
+let rewire_node t ~node rx = Link.reconnect (get_port t node).downlink rx
 let ports t = List.map (fun p -> p.node) t.port_list
 let frames_forwarded t = t.frames_forwarded
 let frames_flooded t = t.frames_flooded

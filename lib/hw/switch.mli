@@ -36,6 +36,10 @@ val uplink : t -> node:int -> Link.t
 val connect_node : t -> node:int -> (Eth_frame.t -> unit) -> unit
 (** Installs the node's NIC receive function on the switch→node link. *)
 
+val rewire_node : t -> node:int -> (Eth_frame.t -> unit) -> unit
+(** Replaces the receive function on an existing port: a rebooted node
+    reattaching its freshly created NIC. *)
+
 val ports : t -> int list
 val frames_forwarded : t -> int
 val frames_flooded : t -> int

@@ -143,7 +143,7 @@ let messages recorder =
   List.iter
     (fun { Recorder.at; ev } ->
       match ev with
-      | Probe.Msg_send { node; dst; port; msg_id; bytes } ->
+      | Probe.Msg_send { node; dst; port; msg_id; bytes; epoch = _ } ->
           let acc =
             {
               m_src = node;

@@ -31,13 +31,27 @@ type params = {
           Figure 8a); charged in the bottom half, or in the ISR when
           [Direct_from_isr] *)
   rx_mode : rx_mode;
+  napi : bool;
+      (** receiver-livelock mitigation: when the interrupt rate crosses
+          the threshold below, switch from per-packet interrupts to a
+          budgeted polling loop until the ring drains *)
+  napi_enter_gap : Time.span;
+      (** an interrupt closer than this to its predecessor counts as
+          "hot" *)
+  napi_enter_after : int;
+      (** consecutive hot interrupts before polling engages — the
+          hysteresis that keeps an isolated burst on the interrupt path *)
+  napi_budget : int;  (** max packets serviced per polling pass *)
+  napi_interval : Time.span;  (** delay between successive polling passes *)
 }
 
 val default_params : params
 (** Calibrated against the paper's Figure 7: 4 us tx routine, 2 us ISR
     entry, 2.5 us ISR per packet, and a bottom half of 4 us + bytes at
     180 MB/s per packet (≈15 us for a 1400-byte packet, as in Figure 7a);
-    [Via_bottom_half]. *)
+    [Via_bottom_half].  NAPI polling is off by default (the stock 2.4-era
+    driver the paper works against); when enabled the defaults are a
+    20 us gap, 4 hot interrupts, budget 16, 15 us between passes. *)
 
 type t
 
@@ -76,6 +90,25 @@ val transmit :
     "data cannot be sent at the present moment" answer CLIC_MODULE acts on.
     Zero-copy is used when the skbuff's fragments allow it. *)
 
+val kill : t -> unit
+(** Node-crash support: the driver stops servicing interrupts and polling,
+    and ring buffers already queued for a bottom half are discarded (each
+    reported freed) instead of delivered.  There is no revival — a
+    rebooted node creates a fresh driver. *)
+
 val nic : t -> Nic.t
 val params : t -> params
 val rx_upcalls : t -> int
+
+val is_polling : t -> bool
+(** True while the NAPI-style polling loop owns rx servicing. *)
+
+val poll_mode_switches : t -> int
+(** Transitions between interrupt and polling mode (both directions). *)
+
+val poll_passes : t -> int
+val polled_packets : t -> int
+
+val dead_discards : t -> int
+(** Ring buffers discarded because the driver was killed with work still
+    queued. *)

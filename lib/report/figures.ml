@@ -205,6 +205,7 @@ let fig7 fmt =
     fig7_once
       ~driver_params:
         {
+          Os_model.Driver.default_params with
           Os_model.Driver.tx_routine = Time.us 4.0;
           isr_entry = Time.us 1.0;
           isr_per_packet = Time.us 1.0;

@@ -9,6 +9,7 @@ let header_bytes = 8
 
 let driver_params =
   {
+    Driver.default_params with
     Driver.tx_routine = Time.us 1.5;
     isr_entry = Time.us 1.0;
     isr_per_packet = Time.us 1.0;
@@ -91,8 +92,11 @@ let rec get_channel t peer =
           ~send_ack:(fun ~cum_seq ->
             Cpu.work (cpu t) (Time.us 0.5);
             transmit t ~dst:peer
-              { Clic.Wire.src = node t; chan_seq = None; data_bytes = 0;
-                kind = Clic.Wire.Chan_ack { cum_seq } })
+              { Clic.Wire.src = node t; epoch = 0; chan_seq = None;
+                data_bytes = 0;
+                kind =
+                  Clic.Wire.Chan_ack
+                    { cum_seq; window = channel_params.Clic.Params.tx_window } })
           ()
       in
       Hashtbl.add t.channels peer chan;
@@ -131,7 +135,7 @@ let rx t (desc : Nic.rx_desc) =
   | Gamma pkt -> (
       Cpu.work ~priority:`High (cpu t) (Time.us 1.0);
       match pkt.Clic.Wire.kind with
-      | Clic.Wire.Chan_ack { cum_seq } ->
+      | Clic.Wire.Chan_ack { cum_seq; window = _ } ->
           Clic.Channel.rx_ack (get_channel t pkt.Clic.Wire.src) cum_seq
       | _ -> Clic.Channel.rx (get_channel t pkt.Clic.Wire.src) pkt)
   | _ -> ()

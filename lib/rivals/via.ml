@@ -12,6 +12,7 @@ let header_bytes = 4
 
 let driver_params =
   {
+    Driver.default_params with
     Driver.tx_routine = Time.us 0.;
     isr_entry = Time.us 0.;
     isr_per_packet = Time.us 0.;

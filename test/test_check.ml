@@ -150,7 +150,7 @@ let test_invariant_duplicate_delivery () =
     (monitor_hits [ deliver 0; deliver 1; deliver 2 ])
 
 let test_invariant_msg_once () =
-  let msg id = Probe.Msg_deliver { node = 0; src = 1; port = 7; msg_id = id } in
+  let msg id = Probe.Msg_deliver { node = 0; src = 1; port = 7; msg_id = id; epoch = 0 } in
   Alcotest.(check (list string))
     "duplicate app delivery caught" [ "msg-deliver-once" ]
     (monitor_hits [ msg 5; msg 5 ]);
@@ -171,6 +171,47 @@ let test_invariant_window_bound () =
     "window overrun caught" [ "window-bound" ]
     (monitor_hits [ w 9 ]);
   Alcotest.(check (list string)) "full window is legal" [] (monitor_hits [ w 8 ])
+
+let test_invariant_poll_budget () =
+  let pass processed =
+    Probe.Poll_pass { host = "host1"; processed; budget = 4 }
+  in
+  Alcotest.(check (list string))
+    "budget overrun caught" [ "poll-budget" ]
+    (monitor_hits [ pass 5 ]);
+  Alcotest.(check (list string))
+    "negative count caught" [ "poll-budget" ]
+    (monitor_hits [ pass (-1) ]);
+  Alcotest.(check (list string))
+    "full-budget pass is legal" []
+    (monitor_hits [ pass 4; pass 0 ])
+
+let test_invariant_epoch_monotone () =
+  let msg ~epoch id =
+    Probe.Msg_deliver { node = 0; src = 1; port = 7; msg_id = id; epoch }
+  in
+  Alcotest.(check (list string))
+    "stale-epoch delivery caught" [ "epoch-monotone-delivery" ]
+    (monitor_hits [ msg ~epoch:2 0; msg ~epoch:1 1 ]);
+  Alcotest.(check (list string))
+    "epoch may only grow" []
+    (monitor_hits [ msg ~epoch:0 0; msg ~epoch:1 1; msg ~epoch:1 2 ])
+
+let test_invariant_pool_balance () =
+  let palloc used bytes =
+    Probe.Pool_alloc { pool = "kmem9"; bytes; used; capacity = 1024 }
+  in
+  let pfree used bytes = Probe.Pool_free { pool = "kmem9"; bytes; used } in
+  Alcotest.(check (list string))
+    "balanced alloc/free clean" []
+    (monitor_hits [ palloc 64 64; palloc 96 32; pfree 32 64; pfree 0 32 ]);
+  Alcotest.(check (list string))
+    "reported usage drifting from the event stream caught"
+    [ "pool-balance" ]
+    (monitor_hits [ palloc 64 64; pfree 40 64 ]);
+  Alcotest.(check (list string))
+    "usage beyond capacity caught" [ "pool-balance" ]
+    (monitor_hits [ palloc 1024 1024; palloc 1088 64 ])
 
 let test_invariant_register () =
   let saved = !Check.Invariants.registry in
@@ -199,7 +240,7 @@ let hash_of evs =
   Check.Determinism.result d
 
 let test_determinism_hash () =
-  let msg src id = Probe.Msg_deliver { node = 0; src; port = 7; msg_id = id } in
+  let msg src id = Probe.Msg_deliver { node = 0; src; port = 7; msg_id = id; epoch = 0 } in
   (* cross-stream interleaving is not part of the logical trace *)
   Alcotest.(check string)
     "interleaving-invariant"
@@ -250,7 +291,7 @@ let test_check_catches_race () =
                  let id = !next in
                  incr next;
                  Probe.emit
-                   (Probe.Msg_deliver { node = 0; src; port = 1; msg_id = id })))
+                   (Probe.Msg_deliver { node = 0; src; port = 1; msg_id = id; epoch = 0 })))
         done;
         Sim.run sim)
   in
@@ -271,7 +312,7 @@ let test_check_clean_synthetic () =
           ignore
             (Sim.schedule sim ~after:50 (fun () ->
                  Probe.emit
-                   (Probe.Msg_deliver { node = 0; src; port = 1; msg_id = src })))
+                   (Probe.Msg_deliver { node = 0; src; port = 1; msg_id = src; epoch = 0 })))
         done;
         Sim.run sim)
   in
@@ -298,6 +339,37 @@ let test_check_real_scenario_clean () =
        (fun n -> n <> "peak live objects 0")
        r.Check.notes)
 
+(* ------------------------------------------------------------------ *)
+(* The chaos-soak harness *)
+
+let test_soak_argument_checks () =
+  check_bool "templates registered" true
+    (List.length Check.Soak.template_names >= 4);
+  Alcotest.(check (list int)) "CI seeds pinned" [ 101; 202; 303 ]
+    Check.Soak.default_seeds;
+  let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check_bool "trials <= 0 rejected" true
+    (raises (fun () -> Check.Soak.run ~trials:0 ()));
+  check_bool "unknown template rejected" true
+    (raises (fun () -> Check.Soak.run ~only:[ "no-such-template" ] ()))
+
+let test_soak_smoke () =
+  (* One seed over every template in quick mode: the full harness — node
+     crash/reboot, pool crunch, interrupt storm, composed link weather —
+     must come back with zero violations and every stress axis evidenced. *)
+  let r = Check.Soak.run ~seeds:[ 101 ] ~trials:4 ~quick:true () in
+  List.iter
+    (fun v -> Printf.printf "unexpected: %s\n" (Check.Violation.to_string v))
+    (Check.Soak.violations r);
+  List.iter (Printf.printf "missing evidence: %s\n") (Check.Soak.missing_evidence r);
+  check_bool "soak clean with full evidence" true (Check.Soak.ok r);
+  check_int "all trials ran" 4 (List.length r.Check.Soak.s_trials);
+  let ev = r.Check.Soak.s_evidence in
+  check_bool "a crash happened" true (ev.Check.Soak.ev_crashes > 0);
+  check_bool "hard watermark dropped frames" true
+    (ev.Check.Soak.ev_pool_drops > 0);
+  check_bool "polling engaged" true (ev.Check.Soak.ev_poll_switches > 0)
+
 let suite =
   [
     Alcotest.test_case "heap: equal keys drain FIFO" `Quick
@@ -323,6 +395,12 @@ let suite =
       test_invariant_ack_monotone;
     Alcotest.test_case "invariants: window bound" `Quick
       test_invariant_window_bound;
+    Alcotest.test_case "invariants: poll budget" `Quick
+      test_invariant_poll_budget;
+    Alcotest.test_case "invariants: epoch-monotone delivery" `Quick
+      test_invariant_epoch_monotone;
+    Alcotest.test_case "invariants: pool balance" `Quick
+      test_invariant_pool_balance;
     Alcotest.test_case "invariants: custom registration" `Quick
       test_invariant_register;
     Alcotest.test_case "determinism: logical trace hash" `Quick
@@ -335,4 +413,6 @@ let suite =
       test_check_clean_synthetic;
     Alcotest.test_case "check: real CLIC ping-pong end to end" `Quick
       test_check_real_scenario_clean;
+    Alcotest.test_case "soak: argument checks" `Quick test_soak_argument_checks;
+    Alcotest.test_case "soak: one-seed smoke run" `Quick test_soak_smoke;
   ]

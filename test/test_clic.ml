@@ -39,7 +39,7 @@ let channel_rig ?(params = Params.default) () =
   (sim, chan, sent, delivered, acks)
 
 let mk_data ?(bytes = 100) seq =
-  { Wire.src = 1; chan_seq = Some seq; data_bytes = bytes;
+  { Wire.src = 1; epoch = 0; chan_seq = Some seq; data_bytes = bytes;
     kind =
       Wire.Data
         { port = 1; sync = false;
@@ -119,7 +119,7 @@ let test_channel_rejects_unreliable_kind () =
   let _, chan, _, _, _ = channel_rig () in
   Alcotest.check_raises "unreliable"
     (Invalid_argument "Channel.next_seq: unreliable kind") (fun () ->
-      ignore (Channel.next_seq chan ~data_bytes:0 (Wire.Chan_ack { cum_seq = 0 })))
+      ignore (Channel.next_seq chan ~data_bytes:0 (Wire.Chan_ack { cum_seq = 0; window = 8 })))
 
 let test_channel_rtt_adaptation () =
   let params = { Params.default with rto_min = Time.us 200. } in
@@ -567,6 +567,170 @@ let test_clic_second_waiter_rejected () =
   Net.run c;
   check_bool "double-waiter detected" true !raised
 
+(* ------------------------------------------------------------------ *)
+(* Parameter validation (construction-time rejection) *)
+
+let test_params_validate_rejections () =
+  let p = Params.default in
+  check_bool "default set is valid and returned unchanged" true
+    (Params.validate p == p);
+  let rejected what bad =
+    match Params.validate bad with
+    | _ -> Alcotest.failf "%s: accepted" what
+    | exception Invalid_argument _ -> ()
+  in
+  rejected "rto_min > rto_max"
+    { p with rto_min = Time.ms 10.; rto_max = Time.ms 1. };
+  rejected "dup_ack_threshold = 0" { p with dup_ack_threshold = 0 };
+  rejected "max_retries = 0" { p with max_retries = 0 };
+  rejected "tx_window = 0" { p with tx_window = 0 };
+  rejected "negative tx_window" { p with tx_window = -4 };
+  rejected "ack_every = 0" { p with ack_every = 0 };
+  rejected "soft watermark above hard"
+    { p with kmem_soft_frac = 0.9; kmem_hard_frac = 0.6 };
+  rejected "soft watermark non-positive" { p with kmem_soft_frac = 0. };
+  rejected "hard watermark above 1" { p with kmem_hard_frac = 1.5 };
+  rejected "soft_window_frac = 0" { p with soft_window_frac = 0. };
+  rejected "soft_window_frac > 1" { p with soft_window_frac = 1.01 };
+  (* the exact complaint names the field and both values *)
+  Alcotest.check_raises "watermark message"
+    (Invalid_argument
+       "Clic.Params: kmem watermarks out of order (want 0 < soft 0.9 <= \
+        hard 0.6 <= 1)") (fun () ->
+      ignore
+        (Params.validate { p with kmem_soft_frac = 0.9; kmem_hard_frac = 0.6 }))
+
+let test_params_rejected_at_module_creation () =
+  (* Clic_module.create runs the validation: a cluster with a broken
+     parameter set must fail to construct, not misbehave later. *)
+  let clic = { Params.default with max_retries = 0 } in
+  match Net.create ~config:(config_with ~clic ()) ~n:2 () with
+  | _ -> Alcotest.fail "invalid params accepted by Clic_module.create"
+  | exception Invalid_argument msg ->
+      check_bool "names the parameter" true
+        (String.length msg >= 11 && String.sub msg 0 11 = "Clic.Params")
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-pool backpressure *)
+
+let kmem_of node =
+  (Clic_module.env_of (Api.kernel node.Node.clic)).Proto.Hostenv.kmem
+
+let test_clic_advertised_window_tracks_pool_level () =
+  let _, na, _ = two_nodes () in
+  let k = Api.kernel na.Node.clic in
+  let pool = kmem_of na in
+  let full = (Clic_module.params k).Params.tx_window in
+  check_int "normal: full window" full (Clic_module.advertised_window k);
+  (* push the pool to its soft mark *)
+  check_bool "grab to soft" true (Os_model.Kmem.try_alloc pool (Os_model.Kmem.soft_mark pool));
+  check_int "soft: half window"
+    (max 1 (int_of_float (Params.default.Params.soft_window_frac *. float_of_int full)))
+    (Clic_module.advertised_window k);
+  (* and on to the hard mark *)
+  check_bool "grab to hard" true
+    (Os_model.Kmem.try_alloc pool
+       (Os_model.Kmem.hard_mark pool - Os_model.Kmem.in_use pool));
+  check_int "hard: single packet" 1 (Clic_module.advertised_window k);
+  Os_model.Kmem.free pool (Os_model.Kmem.in_use pool);
+  check_int "recovered: full window" full (Clic_module.advertised_window k)
+
+let test_clic_hard_watermark_sheds_and_recovers () =
+  (* With the receiver's pool pinned at its hard mark, its NIC refuses
+     ingress (counted separately from ring overflow); when the pressure
+     lifts, retransmission delivers everything exactly once. *)
+  let c, na, nb = two_nodes () in
+  let pool = kmem_of nb in
+  let grab = Os_model.Kmem.hard_mark pool in
+  check_bool "pin pool at hard mark" true (Os_model.Kmem.try_alloc pool grab);
+  let got = ref 0 in
+  Node.spawn nb (fun () ->
+      got := (Api.recv nb.Node.clic ~port:5).Clic_module.msg_bytes);
+  Node.spawn na (fun () -> Api.send na.Node.clic ~dst:1 ~port:5 5_000);
+  Node.spawn nb (fun () ->
+      Process.delay (Time.ms 2.);
+      Os_model.Kmem.free pool grab);
+  Net.run c;
+  check_int "delivered once the pressure lifted" 5_000 !got;
+  check_bool "nic shed ingress at the hard watermark" true
+    (Hw.Nic.rx_dropped_mem (List.hd nb.Node.nics) > 0);
+  check_int "distinct from ring overflow" 0
+    (Hw.Nic.rx_dropped (List.hd nb.Node.nics));
+  check_bool "recovery went through retransmission" true
+    (Clic_module.retransmissions (Api.kernel na.Node.clic) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Frame corruption (bad FCS) against the reliability layer *)
+
+let test_clic_recovers_from_corruption () =
+  let fault () = Hw.Fault.corrupt ~rng:(Rng.create ~seed:23) ~prob:0.05 in
+  let c, na, nb = two_nodes ~config:(config_with ~fault ()) () in
+  let sizes = [ 8_000; 60_000; 120_000 ] in
+  let got = ref [] in
+  Node.spawn nb (fun () ->
+      List.iter
+        (fun _ ->
+          got := (Api.recv nb.Node.clic ~port:5).Clic_module.msg_bytes :: !got)
+        sizes);
+  Node.spawn na (fun () ->
+      List.iter (fun s -> Api.send na.Node.clic ~dst:1 ~port:5 s) sizes);
+  Net.run c;
+  Alcotest.(check (list int)) "exactly-once despite bit flips" sizes
+    (List.rev !got);
+  check_bool "MAC dropped corrupted frames" true
+    (Hw.Nic.bad_fcs (List.hd nb.Node.nics) > 0);
+  check_bool "losses recovered by retransmission" true
+    (Clic_module.retransmissions (Api.kernel na.Node.clic) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Boot epochs on the wire *)
+
+let inject nb pkt =
+  (* hand-deliver a forged CLIC frame to the node's NIC, as if from the
+     wire *)
+  Hw.Nic.rx_from_wire (List.hd nb.Node.nics)
+    (Hw.Eth_frame.make ~src:(Hw.Mac.of_node 0) ~dst:(Hw.Mac.of_node 1)
+       ~ethertype:Wire.ethertype
+       ~payload_bytes:
+         (Wire.wire_bytes ~header_bytes:Params.default.Params.header_bytes pkt)
+       (Wire.Clic pkt))
+
+let forged_data ~epoch ~seq ~msg_id =
+  { Wire.src = 0; epoch; chan_seq = Some seq; data_bytes = 64;
+    kind =
+      Wire.Data
+        { port = 5; sync = false;
+          frag = { Wire.msg_id; frag_index = 0; frag_count = 1;
+                   msg_bytes = 64 } } }
+
+let test_clic_stale_epoch_rejected () =
+  let c, _, nb = two_nodes () in
+  let kb = Api.kernel nb.Node.clic in
+  let epochs = ref [] in
+  Node.spawn nb (fun () ->
+      for _ = 1 to 2 do
+        let m = Api.recv nb.Node.clic ~port:5 in
+        epochs := (m.Clic_module.msg_epoch, m.Clic_module.msg_bytes) :: !epochs
+      done);
+  Node.spawn nb (fun () ->
+      (* the peer's first frame pins its epoch at 1 *)
+      inject nb (forged_data ~epoch:1 ~seq:0 ~msg_id:0);
+      Process.delay (Time.us 100.);
+      (* a pre-crash straggler from epoch 0: must be dropped, counted *)
+      inject nb (forged_data ~epoch:0 ~seq:1 ~msg_id:7);
+      Process.delay (Time.us 100.);
+      (* the peer rebooted into epoch 2: old channel state discarded, a
+         fresh channel starts over at seq 0 *)
+      inject nb (forged_data ~epoch:2 ~seq:0 ~msg_id:1));
+  Net.run c;
+  Alcotest.(check (list (pair int int)))
+    "delivered both live epochs, in order"
+    [ (1, 64); (2, 64) ]
+    (List.rev !epochs);
+  check_int "stale frame counted" 1 (Clic_module.stale_epoch_drops kb);
+  check_int "reboot noticed" 1 (Clic_module.peer_reboots kb);
+  check_int "channel re-established" 1 (Clic_module.reestablishments kb)
+
 let prop_channel_model_in_order =
   (* Feed the receive side an arbitrary interleaving of sequence numbers
      (duplicates, reordering, gaps later filled): deliveries must be the
@@ -664,5 +828,11 @@ let suite =
     ("clic local sync", `Quick, test_clic_local_sync_send);
     ("clic re-entrant node", `Quick, test_clic_two_processes_same_node);
     ("clic double waiter", `Quick, test_clic_second_waiter_rejected);
+    ("params validation", `Quick, test_params_validate_rejections);
+    ("params gate module creation", `Quick, test_params_rejected_at_module_creation);
+    ("advertised window backpressure", `Quick, test_clic_advertised_window_tracks_pool_level);
+    ("hard watermark shedding", `Quick, test_clic_hard_watermark_sheds_and_recovers);
+    ("corruption recovery", `Quick, test_clic_recovers_from_corruption);
+    ("stale epoch rejection", `Quick, test_clic_stale_epoch_rejected);
   ]
   @ qprops

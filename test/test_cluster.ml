@@ -158,6 +158,91 @@ let test_incast_with_finite_switch_buffers () =
     (Printf.sprintf "switch actually dropped (%d)" drops)
     true (drops > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Node crash and recovery *)
+
+let snappy =
+  (* fast failure detection so the test stays small: the peer is declared
+     dead after ~2.5ms of silence instead of the default tens of ms *)
+  { Clic.Params.default with
+    retransmit_timeout = Time.us 500.; rto_min = Time.us 100.;
+    rto_max = Time.ms 1.; max_retries = 3 }
+
+let test_node_crash_recovery_reestablishes () =
+  let config = { Node.default_config with clic_params = snappy } in
+  let c = Net.create ~config ~n:2 () in
+  let na = Net.node c 0 and nb = Net.node c 1 in
+  let first = ref 0 and second = ref 0 and dead_seen = ref 0 in
+  let pool_after_crash = ref (-1) in
+  Node.spawn nb (fun () ->
+      first := (Clic.Api.recv nb.Node.clic ~port:5).Clic.Clic_module.msg_bytes);
+  Node.spawn na (fun () ->
+      (* phase 1: normal delivery *)
+      Clic.Api.send na.Node.clic ~dst:1 ~port:5 1_000;
+      (* phase 2: the peer is down; the confirmed send must fail after
+         max_retries instead of blocking forever *)
+      Process.delay (Time.ms 2.);
+      (try
+         Clic.Api.send_sync na.Node.clic ~dst:1 ~port:5 2_000;
+         Alcotest.fail "send to a crashed node succeeded"
+       with Clic.Channel.Dead peer ->
+         check_int "exception names the peer" 1 peer;
+         incr dead_seen);
+      (* phase 3: the peer is back with a higher epoch — retry until the
+         fresh kernel answers *)
+      Process.delay (Time.ms 8.);
+      let rec resend () =
+        try Clic.Api.send na.Node.clic ~dst:1 ~port:5 3_000
+        with Clic.Channel.Dead _ ->
+          Process.delay (Time.us 300.);
+          resend ()
+      in
+      resend ());
+  Node.spawn na (fun () ->
+      Process.delay (Time.ms 1.);
+      let pool = (Clic.Clic_module.env_of (Clic.Api.kernel nb.Node.clic)).Proto.Hostenv.kmem in
+      Node.crash nb;
+      (* crash cleanup returned every staged byte: the accounting identity
+         holds across the crash *)
+      pool_after_crash := Os_model.Kmem.in_use pool;
+      Process.delay (Time.ms 5.);
+      Node.reboot nb;
+      Node.spawn nb (fun () ->
+          second :=
+            (Clic.Api.recv nb.Node.clic ~port:5).Clic.Clic_module.msg_bytes));
+  Net.run c;
+  check_int "phase 1 delivered" 1_000 !first;
+  check_int "dead peer detected exactly once" 1 !dead_seen;
+  check_int "phase 3 delivered on the new boot" 3_000 !second;
+  check_bool "node back up" true (Node.is_up nb);
+  check_int "boot epoch bumped" 1 (Node.epoch nb);
+  check_int "one crash recorded" 1 (Node.crashes nb);
+  check_int "dead kernel's pool fully returned" 0 !pool_after_crash;
+  let ka = Clic.Api.kernel na.Node.clic in
+  check_bool "survivor noticed the reboot" true
+    (Clic.Clic_module.peer_reboots ka >= 1);
+  check_bool "survivor re-established the channel" true
+    (Clic.Clic_module.reestablishments ka >= 1);
+  check_int "fresh kernel starts at the new epoch" 1
+    (Clic.Clic_module.epoch (Clic.Api.kernel nb.Node.clic))
+
+let test_node_crash_reboot_guards () =
+  let c = Net.create ~n:2 () in
+  let nb = Net.node c 1 in
+  Node.spawn (Net.node c 0) (fun () ->
+      check_bool "up initially" true (Node.is_up nb);
+      Alcotest.check_raises "reboot while up"
+        (Invalid_argument "Node.reboot: still up") (fun () -> Node.reboot nb);
+      Node.crash nb;
+      check_bool "down after crash" false (Node.is_up nb);
+      Alcotest.check_raises "double crash"
+        (Invalid_argument "Node.crash: already down") (fun () -> Node.crash nb);
+      Process.delay (Time.ms 1.);
+      Node.reboot nb;
+      check_bool "up after reboot" true (Node.is_up nb);
+      check_int "epoch counts boots" 1 (Node.epoch nb));
+  Net.run c
+
 let suite =
   [
     ("cluster shape", `Quick, test_cluster_shape);
@@ -174,4 +259,6 @@ let suite =
     ("workload ring", `Quick, test_workload_ring_rounds);
     ("workload determinism", `Quick, test_workload_determinism);
     ("incast + finite buffers", `Quick, test_incast_with_finite_switch_buffers);
+    ("node crash & recovery", `Quick, test_node_crash_recovery_reestablishes);
+    ("crash/reboot guards", `Quick, test_node_crash_reboot_guards);
   ]

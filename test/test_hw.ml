@@ -175,6 +175,28 @@ let test_fault_compose_stages () =
   check_int "drops counted through compose" 3 (Fault.drops fault);
   check_int "duplications counted through compose" 3 (Fault.duplicates fault)
 
+let test_fault_corruption_flags_copies () =
+  let fault = Fault.corrupt ~rng:(Rng.create ~seed:13) ~prob:1. in
+  for _ = 1 to 5 do
+    match Fault.frame fault ~now:0 with
+    | [ { Fault.delay = 0; corrupt = true } ] -> ()
+    | _ -> Alcotest.fail "expected one corrupted zero-delay copy"
+  done;
+  check_int "corruptions counted" 5 (Fault.corruptions fault);
+  check_int "no drops" 0 (Fault.drops fault);
+  (* a corrupted frame still occupies the wire: composition with jitter
+     keeps the flag *)
+  let composed =
+    Fault.compose
+      [
+        Fault.corrupt ~rng:(Rng.create ~seed:13) ~prob:1.;
+        Fault.jitter ~rng:(Rng.create ~seed:3) ~max_delay:(Time.us 10.);
+      ]
+  in
+  match Fault.frame composed ~now:0 with
+  | [ { Fault.corrupt = true; _ } ] -> ()
+  | _ -> Alcotest.fail "corruption flag lost through compose"
+
 let test_link_no_receiver_drops () =
   let sim = Sim.create () in
   let link = Link.create sim ~name:"l" ~bits_per_s:1e9 () in
@@ -383,6 +405,55 @@ let test_nic_rx_ring_overflow () =
   check_int "ring holds two" 2 (Nic.rx_pending b);
   check_int "rest dropped" 3 (Nic.rx_dropped b)
 
+let test_nic_bad_fcs_drops_at_mac () =
+  (* A corrupting link: the receiving MAC recomputes the FCS and discards
+     the frame before it reaches the ring — counted, never delivered. *)
+  let sim = Sim.create () in
+  let pci = Pci.create sim () in
+  let membus = Membus.create sim () in
+  let mk name =
+    Nic.create sim ~name ~mtu:1500 ~pci ~membus ~coalesce:Nic.no_coalesce ()
+  in
+  let a = mk "nicA" and b = mk "nicB" in
+  let ab =
+    Link.create sim ~name:"a->b" ~bits_per_s:1e9
+      ~fault:(Fault.corrupt ~rng:(Rng.create ~seed:21) ~prob:1.)
+      ()
+  in
+  Nic.attach_uplink a ab;
+  Link.connect ab (Nic.rx_from_wire b);
+  let irqs = ref 0 in
+  Nic.set_interrupt b (fun () -> incr irqs);
+  for _ = 1 to 5 do
+    post sim a (raw ~src:0 ~dst:1 1000)
+  done;
+  Sim.run sim;
+  check_int "every frame dropped as bad FCS" 5 (Nic.bad_fcs b);
+  check_int "nothing reached the ring" 0 (Nic.rx_pending b);
+  check_int "no rx counted" 0 (Nic.rx_packets b);
+  check_int "no interrupt for garbage" 0 !irqs
+
+let test_nic_power_off_mid_dma () =
+  (* Regression: a frame whose receive DMA is in flight when the power
+     fails must not land in the (already drained) ring afterwards — the
+     descriptor would be stranded there forever and its ring slot lost. *)
+  let sim, a, b = nic_rig ~coalesce:Nic.no_coalesce () in
+  Nic.set_interrupt b (fun () -> ());
+  post sim a (raw ~src:0 ~dst:1 1000);
+  (* arrival ~8.3us, firmware 0.8us, then ~7.6us of DMA: 12us is mid-DMA *)
+  Process.spawn sim ~delay:(Time.us 12.) (fun () -> Nic.power_off b);
+  Sim.run sim;
+  check_bool "nic is down" true (Nic.is_down b);
+  check_int "nothing stranded in the ring" 0 (Nic.rx_pending b);
+  (* the slot the in-flight frame held must have been returned: after
+     power-on the ring accepts a full burst again *)
+  Nic.power_on b;
+  for _ = 1 to 4 do
+    post sim a (raw ~src:0 ~dst:1 500)
+  done;
+  Sim.run sim;
+  check_int "ring serves a fresh burst" 4 (Nic.rx_pending b)
+
 let test_nic_tx_ring_full () =
   let sim = Sim.create () in
   let pci = Pci.create sim () in
@@ -534,6 +605,7 @@ let suite =
     ("fault link flap", `Quick, test_fault_flap_windows);
     ("fault jitter reorders", `Quick, test_fault_jitter_reorders);
     ("fault compose", `Quick, test_fault_compose_stages);
+    ("fault corruption", `Quick, test_fault_corruption_flags_copies);
     ("link without receiver", `Quick, test_link_no_receiver_drops);
     ("switch unicast", `Quick, test_switch_unicast);
     ("switch broadcast", `Quick, test_switch_broadcast_floods);
@@ -548,6 +620,8 @@ let suite =
     ("nic coalescing by count", `Quick, test_nic_coalescing_count);
     ("nic coalescing quiet timer", `Quick, test_nic_coalescing_quiet_timer);
     ("nic rx ring overflow", `Quick, test_nic_rx_ring_overflow);
+    ("nic bad fcs drop", `Quick, test_nic_bad_fcs_drops_at_mac);
+    ("nic power-off mid-dma", `Quick, test_nic_power_off_mid_dma);
     ("nic tx ring full", `Quick, test_nic_tx_ring_full);
     ("nic mtu enforced", `Quick, test_nic_mtu_enforced);
     ("nic fragmentation roundtrip", `Quick, test_nic_fragmentation_roundtrip);

@@ -179,11 +179,14 @@ let gen_packet rng =
           { port = Rng.int rng 0x10000; sync = Rng.bool rng; frag = gen_frag rng }
     | 1 -> Clic.Wire.Remote_write { region = Rng.int rng 0x10000; frag = gen_frag rng }
     | 2 -> Clic.Wire.Bcast { port = Rng.int rng 0x10000; frag = gen_frag rng }
-    | 3 -> Clic.Wire.Chan_ack { cum_seq = Rng.int rng 0x40000000 }
+    | 3 ->
+        Clic.Wire.Chan_ack
+          { cum_seq = Rng.int rng 0x40000000; window = Rng.int rng 0x40000000 }
     | _ -> Clic.Wire.Msg_ack { msg_id = Rng.int rng 0x40000000 }
   in
   {
     Clic.Wire.src = Rng.int rng 0x10000;
+    epoch = Rng.int rng 0x10000;
     chan_seq = (if Rng.bool rng then Some (Rng.int rng 0x40000000) else None);
     data_bytes = Rng.int rng 0x10000;
     kind;
@@ -209,6 +212,7 @@ let test_wire_header_len () =
 let sample_data =
   {
     Clic.Wire.src = 3;
+    epoch = 1;
     chan_seq = Some 41;
     data_bytes = 1400;
     kind =
@@ -250,6 +254,34 @@ let test_wire_decode_rejects_malformed () =
   in
   Bytes.set_uint8 sync_ack 1 (Bytes.get_uint8 sync_ack 1 lor 1);
   check_bool "sync on non-data" true (decode_fails sync_ack)
+
+let test_wire_epoch_field_and_old_format () =
+  (* the epoch rides at offsets 24-25, reserved zeros at 26-27 *)
+  check_int "header grew to 28 bytes for the epoch" 28 Clic.Wire.header_len;
+  List.iter
+    (fun epoch ->
+      let p = { sample_data with Clic.Wire.epoch } in
+      let q = Clic.Wire.(decode (encode p)) in
+      if q <> p then Alcotest.failf "epoch %d did not roundtrip" epoch)
+    [ 0; 1; 0xfffe; 0xffff ];
+  (match Clic.Wire.encode { sample_data with Clic.Wire.epoch = 0x10000 } with
+  | _ -> Alcotest.fail "epoch beyond 16 bits accepted"
+  | exception Invalid_argument _ -> ());
+  (match Clic.Wire.encode { sample_data with Clic.Wire.epoch = -1 } with
+  | _ -> Alcotest.fail "negative epoch accepted"
+  | exception Invalid_argument _ -> ());
+  let enc = Clic.Wire.encode sample_data in
+  (* a pre-epoch 24-byte header — exactly what an old peer would emit —
+     must fail to decode entirely, never misparse into a packet *)
+  check_bool "old 24-byte format rejected outright" true
+    (decode_fails (Bytes.sub enc 0 24));
+  (* nonzero reserved bytes are from the future: reject, don't guess *)
+  let future = Bytes.copy enc in
+  Bytes.set_uint8 future 26 1;
+  check_bool "nonzero reserved byte rejected" true (decode_fails future);
+  let future2 = Bytes.copy enc in
+  Bytes.set_uint8 future2 27 0x80;
+  check_bool "second reserved byte rejected" true (decode_fails future2)
 
 let test_wire_encode_rejects_out_of_range () =
   let encode_fails p =
@@ -516,6 +548,7 @@ let suite =
     ("wire roundtrip (1000 random packets)", `Quick, test_wire_roundtrip_property);
     ("wire header length", `Quick, test_wire_header_len);
     ("wire rejects malformed headers", `Quick, test_wire_decode_rejects_malformed);
+    ("wire epoch & old-format rejection", `Quick, test_wire_epoch_field_and_old_format);
     ("wire rejects out-of-range fields", `Quick, test_wire_encode_rejects_out_of_range);
     ("histogram invariants", `Quick, test_histogram_properties);
     ("trace duration vs disjoint", `Quick, test_trace_duration_semantics);

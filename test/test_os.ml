@@ -208,6 +208,48 @@ let test_kmem_accounting () =
 (* ------------------------------------------------------------------ *)
 (* Ktimer *)
 
+let test_kmem_watermark_levels () =
+  let pool =
+    Kmem.create ~name:"wm" ~capacity:1000 ~soft_mark:500 ~hard_mark:800 ()
+  in
+  let level_name p =
+    match Kmem.level p with `Normal -> "normal" | `Soft -> "soft" | `Hard -> "hard"
+  in
+  Alcotest.(check string) "empty pool" "normal" (level_name pool);
+  check_bool "alloc to just under soft" true (Kmem.try_alloc pool 499);
+  Alcotest.(check string) "below soft" "normal" (level_name pool);
+  check_bool "cross soft" true (Kmem.try_alloc pool 1);
+  Alcotest.(check string) "at soft mark" "soft" (level_name pool);
+  check_bool "up to just under hard" true (Kmem.try_alloc pool 299);
+  Alcotest.(check string) "below hard" "soft" (level_name pool);
+  check_bool "cross hard" true (Kmem.try_alloc pool 1);
+  Alcotest.(check string) "at hard mark" "hard" (level_name pool);
+  (* the watermark signals, it does not gate: allocation at and past the
+     hard mark still succeeds while capacity remains *)
+  check_bool "alloc at hard watermark succeeds" true (Kmem.try_alloc pool 200);
+  check_int "no failures yet" 0 (Kmem.failed_allocs pool);
+  check_bool "capacity still refuses" false (Kmem.try_alloc pool 1);
+  check_int "exhaustion counted" 1 (Kmem.failed_allocs pool);
+  (* recovery: frees walk the levels back down *)
+  Kmem.free pool 300;
+  Alcotest.(check string) "back to soft" "soft" (level_name pool);
+  Kmem.free pool 600;
+  Alcotest.(check string) "back to normal" "normal" (level_name pool);
+  check_bool "pool usable again" true (Kmem.try_alloc pool 900);
+  Kmem.free pool 1000;
+  check_int "balanced" 0 (Kmem.in_use pool);
+  (* construction validates the ordering 0 < soft <= hard <= capacity *)
+  let rejected ~soft_mark ~hard_mark =
+    match Kmem.create ~capacity:1000 ~soft_mark ~hard_mark () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "soft > hard rejected" true (rejected ~soft_mark:900 ~hard_mark:800);
+  check_bool "hard > capacity rejected" true
+    (rejected ~soft_mark:500 ~hard_mark:1001);
+  check_bool "non-positive soft rejected" true
+    (rejected ~soft_mark:0 ~hard_mark:800)
+
 let test_ktimer_fire_cancel_restart () =
   let sim = Sim.create () in
   let fired = ref [] in
@@ -321,6 +363,93 @@ let test_driver_batches_under_load () =
   check_bool "fewer interrupts than frames" true (irqs < 20);
   check_bool "at least one interrupt" true (irqs >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* NAPI-style receiver-livelock mitigation *)
+
+let napi_params =
+  {
+    Driver.default_params with
+    napi = true;
+    napi_enter_gap = Time.us 20.;
+    napi_enter_after = 2;
+    napi_budget = 4;
+    napi_interval = Time.us 5.;
+  }
+
+let blast drv n size =
+  for _ = 1 to n do
+    ignore
+      (Driver.transmit drv
+         ~skb:(Skbuff.of_user ~header_bytes:26 size)
+         ~dst:(Mac.of_node 1) ~src:(Mac.of_node 0) ~ethertype:0x88
+         ~payload:(Eth_frame.Raw size)
+         ~on_complete:(fun () -> ()) ())
+  done
+
+let test_driver_napi_engages_and_exits () =
+  let sim, _, drv_a, drv_b = driver_rig ~params:napi_params () in
+  let upcalls = ref 0 in
+  Driver.set_rx_upcall drv_b (fun _ -> incr upcalls);
+  (* a storm of small frames arrives far inside the 20us hot-IRQ gap *)
+  Process.spawn sim (fun () -> blast drv_a 40 100);
+  Sim.run sim;
+  check_int "storm fully delivered" 40 !upcalls;
+  check_bool "polling engaged" true (Driver.poll_passes drv_b > 0);
+  check_bool "packets moved by the poll loop" true
+    (Driver.polled_packets drv_b > 0);
+  (* the ring drained, so the driver handed rx back to interrupts: an even
+     number of switches and not polling at quiesce *)
+  check_bool "returned to interrupt mode" false (Driver.is_polling drv_b);
+  check_bool "switched in and back out" true
+    (Driver.poll_mode_switches drv_b >= 2
+    && Driver.poll_mode_switches drv_b mod 2 = 0);
+  (* mitigation bound: far fewer interrupts than frames *)
+  check_bool "interrupt rate collapsed" true
+    (Nic.interrupts_raised (Driver.nic drv_b) < 20)
+
+let test_driver_napi_budget_bounds_passes () =
+  let sim, _, drv_a, drv_b = driver_rig ~params:napi_params () in
+  Driver.set_rx_upcall drv_b (fun _ -> ());
+  (* Watch every individual poll pass: none may process more than its
+     budget, whatever the ring held when the pass ran. *)
+  let passes = ref [] in
+  Probe.install (function
+    | Probe.Poll_pass { processed; budget; _ } ->
+        passes := (processed, budget) :: !passes
+    | _ -> ());
+  Fun.protect ~finally:Probe.uninstall (fun () ->
+      Process.spawn sim (fun () -> blast drv_a 40 100);
+      Sim.run sim);
+  check_bool "polling ran at least one pass" true (!passes <> []);
+  List.iter
+    (fun (processed, budget) ->
+      check_int "pass reports the configured budget"
+        napi_params.Driver.napi_budget budget;
+      check_bool
+        (Printf.sprintf "pass within budget (%d <= %d)" processed budget)
+        true
+        (processed >= 0 && processed <= budget))
+    !passes;
+  let polled = Driver.polled_packets drv_b in
+  check_int "per-pass counts add up to the polled total" polled
+    (List.fold_left (fun acc (p, _) -> acc + p) 0 !passes)
+
+let test_driver_napi_hysteresis_ignores_slow_traffic () =
+  let sim, _, drv_a, drv_b = driver_rig ~params:napi_params () in
+  let upcalls = ref 0 in
+  Driver.set_rx_upcall drv_b (fun _ -> incr upcalls);
+  (* frames spaced wider than the hot gap: interrupts are fine, polling
+     must never engage *)
+  Process.spawn sim (fun () ->
+      for _ = 1 to 10 do
+        blast drv_a 1 100;
+        Process.delay (Time.us 50.)
+      done);
+  Sim.run sim;
+  check_int "all delivered" 10 !upcalls;
+  check_int "no mode switch" 0 (Driver.poll_mode_switches drv_b);
+  check_int "no poll pass" 0 (Driver.poll_passes drv_b)
+
 let suite =
   [
     ("cpu work & utilization", `Quick, test_cpu_work_and_utilization);
@@ -336,8 +465,12 @@ let suite =
     ("sched double wake", `Quick, test_sched_double_wake_noop);
     ("skbuff shapes", `Quick, test_skbuff_shapes);
     ("kmem accounting", `Quick, test_kmem_accounting);
+    ("kmem watermarks", `Quick, test_kmem_watermark_levels);
     ("ktimer lifecycle", `Quick, test_ktimer_fire_cancel_restart);
     ("driver end-to-end", `Quick, test_driver_end_to_end_upcall);
     ("driver direct-from-isr", `Quick, test_driver_direct_mode_skips_bh);
     ("driver batching", `Quick, test_driver_batches_under_load);
+    ("driver napi engage/exit", `Quick, test_driver_napi_engages_and_exits);
+    ("driver napi budget", `Quick, test_driver_napi_budget_bounds_passes);
+    ("driver napi hysteresis", `Quick, test_driver_napi_hysteresis_ignores_slow_traffic);
   ]
