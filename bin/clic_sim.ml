@@ -5,6 +5,7 @@
      bandwidth  NetPIPE-style bandwidth of any stack at one message size
      stream     one-way saturation stream with CPU/interrupt statistics
      chaos      reliability soak under fault injection (sweep or custom)
+     incast     N->1 collapse through the switch, tail-drop vs 802.3x PAUSE
      figure     regenerate a paper figure/table by id
      check      run the analysis passes over the paper experiments
      timeline   export a scenario's Perfetto/Chrome trace timeline
@@ -244,6 +245,81 @@ let chaos_cmd =
     Term.(
       const run_chaos $ verbose_arg $ quick $ loss $ burst $ dup $ jitter
       $ mtu_arg $ size_arg $ messages)
+
+(* N->1 incast through the shared-buffer switch, tail-drop vs 802.3x
+   PAUSE, plus an MPI gather under the same congestion.  Exits non-zero
+   if any message is lost or if the PAUSE fabric drops a single frame, so
+   CI can gate on the collapse-survival contract. *)
+let run_incast verbose quick senders size messages =
+  ignore (verbose : bool);
+  if senders < 1 then begin
+    prerr_endline "clic-sim: --senders must be >= 1";
+    exit 2
+  end;
+  let rows, gather =
+    Report.Figures.incast ~quick ~senders ~size ?messages
+      Format.std_formatter
+  in
+  let bad = ref [] in
+  List.iter
+    (fun r ->
+      let open Report.Figures in
+      if r.in_delivered <> r.in_sent then
+        bad :=
+          Printf.sprintf "%s: %d of %d messages lost" r.in_name
+            (r.in_sent - r.in_delivered) r.in_sent
+          :: !bad;
+      if
+        String.length r.in_name >= 6
+        && String.sub r.in_name 0 6 = "802.3x"
+        && r.in_ingress_drops + r.in_egress_drops > 0
+      then
+        bad :=
+          Printf.sprintf "%s: PAUSE fabric dropped %d frame(s)" r.in_name
+            (r.in_ingress_drops + r.in_egress_drops)
+          :: !bad)
+    rows;
+  List.iter
+    (fun (name, _us, _retx, drops, _ptx, _pus) ->
+      if String.length name >= 6 && String.sub name 0 6 = "802.3x" && drops > 0
+      then
+        bad :=
+          Printf.sprintf "gather %s: PAUSE fabric dropped %d frame(s)" name
+            drops
+          :: !bad)
+    gather;
+  if !bad <> [] then begin
+    List.iter (fun m -> Printf.eprintf "clic-sim incast: %s\n" m) !bad;
+    exit 1
+  end
+
+let incast_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced message counts.")
+  in
+  let senders =
+    Arg.(value & opt int 4
+         & info [ "senders" ] ~docv:"N"
+             ~doc:"Concurrent senders stampeding node 0.")
+  in
+  let size =
+    Arg.(value & opt int 8192
+         & info [ "n"; "size" ] ~docv:"BYTES" ~doc:"Message size in bytes.")
+  in
+  let messages =
+    Arg.(value & opt (some int) None
+         & info [ "messages" ] ~docv:"N"
+             ~doc:"Messages per sender; default 40 (12 with --quick).")
+  in
+  Cmd.v
+    (Cmd.info "incast"
+       ~doc:
+         "N->1 incast collapse through the shared-buffer switch: tail-drop \
+          baseline vs 802.3x PAUSE flow control, plus an MPI gather under \
+          the same congestion.  Fails if any message is lost or if the \
+          PAUSE-protected fabric drops a frame.")
+    Term.(
+      const run_incast $ verbose_arg $ quick $ senders $ size $ messages)
 
 (* Run the sanitizer, invariant monitors and determinism detector over the
    selected scenarios; non-zero exit on any finding so CI can gate on it. *)
@@ -517,5 +593,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ latency_cmd; bandwidth_cmd; stream_cmd; chaos_cmd; figure_cmd;
-            check_cmd; soak_cmd; timeline_cmd; metrics_cmd; list_cmd ]))
+          [ latency_cmd; bandwidth_cmd; stream_cmd; chaos_cmd; incast_cmd;
+            figure_cmd; check_cmd; soak_cmd; timeline_cmd; metrics_cmd;
+            list_cmd ]))

@@ -338,6 +338,94 @@ let pool_balance () =
         | _ -> None);
   }
 
+(* A flow-controlled MAC must never put a frame on the wire between the
+   PAUSE that gated it and the matching resume.  Tx_wire events are only
+   emitted by pause-capable NICs, so legacy configurations are exempt by
+   construction. *)
+let no_tx_while_paused () =
+  let paused : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  {
+    name = "no-tx-while-paused";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Sim_start ->
+            Hashtbl.reset paused;
+            None
+        | Probe.Pause_state { host; paused = p } ->
+            if p then Hashtbl.replace paused host ()
+            else Hashtbl.remove paused host;
+            None
+        | Probe.Tx_wire { host } ->
+            if Hashtbl.mem paused host then
+              Some
+                (Printf.sprintf "%s: frame transmitted while PAUSEd" host)
+            else None
+        | _ -> None);
+  }
+
+(* The switch's shared-buffer ledger: reported occupancy must track the
+   sum of its own charge/release deltas (adopting the first sighting, as
+   the probe sink may attach mid-run) and stay within [0, total]. *)
+let switch_buffer_ledger () =
+  let switches : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  {
+    name = "switch-buffer-ledger";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Sim_start ->
+            Hashtbl.reset switches;
+            None
+        | Probe.Switch_buffer { switch; port = _; delta; occupied; total } ->
+            let expected =
+              match Hashtbl.find_opt switches switch with
+              | Some e -> e + delta
+              | None -> occupied  (* first sighting: adopt *)
+            in
+            Hashtbl.replace switches switch expected;
+            if occupied <> expected then
+              Some
+                (Printf.sprintf
+                   "switch %s: reported %dB occupied, charge/release \
+                    accounting expects %dB"
+                   switch occupied expected)
+            else if occupied < 0 then
+              Some
+                (Printf.sprintf "switch %s: negative occupancy %dB" switch
+                   occupied)
+            else if occupied > total then
+              Some
+                (Printf.sprintf
+                   "switch %s: %dB occupied exceeds the %dB shared buffer"
+                   switch occupied total)
+            else None
+        | _ -> None);
+  }
+
+(* A switch provisioned for losslessness (PAUSE on, bounded uplinks,
+   shared buffer covering every port's watermark plus in-flight spill)
+   must never drop a frame; any Switch_drop flagged protected is the
+   flow-control machinery failing its contract. *)
+let zero_loss_when_protected () =
+  {
+    name = "zero-loss-when-protected";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Switch_drop { switch; port; ingress; protected } ->
+            if protected then
+              Some
+                (Printf.sprintf
+                   "switch %s: %s drop on port %d despite lossless \
+                    provisioning"
+                   switch
+                   (if ingress then "ingress" else "egress")
+                   port)
+            else None
+        | _ -> None);
+  }
+
 let defaults : ctor list =
   [
     clock_monotone;
@@ -352,6 +440,9 @@ let defaults : ctor list =
     poll_budget;
     epoch_monotone_delivery;
     pool_balance;
+    no_tx_while_paused;
+    switch_buffer_ledger;
+    zero_loss_when_protected;
   ]
 
 let registry : ctor list ref = ref defaults

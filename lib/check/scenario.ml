@@ -51,6 +51,8 @@ let all : t list =
         ignore (Report.Figures.stress fmt));
     sc "chaos" "reliability under fault injection (quick)" (fun fmt ->
         ignore (Report.Figures.chaos ~quick:true fmt));
+    sc "incast" "N->1 incast collapse, tail-drop vs 802.3x PAUSE (quick)"
+      (fun fmt -> ignore (Report.Figures.incast ~quick:true fmt));
   ]
 
 let names = List.map (fun s -> s.name) all

@@ -24,6 +24,10 @@ type evidence = {
   mutable ev_stale_drops : int;  (** older-epoch frames rejected *)
   mutable ev_retransmissions : int;
   mutable ev_acks_deferred : int;
+  mutable ev_switch_drops : int;
+      (** frames lost inside a switch, ingress + egress *)
+  mutable ev_pause_frames : int;  (** 802.3x PAUSE frames generated *)
+  mutable ev_tx_paused_ns : int;  (** time transmitters spent XOFFed *)
 }
 
 type trial_result = {
@@ -37,10 +41,14 @@ type report = {
   s_trials : trial_result list;
   s_evidence : evidence;
   s_notes : string list;
+  s_full_set : bool;
+      (** every registered template was in the rotation; when [false]
+          (an [only] run) the evidence demands are waived *)
 }
 
 val template_names : string list
-(** ["crash-reboot"; "pool-crunch"; "irq-storm"; "faults-mesh"]. *)
+(** ["crash-reboot"; "pool-crunch"; "irq-storm"; "faults-mesh";
+    "incast-storm"]. *)
 
 val default_seeds : int list
 (** [[101; 202; 303]] — the seeds CI pins. *)

@@ -55,6 +55,21 @@ let default =
 
 let one_copy = { default with data_path = Staged_nic_buffer }
 
+(* Incast tuning: a tighter transmit window slows the N→1 overload rate,
+   and snappier timeouts recover quickly from the drops a congested switch
+   still inflicts.  [rto_max] must leave the exponential backoff real room:
+   with a low cap every loser's timer saturates at the same value and the
+   N retry storms phase-lock, so one sender can meet a full egress queue on
+   every single attempt until it declares the peer dead. *)
+let congestion =
+  {
+    default with
+    tx_window = 16;
+    retransmit_timeout = Time.ms 2.;
+    rto_min = Time.us 500.;
+    rto_max = Time.ms 10.;
+  }
+
 let validate t =
   let fail fmt = Printf.ksprintf invalid_arg fmt in
   if t.rto_min > t.rto_max then

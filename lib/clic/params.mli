@@ -79,6 +79,11 @@ val default : t
 val one_copy : t
 (** The "1-copy" configuration of Figure 4 (path 4). *)
 
+val congestion : t
+(** Incast tuning: a 16-packet transmit window and sub-millisecond
+    retransmission timeouts, for many-to-one traffic through a congested
+    switch. *)
+
 val validate : t -> t
 (** Checks the parameter set for internal consistency and returns it
     unchanged; {!Clic_module.create} calls this on construction.

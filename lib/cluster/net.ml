@@ -18,7 +18,9 @@ let create ?(config = Node.default_config) ~n () =
             ~name:(Printf.sprintf "switch%d" k)
             ~bits_per_s:config.Node.link_bits_per_s
             ?fault:config.Node.link_fault
-            ?egress_frames:config.Node.switch_egress_frames ()
+            ?egress_frames:config.Node.switch_egress_frames
+            ?ingress_frames:config.Node.switch_ingress_frames
+            ?buffer:config.Node.switch_buffer ()
         in
         for id = 0 to n - 1 do
           Switch.add_port sw ~node:id

@@ -28,6 +28,12 @@ type config = {
          shared bus, channel bonding is capped by the bus itself *)
   switch_egress_frames : int option;
       (* finite switch output buffers; None = unbounded *)
+  switch_ingress_frames : int option;
+      (* finite switch uplink FIFOs; blind-dumping NICs lose frames *)
+  switch_buffer : Switch.buffer option;
+      (* shared-buffer ledger + 802.3x PAUSE generation at the switch *)
+  nic_pause : Nic.pause option;
+      (* 802.3x flow control at the NICs; None = legacy ignore-PAUSE MAC *)
 }
 
 let default_config =
@@ -52,6 +58,9 @@ let default_config =
     link_fault = None;
     pci_per_nic = false;
     switch_egress_frames = None;
+    switch_ingress_frames = None;
+    switch_buffer = None;
+    nic_pause = None;
   }
 
 let gigabit_jumbo config = { config with mtu = Eth_frame.jumbo_mtu }
@@ -113,7 +122,7 @@ let boot sim ~id ~switches ~epoch ~cpu ~membus ~pci_for ~trace
         ~mtu:config.mtu ~pci:(pci_for k) ~membus ~coalesce:config.coalesce
         ~internal_bytes_per_s:config.nic_internal_bytes_per_s
         ~firmware_per_frame:config.nic_firmware_per_frame
-        ~fragmentation:config.nic_fragmentation ()
+        ~fragmentation:config.nic_fragmentation ?pause:config.nic_pause ()
     in
     let switch = List.nth switches k in
     Nic.attach_uplink nic (Switch.uplink switch ~node:id);

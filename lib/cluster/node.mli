@@ -35,6 +35,14 @@ type config = {
           default shared 33 MHz bus, bonded NICs are capped by the bus *)
   switch_egress_frames : int option;
       (** finite switch output buffers (tail drop); [None] = unbounded *)
+  switch_ingress_frames : int option;
+      (** finite switch uplink FIFOs: NICs transmitting without
+          backpressure lose frames to {!Hw.Switch.ingress_drops} *)
+  switch_buffer : Hw.Switch.buffer option;
+      (** shared-buffer ledger and 802.3x PAUSE generation at the switch *)
+  nic_pause : Hw.Nic.pause option;
+      (** 802.3x flow control at the NICs; [None] = a legacy MAC that
+          ignores PAUSE frames and blind-dumps into full uplinks *)
 }
 
 val default_config : config

@@ -10,7 +10,7 @@ type owner = App | Channel | Driver | Bh | Nic
 
 type obj_kind = Skb | Rx_buffer
 
-type track = Process | Isr | Bh_track | Module | Dma | Link | Busy
+type track = Process | Isr | Bh_track | Module | Dma | Link | Pause_t | Busy
 
 type event =
   | Sim_start
@@ -80,6 +80,22 @@ type event =
   | Rx_poll_mode of { host : string; polling : bool }
   | Poll_pass of { host : string; processed : int; budget : int }
   | Pool_pressure of { pool : string; level : int }
+  | Tx_wire of { host : string }
+  | Pause_state of { host : string; paused : bool }
+  | Pause_frame of { host : string; sent : bool; quanta : int }
+  | Switch_buffer of {
+      switch : string;
+      port : int;
+      delta : int;
+      occupied : int;
+      total : int;
+    }
+  | Switch_drop of {
+      switch : string;
+      port : int;
+      ingress : bool;
+      protected : bool;
+    }
 
 let sink : (event -> unit) option ref = ref None
 
@@ -106,6 +122,7 @@ let track_name = function
   | Module -> "module"
   | Dma -> "dma"
   | Link -> "link"
+  | Pause_t -> "pause"
   | Busy -> "busy"
 
 let to_string = function
@@ -170,3 +187,18 @@ let to_string = function
       Printf.sprintf "poll-pass %s %d/%d" host processed budget
   | Pool_pressure { pool; level } ->
       Printf.sprintf "pool-pressure %s level=%d" pool level
+  | Tx_wire { host } -> Printf.sprintf "tx-wire %s" host
+  | Pause_state { host; paused } ->
+      Printf.sprintf "pause-state %s %s" host
+        (if paused then "paused" else "running")
+  | Pause_frame { host; sent; quanta } ->
+      Printf.sprintf "pause-frame %s %s quanta=%d" host
+        (if sent then "tx" else "rx")
+        quanta
+  | Switch_buffer { switch; port; delta; occupied; total } ->
+      Printf.sprintf "switch-buffer %s port=%d %+dB (occupied %d/%d)" switch
+        port delta occupied total
+  | Switch_drop { switch; port; ingress; protected } ->
+      Printf.sprintf "switch-drop %s port=%d %s%s" switch port
+        (if ingress then "ingress" else "egress")
+        (if protected then " (protected!)" else "")

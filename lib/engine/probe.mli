@@ -24,6 +24,7 @@ type track =
   | Module  (** CLIC_MODULE receive-side work (runs in ISR/BH context) *)
   | Dma  (** a DMA engine moving bytes over the I/O bus *)
   | Link  (** a wire occupied by a frame's serialization *)
+  | Pause_t  (** an interval a transmit path spent gated by 802.3x PAUSE *)
   | Busy  (** raw resource occupancy (CPU / bus grants) *)
 
 type event =
@@ -116,6 +117,34 @@ type event =
   | Pool_pressure of { pool : string; level : int }
       (** a kernel pool crossed a watermark: 0 = normal, 1 = above the
           soft mark, 2 = at/above the hard mark *)
+  | Tx_wire of { host : string }
+      (** a pause-aware NIC pushed a data frame onto its uplink; the
+          no-transmit-while-paused monitor correlates these with
+          [Pause_state] *)
+  | Pause_state of { host : string; paused : bool }
+      (** a transmit path entered/left the 802.3x paused state *)
+  | Pause_frame of { host : string; sent : bool; quanta : int }
+      (** a MAC-control PAUSE frame left ([sent]) or reached a station;
+          [quanta] in 512-bit-time units, 0 = XON *)
+  | Switch_buffer of {
+      switch : string;
+      port : int;  (** egress port (node id) the frame is queued for *)
+      delta : int;  (** +bytes admitted / -bytes released *)
+      occupied : int;  (** shared-pool bytes in use after the delta *)
+      total : int;  (** pool capacity *)
+    }
+      (** the shared-buffer ledger moved; the ledger-balance monitor
+          replays these *)
+  | Switch_drop of {
+      switch : string;
+      port : int;
+      ingress : bool;  (** true = uplink FIFO tail-drop, false = egress
+                           buffer admission failure *)
+      protected : bool;
+          (** the switch was provisioned so that PAUSE should have made
+              this drop impossible — any such drop is an invariant
+              violation *)
+    }
 
 val enabled : unit -> bool
 val emit : event -> unit

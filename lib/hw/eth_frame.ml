@@ -25,6 +25,7 @@ let ifg_bytes = 12
 let min_payload = 46
 let standard_mtu = 1500
 let jumbo_mtu = 9000
+let ethertype_mac_control = 0x8808
 
 let make ~src ~dst ~ethertype ~payload_bytes ?frag ?(corrupted = false) payload
     =

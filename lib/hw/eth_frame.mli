@@ -56,6 +56,9 @@ val standard_mtu : int
 val jumbo_mtu : int
 (** 9000 *)
 
+val ethertype_mac_control : int
+(** 0x8808 — MAC control frames (802.3x PAUSE); see {!Mac_control}. *)
+
 val make :
   src:Mac.t ->
   dst:Mac.t ->

@@ -10,6 +10,9 @@ type t = {
   queue : Eth_frame.t Queue.t;
   mutable transmitting : bool;
   mutable receiver : (Eth_frame.t -> unit) option;
+  mutable on_tx_complete : (Eth_frame.t -> unit) option;
+  mutable on_drop : (Eth_frame.t -> unit) option;
+  room_waiters : unit Ivar.t Queue.t;
   mutable frames_sent : int;
   mutable frames_dropped : int;
   mutable bytes_sent : int;
@@ -31,6 +34,9 @@ let create sim ~name ~bits_per_s ?(propagation = Time.ns 500)
     queue = Queue.create ();
     transmitting = false;
     receiver = None;
+    on_tx_complete = None;
+    on_drop = None;
+    room_waiters = Queue.create ();
     frames_sent = 0;
     frames_dropped = 0;
     bytes_sent = 0;
@@ -41,6 +47,8 @@ let connect t receiver =
   t.receiver <- Some receiver
 
 let reconnect t receiver = t.receiver <- Some receiver
+let set_tx_complete t f = t.on_tx_complete <- Some f
+let set_on_drop t f = t.on_drop <- Some f
 
 let serialization_time t frame =
   Time.of_bits_at_rate ~bits_per_s:t.bits_per_s
@@ -74,6 +82,25 @@ let probe_depth t =
     Probe.emit
       (Probe.Queue_depth { queue = t.name; depth = Queue.length t.queue })
 
+let has_room t =
+  match t.queue_limit with
+  | Some limit -> Queue.length t.queue < limit
+  | None -> true
+
+(* Wake every waiter; each re-checks [has_room] and re-queues if another
+   woken process grabbed the slot first. *)
+let notify_room t =
+  while not (Queue.is_empty t.room_waiters) do
+    Ivar.fill (Queue.take t.room_waiters) ()
+  done
+
+let wait_room t =
+  while not (has_room t) do
+    let iv = Ivar.create () in
+    Queue.add iv t.room_waiters;
+    Ivar.read iv
+  done
+
 let rec pump t =
   match Queue.take_opt t.queue with
   | None -> t.transmitting <- false
@@ -82,6 +109,7 @@ let rec pump t =
       t.frames_sent <- t.frames_sent + 1;
       t.bytes_sent <- t.bytes_sent + Eth_frame.on_wire_bytes frame;
       probe_depth t;
+      notify_room t;
       (* The wire-occupancy span is known up front: serialization is not
          preemptible, so it can be reported at schedule time. *)
       if ser > 0 && Probe.enabled () then begin
@@ -96,6 +124,9 @@ let rec pump t =
              ignore
                (Sim.schedule t.sim ~after:t.propagation (fun () ->
                     deliver t frame));
+             (* Serialization done: the sender's buffer for this frame is
+                free (a switch releases its shared-pool bytes here). *)
+             (match t.on_tx_complete with Some f -> f frame | None -> ());
              pump t))
 
 let send t frame =
@@ -104,7 +135,10 @@ let send t frame =
     | Some limit -> Queue.length t.queue >= limit
     | None -> false
   in
-  if full then t.frames_dropped <- t.frames_dropped + 1
+  if full then begin
+    t.frames_dropped <- t.frames_dropped + 1;
+    match t.on_drop with Some f -> f frame | None -> ()
+  end
   else begin
     Queue.add frame t.queue;
     probe_depth t;

@@ -35,8 +35,27 @@ val reconnect : t -> (Eth_frame.t -> unit) -> unit
     existing switch port.  Frames already in flight are delivered to the
     new receiver. *)
 
+val set_tx_complete : t -> (Eth_frame.t -> unit) -> unit
+(** Installs a callback fired when a frame finishes serializing onto the
+    wire (before the next queued frame starts).  A shared-buffer switch
+    releases the frame's buffer bytes here. *)
+
+val set_on_drop : t -> (Eth_frame.t -> unit) -> unit
+(** Installs a callback fired for each frame dropped at a full transmit
+    queue, letting the owner attribute the loss (e.g. a switch counting
+    ingress drops per port). *)
+
 val send : t -> Eth_frame.t -> unit
 (** Non-blocking enqueue for transmission. *)
+
+val has_room : t -> bool
+(** Whether {!send} would enqueue rather than drop right now. *)
+
+val wait_room : t -> unit
+(** Blocks the calling process until the transmit queue has room (a NIC
+    respecting backpressure instead of blind-dumping into a full uplink).
+    Returns immediately when the queue is unbounded or has space.  Must be
+    called from process context. *)
 
 val serialization_time : t -> Eth_frame.t -> Engine.Time.span
 (** Uncontended wire occupancy of one frame. *)

@@ -1,0 +1,65 @@
+(* IEEE 802.3x MAC control: PAUSE frames.
+
+   A PAUSE frame is an ethertype-0x8808 frame to the reserved
+   01-80-C2-00-00-01 group address whose payload is the 16-bit opcode
+   0x0001 followed by a 16-bit pause time in "quanta", each quantum being
+   512 bit times at the link rate (512 ns on Gigabit Ethernet).  A quanta
+   of 0 is the conventional XON: it cancels an earlier pause immediately.
+
+   The payload bytes are modelled for real — big-endian encode/decode over
+   a [bytes] value — so the codec can be property-tested; the decoded
+   quanta also rides the frame as a typed payload so simulation components
+   need not re-parse. *)
+
+open Engine
+
+type Eth_frame.payload += Pause of { quanta : int }
+
+let opcode_pause = 0x0001
+let quantum_bits = 512
+let max_quanta = 0xffff
+
+(* Opcode + pause-time; the real frame pads the rest of the 46-byte
+   minimum payload with zeros, which frame padding already accounts for. *)
+let payload_bytes = 4
+
+let encode ~quanta =
+  if quanta < 0 || quanta > max_quanta then
+    invalid_arg (Printf.sprintf "Mac_control.encode: quanta %d" quanta);
+  let b = Bytes.create payload_bytes in
+  Bytes.set_uint8 b 0 (opcode_pause lsr 8);
+  Bytes.set_uint8 b 1 (opcode_pause land 0xff);
+  Bytes.set_uint8 b 2 (quanta lsr 8);
+  Bytes.set_uint8 b 3 (quanta land 0xff);
+  b
+
+let decode b =
+  if Bytes.length b < payload_bytes then
+    Error (Printf.sprintf "short MAC control payload (%dB)" (Bytes.length b))
+  else
+    let opcode = (Bytes.get_uint8 b 0 lsl 8) lor Bytes.get_uint8 b 1 in
+    if opcode <> opcode_pause then
+      Error (Printf.sprintf "unknown MAC control opcode %#x" opcode)
+    else Ok ((Bytes.get_uint8 b 2 lsl 8) lor Bytes.get_uint8 b 3)
+
+let pause ~src ~quanta =
+  (* Round-trip through the wire encoding: the typed payload carries what
+     a receiver would decode, not what the sender intended. *)
+  let quanta =
+    match decode (encode ~quanta) with Ok q -> q | Error e -> invalid_arg e
+  in
+  Eth_frame.make ~src ~dst:Mac.flow_control
+    ~ethertype:Eth_frame.ethertype_mac_control ~payload_bytes
+    (Pause { quanta })
+
+let xon ~src = pause ~src ~quanta:0
+
+let is_mac_control (f : Eth_frame.t) =
+  f.ethertype = Eth_frame.ethertype_mac_control
+
+let quanta_of (f : Eth_frame.t) =
+  if not (is_mac_control f) then None
+  else match f.payload with Pause { quanta } -> Some quanta | _ -> None
+
+let span_of_quanta ~bits_per_s quanta =
+  Time.of_bits_at_rate ~bits_per_s (quanta * quantum_bits)

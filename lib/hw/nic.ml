@@ -13,6 +13,16 @@ type coalesce = {
 let no_coalesce = { max_frames = 1; quiet = 0; absolute = 0 }
 let default_coalesce = { max_frames = 8; quiet = Time.us 2.; absolute = Time.us 50. }
 
+type pause = {
+  honor : bool;
+  gen_high : int;
+  gen_low : int;
+  gen_quanta : int;
+}
+
+let pause_802_3x =
+  { honor = true; gen_high = 0; gen_low = 0; gen_quanta = Mac_control.max_quanta }
+
 type tx_desc = {
   frame : Eth_frame.t;
   needs_dma : bool;
@@ -59,6 +69,13 @@ type t = {
   mutable abs_timer : Sim.handle option;
   mutable rx_admission : (bytes:int -> bool) option;
   mutable down : bool;
+  (* 802.3x flow control *)
+  pause : pause option;
+  mutable tx_paused : bool;
+  mutable pause_started : Time.t;
+  mutable pause_resume : Sim.handle option;
+  mutable pause_wake : unit Ivar.t;
+  mutable gen_xoff_sent : bool;
   (* statistics *)
   mutable interrupts_raised : int;
   mutable tx_packets : int;
@@ -66,6 +83,9 @@ type t = {
   mutable rx_dropped : int;
   mutable rx_dropped_mem : int;
   mutable bad_fcs : int;
+  mutable tx_paused_acc : int;
+  mutable pause_frames_rx : int;
+  mutable pause_frames_tx : int;
 }
 
 let cancel_timer = function Some h -> Sim.cancel h | None -> ()
@@ -116,6 +136,90 @@ let evaluate_coalescing t =
   end
 
 (* --------------------------------------------------------------- *)
+(* 802.3x PAUSE: honouring received MAC-control frames *)
+
+let link_rate t =
+  match t.uplink with Some link -> Link.bits_per_s link | None -> 1e9
+
+let pause_resume t =
+  if t.tx_paused then begin
+    t.tx_paused <- false;
+    cancel_timer t.pause_resume;
+    t.pause_resume <- None;
+    let now = Sim.now t.sim in
+    t.tx_paused_acc <- t.tx_paused_acc + (now - t.pause_started);
+    if Probe.enabled () then begin
+      Probe.emit (Probe.Pause_state { host = t.name; paused = false });
+      Probe.emit
+        (Probe.Span
+           {
+             host = t.name;
+             track = Probe.Pause_t;
+             label = "paused";
+             start = t.pause_started;
+             finish = now;
+           })
+    end;
+    (* Swap before filling: a waiter that immediately re-pauses must get a
+       fresh ivar to block on. *)
+    let wake = t.pause_wake in
+    t.pause_wake <- Ivar.create ();
+    Ivar.fill wake ()
+  end
+
+let pause_enter t ~quanta =
+  cancel_timer t.pause_resume;
+  t.pause_resume <- None;
+  if quanta = 0 then pause_resume t
+  else begin
+    if not t.tx_paused then begin
+      t.tx_paused <- true;
+      t.pause_started <- Sim.now t.sim;
+      if Probe.enabled () then
+        Probe.emit (Probe.Pause_state { host = t.name; paused = true })
+    end;
+    let span = Mac_control.span_of_quanta ~bits_per_s:(link_rate t) quanta in
+    t.pause_resume <-
+      Some (Sim.schedule t.sim ~after:span (fun () -> pause_resume t))
+  end
+
+let on_pause_frame t ~quanta =
+  t.pause_frames_rx <- t.pause_frames_rx + 1;
+  if Probe.enabled () then
+    Probe.emit (Probe.Pause_frame { host = t.name; sent = false; quanta });
+  match t.pause with
+  | Some p when p.honor -> pause_enter t ~quanta
+  | _ -> ()
+
+(* Receive-side PAUSE generation (optional, [gen_high] > 0): XOFF the link
+   partner when the rx ring backs up, XON once the host drains it.  The
+   frame originates in the MAC, bypassing the transmit pipeline. *)
+let send_pause_frame t ~quanta =
+  match t.uplink with
+  | Some link when not t.down ->
+      t.pause_frames_tx <- t.pause_frames_tx + 1;
+      if Probe.enabled () then
+        Probe.emit (Probe.Pause_frame { host = t.name; sent = true; quanta });
+      Link.send link (Mac_control.pause ~src:Mac.flow_control ~quanta)
+  | _ -> ()
+
+let gen_pause_check_high t =
+  match t.pause with
+  | Some p
+    when p.gen_high > 0 && (not t.gen_xoff_sent)
+         && Queue.length t.pending >= p.gen_high ->
+      t.gen_xoff_sent <- true;
+      send_pause_frame t ~quanta:p.gen_quanta
+  | _ -> ()
+
+let gen_pause_check_low t =
+  match t.pause with
+  | Some p when t.gen_xoff_sent && Queue.length t.pending <= p.gen_low ->
+      t.gen_xoff_sent <- false;
+      send_pause_frame t ~quanta:0
+  | _ -> ()
+
+(* --------------------------------------------------------------- *)
 (* Transmit pipeline *)
 
 let wire_frames t (frame : Eth_frame.t) =
@@ -164,7 +268,23 @@ let tx_phy_pump t () =
         (* A powered-off NIC cannot reach the wire, but completion still
            runs so the posted buffer is released through the normal path. *)
         match t.uplink with
-        | Some link when not t.down -> Link.send link f
+        | Some link when not t.down -> (
+            match t.pause with
+            | None -> Link.send link f
+            | Some _ ->
+                (* Flow-controlled MAC: hold the frame while PAUSEd, and
+                   respect uplink backpressure instead of blind-dumping
+                   into a full switch FIFO.  Both conditions re-check
+                   after every wake — a resume can race a new XOFF. *)
+                while t.tx_paused || not (Link.has_room link) do
+                  if t.tx_paused then Ivar.read t.pause_wake
+                  else Link.wait_room link
+                done;
+                if not t.down then begin
+                  if Probe.enabled () then
+                    Probe.emit (Probe.Tx_wire { host = t.name });
+                  Link.send link f
+                end)
         | Some _ | None -> ())
       frames;
     t.tx_packets <- t.tx_packets + 1;
@@ -217,6 +337,9 @@ let rx_pump t () =
           the frame before it ever reaches the ring. *)
        t.bad_fcs <- t.bad_fcs + 1
      else
+    match Mac_control.quanta_of frame with
+    | Some quanta -> on_pause_frame t ~quanta
+    | None ->
     match reassemble t frame with
     | None -> ()
     | Some packet ->
@@ -254,6 +377,7 @@ let rx_pump t () =
             t.pending;
           probe_ring_depth t;
           t.rx_packets <- t.rx_packets + 1;
+          gen_pause_check_high t;
           evaluate_coalescing t
           end
         end
@@ -278,6 +402,9 @@ let power_off t =
     cancel_timer t.abs_timer;
     t.quiet_timer <- None;
     t.abs_timer <- None;
+    (* A powered-off MAC forgets its flow-control state. *)
+    pause_resume t;
+    t.gen_xoff_sent <- false;
     (* Ring contents vanish with the power: report each buffer freed so
        the lifecycle sanitizer sees the crash as a release, not a leak. *)
     Queue.iter
@@ -304,9 +431,16 @@ let power_on t =
 
 let create sim ~name ~mtu ~pci ~membus ?(tx_ring = 64) ?(rx_ring = 128)
     ?(coalesce = default_coalesce) ?(internal_bytes_per_s = 400e6)
-    ?(firmware_per_frame = Time.ns 800) ?(fragmentation = false) () =
+    ?(firmware_per_frame = Time.ns 800) ?(fragmentation = false) ?pause () =
   if mtu <= 0 then invalid_arg "Nic.create: mtu <= 0";
   if coalesce.max_frames <= 0 then invalid_arg "Nic.create: max_frames <= 0";
+  (match pause with
+  | Some p ->
+      if p.gen_high < 0 || p.gen_low < 0 || p.gen_low > p.gen_high then
+        invalid_arg "Nic.create: pause generation watermarks out of order";
+      if p.gen_quanta <= 0 || p.gen_quanta > Mac_control.max_quanta then
+        invalid_arg "Nic.create: pause gen_quanta out of range"
+  | None -> ());
   let t =
     {
       sim;
@@ -334,12 +468,21 @@ let create sim ~name ~mtu ~pci ~membus ?(tx_ring = 64) ?(rx_ring = 128)
       abs_timer = None;
       rx_admission = None;
       down = false;
+      pause;
+      tx_paused = false;
+      pause_started = 0;
+      pause_resume = None;
+      pause_wake = Ivar.create ();
+      gen_xoff_sent = false;
       interrupts_raised = 0;
       tx_packets = 0;
       rx_packets = 0;
       rx_dropped = 0;
       rx_dropped_mem = 0;
       bad_fcs = 0;
+      tx_paused_acc = 0;
+      pause_frames_rx = 0;
+      pause_frames_tx = 0;
     }
   in
   Process.spawn sim (tx_dma_pump t);
@@ -390,6 +533,7 @@ let take_rx t =
   Queue.clear t.pending;
   if n > 0 then probe_ring_depth t;
   Semaphore.release ~n t.rx_slots;
+  gen_pause_check_low t;
   List.rev !out
 
 let take_rx_budget t budget =
@@ -404,6 +548,7 @@ let take_rx_budget t budget =
     probe_ring_depth t;
     Semaphore.release ~n:!n t.rx_slots
   end;
+  gen_pause_check_low t;
   List.rev !out
 
 let unmask_irq t =
@@ -425,3 +570,11 @@ let rx_dropped_mem t = t.rx_dropped_mem
 let bad_fcs t = t.bad_fcs
 let tx_ring_free t = Semaphore.available t.tx_slots
 let rx_pending t = Queue.length t.pending
+let is_tx_paused t = t.tx_paused
+
+let tx_paused_ns t =
+  t.tx_paused_acc
+  + if t.tx_paused then Sim.now t.sim - t.pause_started else 0
+
+let pause_frames_rx t = t.pause_frames_rx
+let pause_frames_tx t = t.pause_frames_tx

@@ -39,6 +39,22 @@ val default_coalesce : coalesce
 (** A mild setting comparable to the testbed NICs' defaults: 8 frames,
     2 us quiet, 50 us absolute. *)
 
+type pause = {
+  honor : bool;
+      (** gate the transmit path on received 802.3x PAUSE frames *)
+  gen_high : int;
+      (** XOFF the link partner when this many packets back up in the rx
+          ring; 0 disables generation *)
+  gen_low : int;  (** XON once the ring drains to this depth *)
+  gen_quanta : int;  (** quanta per generated XOFF, 1..0xffff *)
+}
+(** 802.3x flow-control configuration.  A flow-controlled NIC also blocks
+    on uplink backpressure ({!Link.wait_room}) instead of blind-dumping
+    frames into a full switch FIFO. *)
+
+val pause_802_3x : pause
+(** Honour received PAUSE; generation off. *)
+
 type tx_desc = {
   frame : Eth_frame.t;  (** payload larger than the MTU requires
                             fragmentation to be enabled *)
@@ -70,8 +86,13 @@ val create :
   ?internal_bytes_per_s:float ->
   ?firmware_per_frame:Time.span ->
   ?fragmentation:bool ->
+  ?pause:pause ->
   unit ->
   t
+(** [pause] enables 802.3x flow control (absent by default: a legacy MAC
+    that ignores MAC-control frames' pause semantics and never blocks on
+    the wire).
+    @raise Invalid_argument on out-of-range pause parameters. *)
 
 (** {1 Wiring} *)
 
@@ -160,3 +181,13 @@ val bad_fcs : t -> int
 
 val tx_ring_free : t -> int
 val rx_pending : t -> int
+
+val is_tx_paused : t -> bool
+(** Whether the transmit path is currently gated by a received PAUSE. *)
+
+val tx_paused_ns : t -> int
+(** Cumulative time the transmit path has spent PAUSEd, including any
+    pause still in progress. *)
+
+val pause_frames_rx : t -> int
+val pause_frames_tx : t -> int

@@ -1,6 +1,61 @@
 open Engine
 
-type port = { node : int; uplink : Link.t; downlink : Link.t }
+(* Shared-buffer provisioning.  Every buffered frame is charged twice: to
+   the egress queue it waits in (per-port reserve first, then the shared
+   pool) and to the ingress port it arrived on (driving 802.3x PAUSE
+   generation against that port's station). *)
+type buffer = {
+  total_bytes : int;
+  port_reserve_bytes : int;
+  ingress_high_bytes : int;
+  ingress_low_bytes : int;
+  pause : bool;
+  pause_quanta : int;
+  max_frame_bytes : int;
+}
+
+let default_buffer =
+  {
+    total_bytes = 256 * 1024;
+    port_reserve_bytes = 8 * 1024;
+    ingress_high_bytes = 16 * 1024;
+    ingress_low_bytes = 8 * 1024;
+    pause = true;
+    pause_quanta = Mac_control.max_quanta;
+    max_frame_bytes = 1518;
+  }
+
+let validate_buffer b =
+  if b.total_bytes <= 0 then invalid_arg "Switch: buffer total_bytes <= 0";
+  if b.port_reserve_bytes < 0 then
+    invalid_arg "Switch: buffer port_reserve_bytes < 0";
+  if b.ingress_high_bytes <= 0 then
+    invalid_arg "Switch: buffer ingress_high_bytes <= 0";
+  if b.ingress_low_bytes < 0 || b.ingress_low_bytes > b.ingress_high_bytes
+  then invalid_arg "Switch: buffer ingress_low_bytes out of range";
+  if b.pause_quanta <= 0 || b.pause_quanta > Mac_control.max_quanta then
+    invalid_arg "Switch: buffer pause_quanta out of range";
+  if b.max_frame_bytes <= 0 then
+    invalid_arg "Switch: buffer max_frame_bytes <= 0"
+
+type port = {
+  node : int;
+  uplink : Link.t;
+  downlink : Link.t;
+  fifo : (Eth_frame.t * int) Queue.t;  (* frame, ingress node *)
+  on_wire : (int * int) Queue.t;  (* charged bytes, ingress node *)
+  mutable wire_count : int;  (* frames handed to the downlink, ser pending *)
+  mutable egress_bytes : int;  (* buffered bytes queued toward this port *)
+  mutable ingress_bytes : int;  (* buffered bytes received from this port *)
+  mutable paused_rx : bool;  (* we have XOFFed this port's station *)
+  mutable xoff_at : Time.t;
+  mutable tx_paused_until : Time.t;  (* station has PAUSEd this egress *)
+  mutable resume : Sim.handle option;
+  mutable gate_start : Time.t;
+  mutable egress_paused_ns : int;
+  mutable ingress_drops : int;
+  mutable egress_drops : int;
+}
 
 type t = {
   sim : Sim.t;
@@ -10,15 +65,26 @@ type t = {
   propagation : Time.span;
   fault : unit -> Fault.t;
   egress_frames : int option;
+  ingress_frames : int option;
+  buffer : buffer option;
   mutable port_list : port list;
+  mutable shared_used : int;
+  mutable occupied : int;
+  mutable peak_occupied : int;
   mutable frames_forwarded : int;
   mutable frames_flooded : int;
   mutable frames_unroutable : int;
+  mutable pause_frames_tx : int;
+  mutable pause_frames_rx : int;
 }
 
 let create sim ~name ~bits_per_s ?(forward_latency = Time.us 2.)
     ?(propagation = Time.ns 500) ?(fault = fun () -> Fault.none)
-    ?egress_frames () =
+    ?egress_frames ?ingress_frames ?buffer () =
+  (match ingress_frames with
+  | Some n when n <= 0 -> invalid_arg "Switch.create: ingress_frames <= 0"
+  | _ -> ());
+  Option.iter validate_buffer buffer;
   {
     sim;
     name;
@@ -27,13 +93,212 @@ let create sim ~name ~bits_per_s ?(forward_latency = Time.us 2.)
     propagation;
     fault;
     egress_frames;
+    ingress_frames;
+    buffer;
     port_list = [];
+    shared_used = 0;
+    occupied = 0;
+    peak_occupied = 0;
     frames_forwarded = 0;
     frames_flooded = 0;
     frames_unroutable = 0;
+    pause_frames_tx = 0;
+    pause_frames_rx = 0;
   }
 
 let find_port t node = List.find_opt (fun p -> p.node = node) t.port_list
+let n_ports t = List.length t.port_list
+
+let shared_capacity t b =
+  b.total_bytes - (n_ports t * b.port_reserve_bytes)
+
+(* With PAUSE on, bounded uplink queues and enough shared buffer to absorb
+   every port's worst case — its ingress high watermark plus the frames
+   already committed to the wire and uplink FIFO when the XOFF lands — the
+   switch guarantees zero loss.  Drops under this provisioning are flagged
+   so the zero-loss invariant monitor can convict them. *)
+let protected_provisioning t =
+  match (t.buffer, t.ingress_frames) with
+  | Some b, Some limit when b.pause ->
+      let n = n_ports t in
+      n * (b.ingress_high_bytes + ((limit + 3) * b.max_frame_bytes))
+      + b.max_frame_bytes
+      <= shared_capacity t b
+  | _ -> false
+
+let probe_buffer t port delta =
+  match t.buffer with
+  | Some b when Probe.enabled () ->
+      Probe.emit
+        (Probe.Switch_buffer
+           {
+             switch = t.name;
+             port;
+             delta;
+             occupied = t.occupied;
+             total = b.total_bytes;
+           })
+  | _ -> ()
+
+let probe_drop t port ~ingress =
+  if Probe.enabled () then
+    Probe.emit
+      (Probe.Switch_drop
+         { switch = t.name; port; ingress; protected = protected_provisioning t })
+
+let probe_fifo t p =
+  match t.buffer with
+  | Some _ when Probe.enabled () ->
+      Probe.emit
+        (Probe.Queue_depth
+           {
+             queue = Printf.sprintf "%s->n%d:fifo" t.name p.node;
+             depth = Queue.length p.fifo;
+           })
+  | _ -> ()
+
+let probe_pause_frame t p ~sent ~quanta =
+  if Probe.enabled () then
+    Probe.emit
+      (Probe.Pause_frame
+         {
+           host =
+             Printf.sprintf "%s%sn%d" t.name (if sent then "->" else "<-")
+               p.node;
+           sent;
+           quanta;
+         })
+
+(* MAC-control transmission bypasses the egress FIFO and the buffer ledger
+   (control frames live in reserved control buffers); it still occupies the
+   wire, so it shares [wire_count] with data frames. *)
+let send_pause t p ~quanta =
+  let frame = Mac_control.pause ~src:Mac.flow_control ~quanta in
+  t.pause_frames_tx <- t.pause_frames_tx + 1;
+  probe_pause_frame t p ~sent:true ~quanta;
+  p.wire_count <- p.wire_count + 1;
+  Link.send p.downlink frame
+
+(* Ingress-side PAUSE generation: XOFF once the port's buffered bytes cross
+   the high watermark, refreshed while frames keep landing from a paused
+   port (the first XOFF races frames already in flight), XON at the low
+   watermark. *)
+let maybe_xoff t b q =
+  if b.pause then
+    if not q.paused_rx then begin
+      if q.ingress_bytes >= b.ingress_high_bytes then begin
+        q.paused_rx <- true;
+        q.xoff_at <- Sim.now t.sim;
+        send_pause t q ~quanta:b.pause_quanta
+      end
+    end
+    else begin
+      let span =
+        Mac_control.span_of_quanta ~bits_per_s:t.bits_per_s b.pause_quanta
+      in
+      if Sim.now t.sim - q.xoff_at >= span / 2 then begin
+        q.xoff_at <- Sim.now t.sim;
+        send_pause t q ~quanta:b.pause_quanta
+      end
+    end
+
+let maybe_xon t b q =
+  if b.pause && q.paused_rx && q.ingress_bytes <= b.ingress_low_bytes then begin
+    q.paused_rx <- false;
+    send_pause t q ~quanta:0
+  end
+
+let egress_gated t p = Sim.now t.sim < p.tx_paused_until
+
+let rec pump_port t p =
+  if p.wire_count = 0 && not (egress_gated t p) then
+    match Queue.take_opt p.fifo with
+    | None -> ()
+    | Some (frame, ingress_node) ->
+        probe_fifo t p;
+        let charged =
+          match t.buffer with
+          | Some _ -> Eth_frame.buffer_bytes frame
+          | None -> 0
+        in
+        Queue.add (charged, ingress_node) p.on_wire;
+        p.wire_count <- p.wire_count + 1;
+        Link.send p.downlink frame
+
+(* Downlink serialization finished: free the frame's buffer bytes (both
+   ledgers), possibly XON its ingress port, and feed the next frame. *)
+and on_tx_complete t p frame =
+  p.wire_count <- p.wire_count - 1;
+  if not (Mac_control.is_mac_control frame) then begin
+    match Queue.take_opt p.on_wire with
+    | Some (charged, ingress_node) when charged > 0 -> (
+        match t.buffer with
+        | Some b ->
+            let r = b.port_reserve_bytes in
+            let extra_shared =
+              max 0 (p.egress_bytes - r)
+              - max 0 (p.egress_bytes - charged - r)
+            in
+            p.egress_bytes <- p.egress_bytes - charged;
+            t.shared_used <- t.shared_used - extra_shared;
+            t.occupied <- t.occupied - charged;
+            probe_buffer t p.node (-charged);
+            (match find_port t ingress_node with
+            | Some q ->
+                q.ingress_bytes <- q.ingress_bytes - charged;
+                maybe_xon t b q
+            | None -> ())
+        | None -> ())
+    | _ -> ()
+  end;
+  pump_port t p
+
+(* Admission control for one frame headed to egress port [p] from ingress
+   node [ingress].  Returns [true] when the frame was accepted (and, in
+   buffered mode, charged to both ledgers). *)
+let admit t ~ingress p frame =
+  let tail_full =
+    match t.egress_frames with
+    | Some cap -> Queue.length p.fifo >= cap
+    | None -> false
+  in
+  if tail_full then begin
+    p.egress_drops <- p.egress_drops + 1;
+    probe_drop t p.node ~ingress:false;
+    false
+  end
+  else
+    match t.buffer with
+    | None -> true
+    | Some b ->
+        let charged = Eth_frame.buffer_bytes frame in
+        let r = b.port_reserve_bytes in
+        let extra_shared =
+          max 0 (p.egress_bytes + charged - r) - max 0 (p.egress_bytes - r)
+        in
+        if t.shared_used + extra_shared > shared_capacity t b then begin
+          p.egress_drops <- p.egress_drops + 1;
+          probe_drop t p.node ~ingress:false;
+          false
+        end
+        else begin
+          p.egress_bytes <- p.egress_bytes + charged;
+          t.shared_used <- t.shared_used + extra_shared;
+          t.occupied <- t.occupied + charged;
+          if t.occupied > t.peak_occupied then t.peak_occupied <- t.occupied;
+          probe_buffer t p.node charged;
+          (match find_port t ingress with
+          | Some q ->
+              q.ingress_bytes <- q.ingress_bytes + charged;
+              maybe_xoff t b q
+          | None -> ());
+          true
+        end
+
+let enqueue t p ~ingress frame =
+  Queue.add (frame, ingress) p.fifo;
+  probe_fifo t p;
+  pump_port t p
 
 let forward t ~ingress frame =
   match frame.Eth_frame.dst with
@@ -41,42 +306,101 @@ let forward t ~ingress frame =
       match find_port t node with
       | Some port ->
           t.frames_forwarded <- t.frames_forwarded + 1;
-          Link.send port.downlink frame
+          if admit t ~ingress port frame then enqueue t port ~ingress frame
       | None -> t.frames_unroutable <- t.frames_unroutable + 1)
   | Mac.Broadcast | Mac.Multicast _ ->
       List.iter
         (fun port ->
           if port.node <> ingress then begin
             t.frames_flooded <- t.frames_flooded + 1;
-            Link.send port.downlink frame
+            if admit t ~ingress port frame then enqueue t port ~ingress frame
           end)
         t.port_list
 
-let on_ingress t ~node frame =
-  (* Store-and-forward: the frame is fully received (the uplink's
-     serialization already accounts for that), then looked up and queued on
-     the egress link after the forwarding latency. *)
-  ignore
-    (Sim.schedule t.sim ~after:t.forward_latency (fun () ->
-         forward t ~ingress:node frame))
+(* A station PAUSEd us: gate that port's egress pump for the quanta (the
+   frame already on the wire finishes), resuming early on XON. *)
+let on_pause_rx t p ~quanta =
+  t.pause_frames_rx <- t.pause_frames_rx + 1;
+  probe_pause_frame t p ~sent:false ~quanta;
+  Option.iter Sim.cancel p.resume;
+  p.resume <- None;
+  let now = Sim.now t.sim in
+  if quanta = 0 then begin
+    if egress_gated t p then
+      p.egress_paused_ns <- p.egress_paused_ns + (now - p.gate_start);
+    p.tx_paused_until <- now;
+    pump_port t p
+  end
+  else begin
+    if not (egress_gated t p) then p.gate_start <- now;
+    let span = Mac_control.span_of_quanta ~bits_per_s:t.bits_per_s quanta in
+    p.tx_paused_until <- now + span;
+    p.resume <-
+      Some
+        (Sim.schedule t.sim ~after:span (fun () ->
+             p.resume <- None;
+             p.egress_paused_ns <-
+               p.egress_paused_ns + (Sim.now t.sim - p.gate_start);
+             pump_port t p))
+  end
+
+let on_ingress t p frame =
+  match Mac_control.quanta_of frame with
+  | Some quanta -> on_pause_rx t p ~quanta
+  | None ->
+      (* Store-and-forward: the frame is fully received (the uplink's
+         serialization already accounts for that) and admitted to the
+         buffer now; lookup plus internal transfer take the forwarding
+         latency before it joins the egress queue. *)
+      ignore
+        (Sim.schedule t.sim ~after:t.forward_latency (fun () ->
+             forward t ~ingress:p.node frame))
 
 let add_port t ~node =
   if find_port t node <> None then
     invalid_arg (Printf.sprintf "Switch.add_port: duplicate node %d" node);
+  (match t.buffer with
+  | Some b when (n_ports t + 1) * b.port_reserve_bytes >= b.total_bytes ->
+      invalid_arg "Switch.add_port: port reserves exceed the shared buffer"
+  | _ -> ());
   let uplink =
     Link.create t.sim
       ~name:(Printf.sprintf "%s<-n%d" t.name node)
       ~bits_per_s:t.bits_per_s ~propagation:t.propagation ~fault:(t.fault ())
-      ()
+      ?queue_limit:t.ingress_frames ()
   in
   let downlink =
     Link.create t.sim
       ~name:(Printf.sprintf "%s->n%d" t.name node)
       ~bits_per_s:t.bits_per_s ~propagation:t.propagation ~fault:(t.fault ())
-      ?queue_limit:t.egress_frames ()
+      ()
   in
-  Link.connect uplink (fun frame -> on_ingress t ~node frame);
-  t.port_list <- t.port_list @ [ { node; uplink; downlink } ]
+  let port =
+    {
+      node;
+      uplink;
+      downlink;
+      fifo = Queue.create ();
+      on_wire = Queue.create ();
+      wire_count = 0;
+      egress_bytes = 0;
+      ingress_bytes = 0;
+      paused_rx = false;
+      xoff_at = 0;
+      tx_paused_until = 0;
+      resume = None;
+      gate_start = 0;
+      egress_paused_ns = 0;
+      ingress_drops = 0;
+      egress_drops = 0;
+    }
+  in
+  Link.connect uplink (fun frame -> on_ingress t port frame);
+  Link.set_on_drop uplink (fun _frame ->
+      port.ingress_drops <- port.ingress_drops + 1;
+      probe_drop t node ~ingress:true);
+  Link.set_tx_complete downlink (fun frame -> on_tx_complete t port frame);
+  t.port_list <- t.port_list @ [ port ]
 
 let get_port t node =
   match find_port t node with
@@ -92,6 +416,15 @@ let frames_flooded t = t.frames_flooded
 let frames_unroutable t = t.frames_unroutable
 
 let egress_drops t =
-  List.fold_left
-    (fun acc p -> acc + Link.frames_dropped p.downlink)
-    0 t.port_list
+  List.fold_left (fun acc p -> acc + p.egress_drops) 0 t.port_list
+
+let ingress_drops t =
+  List.fold_left (fun acc p -> acc + p.ingress_drops) 0 t.port_list
+
+let pause_frames_tx t = t.pause_frames_tx
+let pause_frames_rx t = t.pause_frames_rx
+let buffer_occupied t = t.occupied
+let peak_buffer_occupied t = t.peak_occupied
+
+let egress_paused_ns t =
+  List.fold_left (fun acc p -> acc + p.egress_paused_ns) 0 t.port_list

@@ -1,14 +1,40 @@
-(** A store-and-forward Ethernet switch.
+(** A shared-buffer store-and-forward Ethernet switch with 802.3x PAUSE.
 
     Each port is a full-duplex pair of {!Link}s (node→switch, switch→node).
     Unicast frames are forwarded to the port owning the destination MAC
     (static table: one node per port, as in a dedicated cluster); broadcast
     and multicast frames are flooded to every port except the ingress one —
     the data-link multicast capability CLIC's broadcast primitives exploit.
+    Forwarding adds a fixed per-frame latency modelling lookup plus internal
+    transfer; output contention arises from the egress queues draining at
+    the line rate.
 
-    Forwarding adds a fixed per-frame latency modelling lookup plus
-    store-and-forward buffering; output contention arises naturally from the
-    egress links' serialization. *)
+    Buffering: each egress port owns a FIFO drawing on a shared byte pool
+    ({!buffer}) — a per-port reserve is always available, the remainder is
+    shared, and frames that fit neither are tail-dropped against the egress
+    port.  Every buffered frame is also charged to its {e ingress} port;
+    when that occupancy crosses the high watermark the switch XOFFs the
+    offending station with a real PAUSE frame ({!Mac_control}), and XONs it
+    at the low watermark.  Stations can likewise PAUSE the switch: MAC
+    control frames arriving on an uplink gate that port's egress pump.
+
+    Uplinks may be bounded ([ingress_frames]): a station blind-dumping into
+    a full uplink FIFO loses frames to {!ingress_drops}, the failure mode
+    PAUSE-honouring NICs avoid by blocking on {!Link.wait_room}. *)
+
+type buffer = {
+  total_bytes : int;  (** whole shared packet buffer *)
+  port_reserve_bytes : int;  (** per-egress-port guaranteed slice *)
+  ingress_high_bytes : int;  (** per-ingress-port XOFF watermark *)
+  ingress_low_bytes : int;  (** per-ingress-port XON watermark *)
+  pause : bool;  (** generate 802.3x PAUSE; [false] = tail-drop only *)
+  pause_quanta : int;  (** quanta per XOFF, 1..0xffff *)
+  max_frame_bytes : int;  (** provisioning unit for {!protected_provisioning} *)
+}
+
+val default_buffer : buffer
+(** 256 KiB total, 8 KiB reserve, 16/8 KiB watermarks, PAUSE on with
+    maximum quanta, 1518-byte frames. *)
 
 type t
 
@@ -20,15 +46,22 @@ val create :
   ?propagation:Engine.Time.span ->
   ?fault:(unit -> Fault.t) ->
   ?egress_frames:int ->
+  ?ingress_frames:int ->
+  ?buffer:buffer ->
   unit ->
   t
 (** [fault] is called once per created link to give each direction its own
-    fault process.  [egress_frames] bounds each output port's buffer:
-    frames past it are tail-dropped (counted in {!egress_drops}), the real
-    congestion behaviour incast traffic triggers. *)
+    fault process.  [egress_frames] caps each output FIFO in frames:
+    excess frames are tail-dropped into {!egress_drops}.  [ingress_frames]
+    bounds each uplink's transmit queue, making blind-dumping stations
+    lose frames to {!ingress_drops}.  [buffer] enables the shared-buffer
+    ledger and PAUSE generation.
+    @raise Invalid_argument on nonsensical buffer parameters. *)
 
 val add_port : t -> node:int -> unit
-(** Declares a port for [node].  @raise Invalid_argument on duplicates. *)
+(** Declares a port for [node].
+    @raise Invalid_argument on duplicates, or when the per-port reserves
+    of the new port count would exhaust the shared buffer. *)
 
 val uplink : t -> node:int -> Link.t
 (** The node→switch link: the node's NIC transmits into this. *)
@@ -42,10 +75,36 @@ val rewire_node : t -> node:int -> (Eth_frame.t -> unit) -> unit
 
 val ports : t -> int list
 val frames_forwarded : t -> int
+
 val frames_flooded : t -> int
 (** Copies emitted for group-addressed frames. *)
 
 val frames_unroutable : t -> int
 
 val egress_drops : t -> int
-(** Frames tail-dropped at full output buffers. *)
+(** Frames tail-dropped at full egress FIFOs or an exhausted shared
+    buffer. *)
+
+val ingress_drops : t -> int
+(** Frames lost at full bounded uplink FIFOs (stations transmitting
+    without backpressure). *)
+
+val pause_frames_tx : t -> int
+(** PAUSE frames the switch generated (XOFF and XON). *)
+
+val pause_frames_rx : t -> int
+(** PAUSE frames received from stations. *)
+
+val buffer_occupied : t -> int
+(** Bytes currently held in the shared buffer (0 when unbuffered). *)
+
+val peak_buffer_occupied : t -> int
+
+val egress_paused_ns : t -> int
+(** Total time egress ports spent gated by station-originated PAUSE. *)
+
+val protected_provisioning : t -> bool
+(** Whether the configuration guarantees zero switch loss for
+    PAUSE-honouring stations: PAUSE on, bounded uplinks, and a shared
+    buffer large enough for every port's high watermark plus its
+    worst-case in-flight spill. *)

@@ -1,6 +1,6 @@
 (* Time-series metrics derived from a recorded probe stream.
 
-   Seven instrument families:
+   Ten instrument families:
 
    - [cpu-utilization]   gauge, per CPU: busy fraction per time bucket,
                          from [Busy] spans on "cpuN" hosts
@@ -12,6 +12,12 @@
    - [pool-bytes]        gauge, per kernel memory pool: bytes in use
    - [msg-count]         counter, per node: cumulative messages sent and
                          delivered
+   - [switch-buffer]     gauge, per switch: shared-buffer bytes occupied
+   - [switch-drop]       counter, per switch port and direction: frames
+                         tail-dropped at the switch
+   - [pause]             mixed, per host: [.state] gauge (1 while the
+                         transmit path is PAUSEd) and [.tx]/[.rx] PAUSE
+                         frame counters
 
    Series are sampled either at event time (gauges driven by a probe
    event) or over fixed buckets (utilization and rates, where an
@@ -130,6 +136,17 @@ let build ?bucket_ns recorder =
           bump "msg-count" (Printf.sprintf "node%d.sent" node) at
       | Probe.Msg_deliver { node; _ } ->
           bump "msg-count" (Printf.sprintf "node%d.delivered" node) at
+      | Probe.Switch_buffer { switch; occupied; _ } ->
+          push_gauge "switch-buffer" switch at (float_of_int occupied)
+      | Probe.Switch_drop { switch; port; ingress; _ } ->
+          bump "switch-drop"
+            (Printf.sprintf "%s.port%d.%s" switch port
+               (if ingress then "ingress" else "egress"))
+            at
+      | Probe.Pause_state { host; paused } ->
+          push_gauge "pause" (host ^ ".state") at (if paused then 1. else 0.)
+      | Probe.Pause_frame { host; sent; _ } ->
+          bump "pause" (host ^ if sent then ".tx" else ".rx") at
       | _ -> ())
     (Recorder.events recorder);
   let util_family host =
@@ -165,12 +182,21 @@ let build ?bucket_ns recorder =
             {
               s_name = Printf.sprintf "%s/%s" family name;
               s_kind =
-                (if family = "msg-count" then Counter else Gauge);
+                (match family with
+                | "msg-count" | "switch-drop" -> Counter
+                | "pause" ->
+                    if Filename.check_suffix name ".state" then Gauge
+                    else Counter
+                | _ -> Gauge);
               s_unit =
                 (match family with
                 | "queue-depth" -> "frames"
                 | "channel-window" -> "packets"
-                | "pool-bytes" -> "bytes"
+                | "pool-bytes" | "switch-buffer" -> "bytes"
+                | "switch-drop" -> "frames"
+                | "pause" ->
+                    if Filename.check_suffix name ".state" then "state"
+                    else "frames"
                 | _ -> "messages");
               s_points = List.rev pts;
             })

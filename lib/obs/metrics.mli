@@ -1,11 +1,15 @@
 (** Time-series metrics derived from a recorded probe stream.
 
-    Seven instrument families: [cpu-utilization] and [bus-utilization]
+    Ten instrument families: [cpu-utilization] and [bus-utilization]
     (bucketed busy fractions from resource-occupancy spans), [irq-rate]
     (interrupts per second per NIC), [queue-depth] (NIC rx rings, switch
     egress buffers, link queues), [channel-window] (packets in flight per
-    channel direction), [pool-bytes] (kernel staging memory in use) and
-    [msg-count] (cumulative messages sent / delivered per node).
+    channel direction), [pool-bytes] (kernel staging memory in use),
+    [msg-count] (cumulative messages sent / delivered per node),
+    [switch-buffer] (shared-buffer bytes occupied per switch),
+    [switch-drop] (frames dropped per switch port and direction) and
+    [pause] (802.3x flow control: a [.state] gauge that is 1 while a
+    host's transmit path is PAUSEd, plus [.tx]/[.rx] frame counters).
 
     Exports are deterministic: series sorted by name, fixed float
     formatting. *)

@@ -37,7 +37,8 @@ let track_rank = function
   | Probe.Bh_track -> 3
   | Probe.Dma -> 4
   | Probe.Link -> 5
-  | Probe.Busy -> 6
+  | Probe.Pause_t -> 6
+  | Probe.Busy -> 7
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in

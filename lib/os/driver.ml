@@ -284,3 +284,8 @@ let poll_mode_switches t = t.poll_mode_switches
 let poll_passes t = t.poll_passes
 let polled_packets t = t.polled_packets
 let dead_discards t = t.dead_discards
+
+(* ethtool-style flow-control statistics, read straight from the NIC *)
+let tx_paused_ns t = Hw.Nic.tx_paused_ns t.nic
+let pause_frames_rx t = Hw.Nic.pause_frames_rx t.nic
+let pause_frames_tx t = Hw.Nic.pause_frames_tx t.nic

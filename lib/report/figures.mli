@@ -97,6 +97,37 @@ val chaos : ?quick:bool -> Format.formatter -> chaos_row list
     sweep exists to show the adaptive RTO, fast retransmit and teardown
     logic keep the transport live under abuse. *)
 
+type incast_row = {
+  in_name : string;
+  in_sent : int;
+  in_delivered : int;
+  in_elapsed_ms : float;
+  in_retx : int;  (** total retransmissions, all nodes *)
+  in_ingress_drops : int;  (** frames lost at full switch uplink FIFOs *)
+  in_egress_drops : int;  (** frames tail-dropped at switch egress *)
+  in_pause_tx : int;  (** PAUSE frames the switch generated *)
+  in_tx_paused_us : float;  (** total sender-NIC time spent XOFFed *)
+  in_peak_buffer : int;  (** peak shared-buffer occupancy, bytes *)
+}
+
+val incast_config : pause:bool -> Cluster.Node.config
+(** The incast fabric: bounded 6-frame uplinks, the default 256 KiB shared
+    buffer, congestion-tuned CLIC.  [pause = false] is the tail-drop
+    baseline (12-frame egress FIFOs, blind-dumping NICs); [pause = true]
+    enables 802.3x end to end, provisioned for zero switch loss. *)
+
+val incast :
+  ?quick:bool ->
+  ?senders:int ->
+  ?size:int ->
+  ?messages:int ->
+  Format.formatter ->
+  incast_row list * (string * float * int * int * int * float) list
+(** N→1 incast collapse, tail-drop vs 802.3x PAUSE, plus an MPI gather
+    under the same congestion: (switch, completion us, retx, switch drops,
+    pause tx, paused us) per condition.  Every message must be delivered
+    in every condition; with PAUSE the switch must lose nothing at all. *)
+
 val all_ids : string list
 val run : string -> Format.formatter -> unit
 (** Run one experiment by id ("fig4" ... "ext3").

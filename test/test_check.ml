@@ -344,7 +344,9 @@ let test_check_real_scenario_clean () =
 
 let test_soak_argument_checks () =
   check_bool "templates registered" true
-    (List.length Check.Soak.template_names >= 4);
+    (List.length Check.Soak.template_names >= 5);
+  check_bool "incast storm registered" true
+    (List.mem "incast-storm" Check.Soak.template_names);
   Alcotest.(check (list int)) "CI seeds pinned" [ 101; 202; 303 ]
     Check.Soak.default_seeds;
   let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
@@ -355,20 +357,53 @@ let test_soak_argument_checks () =
 
 let test_soak_smoke () =
   (* One seed over every template in quick mode: the full harness — node
-     crash/reboot, pool crunch, interrupt storm, composed link weather —
-     must come back with zero violations and every stress axis evidenced. *)
-  let r = Check.Soak.run ~seeds:[ 101 ] ~trials:4 ~quick:true () in
+     crash/reboot, pool crunch, interrupt storm, composed link weather,
+     incast stampede — must come back with zero violations and every
+     stress axis evidenced. *)
+  let r = Check.Soak.run ~seeds:[ 101 ] ~quick:true () in
   List.iter
     (fun v -> Printf.printf "unexpected: %s\n" (Check.Violation.to_string v))
     (Check.Soak.violations r);
   List.iter (Printf.printf "missing evidence: %s\n") (Check.Soak.missing_evidence r);
   check_bool "soak clean with full evidence" true (Check.Soak.ok r);
-  check_int "all trials ran" 4 (List.length r.Check.Soak.s_trials);
+  check_int "one trial per template ran"
+    (List.length Check.Soak.template_names)
+    (List.length r.Check.Soak.s_trials);
   let ev = r.Check.Soak.s_evidence in
   check_bool "a crash happened" true (ev.Check.Soak.ev_crashes > 0);
   check_bool "hard watermark dropped frames" true
     (ev.Check.Soak.ev_pool_drops > 0);
-  check_bool "polling engaged" true (ev.Check.Soak.ev_poll_switches > 0)
+  check_bool "polling engaged" true (ev.Check.Soak.ev_poll_switches > 0);
+  check_bool "the switch dropped frames somewhere" true
+    (ev.Check.Soak.ev_switch_drops > 0);
+  check_bool "802.3x PAUSE frames flowed" true
+    (ev.Check.Soak.ev_pause_frames > 0);
+  check_bool "transmitters spent time XOFFed" true
+    (ev.Check.Soak.ev_tx_paused_ns > 0)
+
+let test_soak_incast_storm_focused () =
+  (* The incast template alone, two seeds: the stampede must run under
+     the full monitor set with zero violations in both fabrics, and both
+     arms must leave their fingerprints (PAUSE signalling from the
+     flow-controlled run, switch drops from the tail-drop run). *)
+  let r =
+    Check.Soak.run ~seeds:[ 11; 12 ] ~quick:true ~only:[ "incast-storm" ] ()
+  in
+  List.iter
+    (fun v -> Printf.printf "unexpected: %s\n" (Check.Violation.to_string v))
+    (Check.Soak.violations r);
+  check_bool "incast storm runs clean" true (Check.Soak.ok r);
+  List.iter
+    (fun tr ->
+      Alcotest.(check string)
+        "template" "incast-storm" tr.Check.Soak.tr_template)
+    r.Check.Soak.s_trials;
+  let ev = r.Check.Soak.s_evidence in
+  check_bool "tail-drop arm lost frames at the switch" true
+    (ev.Check.Soak.ev_switch_drops > 0);
+  check_bool "flow-controlled arm got XOFFed" true
+    (ev.Check.Soak.ev_pause_frames > 0 && ev.Check.Soak.ev_tx_paused_ns > 0);
+  check_bool "traffic actually flowed" true (ev.Check.Soak.ev_delivered > 0)
 
 let suite =
   [
@@ -415,4 +450,6 @@ let suite =
       test_check_real_scenario_clean;
     Alcotest.test_case "soak: argument checks" `Quick test_soak_argument_checks;
     Alcotest.test_case "soak: one-seed smoke run" `Quick test_soak_smoke;
+    Alcotest.test_case "soak: incast-storm focused" `Quick
+      test_soak_incast_storm_focused;
   ]

@@ -590,6 +590,373 @@ let test_link_queue_depth_visible () =
   Sim.run sim;
   check_int "drained" 0 (Link.queue_depth link)
 
+(* ------------------------------------------------------------------ *)
+(* 802.3x MAC control *)
+
+let test_mac_control_roundtrip () =
+  List.iter
+    (fun quanta ->
+      let payload = Mac_control.encode ~quanta in
+      match Mac_control.decode payload with
+      | Ok q -> check_int "quanta round-trip" quanta q
+      | Error e -> Alcotest.fail e)
+    [ 0; 1; 255; 256; 0x1234; Mac_control.max_quanta ];
+  (match Mac_control.decode (Bytes.create 2) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short payload must not decode");
+  (match Mac_control.decode (Mac_control.encode ~quanta:0x77) with
+  | Ok 0x77 -> ()
+  | _ -> Alcotest.fail "opcode survives encode");
+  Alcotest.check_raises "quanta out of range"
+    (Invalid_argument "Mac_control.encode: quanta 65536") (fun () ->
+      ignore (Mac_control.encode ~quanta:0x10000))
+
+let test_mac_control_frame_shape () =
+  let f = Mac_control.pause ~src:(Mac.of_node 3) ~quanta:50 in
+  check_bool "is mac control" true (Mac_control.is_mac_control f);
+  check_bool "dst is flow-control multicast" true
+    (f.Eth_frame.dst = Mac.flow_control);
+  (match Mac_control.quanta_of f with
+  | Some 50 -> ()
+  | _ -> Alcotest.fail "quanta_of must recover the encoded quanta");
+  (match Mac_control.quanta_of (Mac_control.xon ~src:(Mac.of_node 3)) with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "xon means quanta 0");
+  (* a data frame is not MAC control *)
+  check_bool "data frame not control" true
+    (Mac_control.quanta_of (raw ~src:0 ~dst:1 100) = None);
+  (* one quantum is 512 bit times: 512 ns at 1 Gb/s *)
+  check_int "quantum at 1Gb/s" (Time.ns 512)
+    (Mac_control.span_of_quanta ~bits_per_s:1e9 1);
+  check_int "100 quanta at 1Gb/s" (Time.ns 51200)
+    (Mac_control.span_of_quanta ~bits_per_s:1e9 100)
+
+(* ------------------------------------------------------------------ *)
+(* Switch: counters, bounded ingress, shared buffer, PAUSE *)
+
+(* One run mixing unicast, flood and unroutable traffic: each counter must
+   tally its own class only (a flood must not count the ingress port, a
+   unicast must not touch the flood counter, ...). *)
+let test_switch_counter_regression () =
+  let sim = Sim.create () in
+  let sw = make_switch sim [ 0; 1; 2; 3 ] in
+  List.iter
+    (fun n -> Switch.connect_node sw ~node:n (fun _ -> ()))
+    [ 0; 1; 2; 3 ];
+  let bcast =
+    Eth_frame.make ~src:(Mac.of_node 1) ~dst:Mac.broadcast ~ethertype:0x88
+      ~payload_bytes:100 (Eth_frame.Raw 100)
+  in
+  Process.spawn sim (fun () ->
+      Link.send (Switch.uplink sw ~node:0) (raw ~src:0 ~dst:2 500);
+      Link.send (Switch.uplink sw ~node:1) bcast;
+      Link.send (Switch.uplink sw ~node:2) (raw ~src:2 ~dst:9 100);
+      Link.send (Switch.uplink sw ~node:3) (raw ~src:3 ~dst:0 200));
+  Sim.run sim;
+  check_int "unicasts forwarded" 2 (Switch.frames_forwarded sw);
+  check_int "flood copies exclude ingress port" 3 (Switch.frames_flooded sw);
+  check_int "unroutable" 1 (Switch.frames_unroutable sw);
+  check_int "no drops on an unloaded switch" 0
+    (Switch.egress_drops sw + Switch.ingress_drops sw)
+
+let test_switch_ingress_bound () =
+  let sim = Sim.create () in
+  let sw =
+    Switch.create sim ~name:"sw" ~bits_per_s:1e9 ~ingress_frames:2 ()
+  in
+  List.iter (fun n -> Switch.add_port sw ~node:n) [ 0; 1 ];
+  let got = ref 0 in
+  Switch.connect_node sw ~node:1 (fun _ -> incr got);
+  Switch.connect_node sw ~node:0 (fun _ -> ());
+  (* blast 6 frames into the bounded uplink in one instant: one serializes,
+     two queue, three tail-drop at the switch ingress *)
+  for _ = 1 to 6 do
+    Link.send (Switch.uplink sw ~node:0) (raw ~src:0 ~dst:1 1000)
+  done;
+  Sim.run sim;
+  check_int "ingress drops" 3 (Switch.ingress_drops sw);
+  check_int "survivors delivered" 3 !got;
+  check_int "forwarded only what ingress admitted" 3
+    (Switch.frames_forwarded sw);
+  check_int "no egress drops" 0 (Switch.egress_drops sw)
+
+let test_switch_egress_cap_tail_drop () =
+  let sim = Sim.create () in
+  let sw = Switch.create sim ~name:"sw" ~bits_per_s:1e9 ~egress_frames:2 () in
+  List.iter (fun n -> Switch.add_port sw ~node:n) [ 0; 1; 2 ];
+  let got = ref 0 in
+  Switch.connect_node sw ~node:2 (fun _ -> incr got);
+  List.iter (fun n -> Switch.connect_node sw ~node:n (fun _ -> ())) [ 0; 1 ];
+  (* two ports converge on node 2; each frame takes ~12 us on the egress
+     wire, so the 2-frame FIFO overflows while the first still serializes *)
+  Process.spawn sim (fun () ->
+      for _ = 1 to 4 do
+        Link.send (Switch.uplink sw ~node:0) (raw ~src:0 ~dst:2 1400);
+        Link.send (Switch.uplink sw ~node:1) (raw ~src:1 ~dst:2 1400)
+      done);
+  Sim.run sim;
+  check_bool "egress tail-drops" true (Switch.egress_drops sw > 0);
+  check_int "delivered = forwarded - dropped" !got
+    (Switch.frames_forwarded sw - Switch.egress_drops sw);
+  check_int "ingress unbounded here" 0 (Switch.ingress_drops sw)
+
+let shared_buffer ?(total = 256 * 1024) ?(reserve = 0) ?(high = 16 * 1024)
+    ?(low = 8 * 1024) ?(pause = true) () =
+  {
+    Switch.total_bytes = total;
+    port_reserve_bytes = reserve;
+    ingress_high_bytes = high;
+    ingress_low_bytes = low;
+    pause;
+    pause_quanta = Hw.Mac_control.max_quanta;
+    max_frame_bytes = 1518;
+  }
+
+let test_switch_buffer_ledger_balances () =
+  let sim = Sim.create () in
+  let sw =
+    Switch.create sim ~name:"sw" ~bits_per_s:1e9
+      ~buffer:(shared_buffer ~reserve:2048 ~pause:false ()) ()
+  in
+  List.iter (fun n -> Switch.add_port sw ~node:n) [ 0; 1; 2 ];
+  let got = ref 0 in
+  Switch.connect_node sw ~node:2 (fun _ -> incr got);
+  List.iter (fun n -> Switch.connect_node sw ~node:n (fun _ -> ())) [ 0; 1 ];
+  Process.spawn sim (fun () ->
+      for _ = 1 to 5 do
+        Link.send (Switch.uplink sw ~node:0) (raw ~src:0 ~dst:2 1400);
+        Link.send (Switch.uplink sw ~node:1) (raw ~src:1 ~dst:2 1400)
+      done);
+  Sim.run sim;
+  check_int "all delivered" 10 !got;
+  check_int "ledger empty after drain" 0 (Switch.buffer_occupied sw);
+  check_bool "peak recorded" true (Switch.peak_buffer_occupied sw > 0);
+  check_int "nothing dropped" 0
+    (Switch.egress_drops sw + Switch.ingress_drops sw)
+
+let test_switch_buffer_exhaustion_drops () =
+  let sim = Sim.create () in
+  (* room for two full frames and change: the third concurrent arrival
+     must be refused at admission *)
+  let sw =
+    Switch.create sim ~name:"sw" ~bits_per_s:1e9
+      ~buffer:
+        (shared_buffer ~total:4000 ~high:1_000_000 ~low:0 ~pause:false ())
+      ()
+  in
+  List.iter (fun n -> Switch.add_port sw ~node:n) [ 0; 1; 2 ];
+  let got = ref 0 in
+  Switch.connect_node sw ~node:2 (fun _ -> incr got);
+  List.iter (fun n -> Switch.connect_node sw ~node:n (fun _ -> ())) [ 0; 1 ];
+  Process.spawn sim (fun () ->
+      for _ = 1 to 4 do
+        Link.send (Switch.uplink sw ~node:0) (raw ~src:0 ~dst:2 1400);
+        Link.send (Switch.uplink sw ~node:1) (raw ~src:1 ~dst:2 1400)
+      done);
+  Sim.run sim;
+  check_bool "buffer exhaustion drops" true (Switch.egress_drops sw > 0);
+  check_int "delivered the rest" !got
+    (Switch.frames_forwarded sw - Switch.egress_drops sw);
+  check_int "ledger empty after drain" 0 (Switch.buffer_occupied sw)
+
+(* Congest node 2's egress from two ports: each ingress port's buffered
+   backlog must cross the high watermark (XOFF with real quanta), then the
+   drain must bring it under the low watermark (XON, quanta 0). *)
+let test_switch_xoff_xon_cycle () =
+  let sim = Sim.create () in
+  let sw =
+    Switch.create sim ~name:"sw" ~bits_per_s:1e9
+      ~buffer:(shared_buffer ~high:4000 ~low:1500 ())
+      ()
+  in
+  List.iter (fun n -> Switch.add_port sw ~node:n) [ 0; 1; 2 ];
+  let pauses = ref [] in
+  Switch.connect_node sw ~node:0 (fun f ->
+      match Mac_control.quanta_of f with
+      | Some q -> pauses := q :: !pauses
+      | None -> ());
+  Switch.connect_node sw ~node:1 (fun _ -> ());
+  Switch.connect_node sw ~node:2 (fun _ -> ());
+  Process.spawn sim (fun () ->
+      for _ = 1 to 8 do
+        Link.send (Switch.uplink sw ~node:0) (raw ~src:0 ~dst:2 1400);
+        Link.send (Switch.uplink sw ~node:1) (raw ~src:1 ~dst:2 1400)
+      done);
+  Sim.run sim;
+  let pauses = List.rev !pauses in
+  check_bool "XOFF reached the station" true
+    (List.exists (fun q -> q > 0) pauses);
+  check_bool "XON followed" true (List.exists (fun q -> q = 0) pauses);
+  (match List.rev pauses with
+  | 0 :: _ -> ()
+  | _ -> Alcotest.fail "the last PAUSE frame must be an XON");
+  check_bool "switch counted its PAUSE frames" true
+    (Switch.pause_frames_tx sw >= 2);
+  check_int "nothing dropped under PAUSE" 0
+    (Switch.egress_drops sw + Switch.ingress_drops sw)
+
+(* A station PAUSEs the switch: the gated egress must sit on its queue for
+   the full quanta span, then resume; an XON reopens it early. *)
+let test_switch_honors_station_pause () =
+  let sim = Sim.create () in
+  let sw = Switch.create sim ~name:"sw" ~bits_per_s:1e9 () in
+  List.iter (fun n -> Switch.add_port sw ~node:n) [ 0; 1 ];
+  let delivered_at = ref 0 in
+  Switch.connect_node sw ~node:1 (fun _ -> delivered_at := Sim.now sim);
+  Switch.connect_node sw ~node:0 (fun _ -> ());
+  let quanta = 200 in
+  let pause_sent_at = ref 0 in
+  Process.spawn sim (fun () ->
+      pause_sent_at := Sim.now sim;
+      Link.send
+        (Switch.uplink sw ~node:1)
+        (Mac_control.pause ~src:(Mac.of_node 1) ~quanta);
+      Link.send (Switch.uplink sw ~node:0) (raw ~src:0 ~dst:1 1000));
+  Sim.run sim;
+  let gate_span = Mac_control.span_of_quanta ~bits_per_s:1e9 quanta in
+  check_int "station pause counted" 1 (Switch.pause_frames_rx sw);
+  check_bool "delivery held for the pause span" true
+    (!delivered_at > !pause_sent_at + gate_span);
+  check_bool "egress pause time accounted" true
+    (Switch.egress_paused_ns sw > 0)
+
+let test_switch_xon_resumes_early () =
+  let sim = Sim.create () in
+  let sw = Switch.create sim ~name:"sw" ~bits_per_s:1e9 () in
+  List.iter (fun n -> Switch.add_port sw ~node:n) [ 0; 1 ];
+  let delivered_at = ref 0 in
+  Switch.connect_node sw ~node:1 (fun _ -> delivered_at := Sim.now sim);
+  Switch.connect_node sw ~node:0 (fun _ -> ());
+  (* XOFF for a huge span, XON shortly after: delivery must not wait for
+     the original quanta *)
+  Process.spawn sim (fun () ->
+      Link.send
+        (Switch.uplink sw ~node:1)
+        (Mac_control.pause ~src:(Mac.of_node 1)
+           ~quanta:Mac_control.max_quanta);
+      Link.send (Switch.uplink sw ~node:0) (raw ~src:0 ~dst:1 1000);
+      Process.delay (Time.us 30.);
+      Link.send (Switch.uplink sw ~node:1)
+        (Mac_control.xon ~src:(Mac.of_node 1)));
+  Sim.run sim;
+  let full_span =
+    Mac_control.span_of_quanta ~bits_per_s:1e9 Mac_control.max_quanta
+  in
+  check_bool "delivered" true (!delivered_at > 0);
+  check_bool "resumed well before the XOFF expiry" true
+    (!delivered_at < full_span);
+  check_int "both control frames seen" 2 (Switch.pause_frames_rx sw)
+
+let test_switch_protected_provisioning () =
+  let sim = Sim.create () in
+  let mk ?ingress_frames ?buffer () =
+    let sw =
+      Switch.create sim ~name:"sw" ~bits_per_s:1e9 ?ingress_frames ?buffer ()
+    in
+    List.iter (fun n -> Switch.add_port sw ~node:n) [ 0; 1; 2; 3; 4 ];
+    sw
+  in
+  check_bool "default buffer + bounded ingress is protected" true
+    (Switch.protected_provisioning
+       (mk ~ingress_frames:6 ~buffer:Switch.default_buffer ()));
+  check_bool "unbounded ingress is not protected" false
+    (Switch.protected_provisioning (mk ~buffer:Switch.default_buffer ()));
+  check_bool "tail-drop fabric is not protected" false
+    (Switch.protected_provisioning
+       (mk ~ingress_frames:6
+          ~buffer:{ Switch.default_buffer with pause = false }
+          ()));
+  check_bool "undersized pool is not protected" false
+    (Switch.protected_provisioning
+       (mk ~ingress_frames:6
+          ~buffer:{ Switch.default_buffer with total_bytes = 64 * 1024 }
+          ()))
+
+(* ------------------------------------------------------------------ *)
+(* NIC 802.3x *)
+
+let nic_pause_rig () =
+  let sim = Sim.create () in
+  let pci = Pci.create sim () in
+  let membus = Membus.create sim () in
+  let mk name =
+    Nic.create sim ~name ~mtu:1500 ~pci ~membus ~pause:Nic.pause_802_3x ()
+  in
+  let a = mk "nicA" and b = mk "nicB" in
+  let ab = Link.create sim ~name:"a->b" ~bits_per_s:1e9 () in
+  let ba = Link.create sim ~name:"b->a" ~bits_per_s:1e9 () in
+  Nic.attach_uplink a ab;
+  Nic.attach_uplink b ba;
+  Link.connect ab (Nic.rx_from_wire b);
+  Link.connect ba (Nic.rx_from_wire a);
+  (sim, a, b)
+
+let test_nic_pause_gates_tx () =
+  let sim, a, b = nic_pause_rig () in
+  let quanta = 100 in
+  let wire_at = ref (-1) in
+  Process.spawn sim (fun () ->
+      (* the PAUSE lands first (rx firmware takes 800 ns); the transmit
+         posted right after must hold until the quanta elapse *)
+      Nic.rx_from_wire a (Mac_control.pause ~src:(Mac.of_node 1) ~quanta);
+      Process.delay (Time.us 2.);
+      check_bool "tx paused after XOFF" true (Nic.is_tx_paused a);
+      Nic.post_tx_blocking a
+        { Nic.frame = raw ~src:0 ~dst:1 1000; needs_dma = true;
+          internal_copy = false;
+          on_complete = (fun () -> wire_at := Sim.now sim) });
+  Sim.run sim;
+  let span = Mac_control.span_of_quanta ~bits_per_s:1e9 quanta in
+  check_bool "frame eventually sent" true (!wire_at >= 0);
+  check_bool "held for the pause span" true (!wire_at >= span);
+  check_bool "pause time accounted" true (Nic.tx_paused_ns a >= span);
+  check_int "pause frame counted" 1 (Nic.pause_frames_rx a);
+  check_bool "resumed" true (not (Nic.is_tx_paused a));
+  check_int "receiver got exactly the data frame" 1 (Nic.rx_pending b)
+
+let test_nic_xon_resumes_early () =
+  let sim, a, _b = nic_pause_rig () in
+  let wire_at = ref (-1) in
+  Process.spawn sim (fun () ->
+      Nic.rx_from_wire a
+        (Mac_control.pause ~src:(Mac.of_node 1)
+           ~quanta:Mac_control.max_quanta);
+      Nic.post_tx_blocking a
+        { Nic.frame = raw ~src:0 ~dst:1 1000; needs_dma = true;
+          internal_copy = false;
+          on_complete = (fun () -> wire_at := Sim.now sim) });
+  Process.spawn sim (fun () ->
+      Process.delay (Time.us 20.);
+      Nic.rx_from_wire a (Mac_control.xon ~src:(Mac.of_node 1)));
+  Sim.run sim;
+  let full = Mac_control.span_of_quanta ~bits_per_s:1e9 Mac_control.max_quanta in
+  check_bool "sent" true (!wire_at >= 0);
+  check_bool "resumed on XON, not expiry" true (!wire_at < full);
+  check_bool "paused span recorded" true
+    (Nic.tx_paused_ns a >= Time.us 15. && Nic.tx_paused_ns a < full)
+
+let test_nic_without_pause_ignores_xoff () =
+  let sim, a, b = nic_rig () in
+  let wire_at = ref (-1) in
+  Process.spawn sim (fun () ->
+      Nic.rx_from_wire a
+        (Mac_control.pause ~src:(Mac.of_node 1)
+           ~quanta:Mac_control.max_quanta);
+      Nic.post_tx_blocking a
+        { Nic.frame = raw ~src:0 ~dst:1 1000; needs_dma = true;
+          internal_copy = false;
+          on_complete = (fun () -> wire_at := Sim.now sim) });
+  Sim.run sim;
+  let full = Mac_control.span_of_quanta ~bits_per_s:1e9 Mac_control.max_quanta in
+  check_bool "legacy MAC transmits immediately" true
+    (!wire_at >= 0 && !wire_at < full / 100);
+  check_int "no pause accounting" 0 (Nic.tx_paused_ns a);
+  check_bool "never paused" true (not (Nic.is_tx_paused a));
+  (* the control frame is consumed by the MAC, never surfaced to the host *)
+  check_int "control frame counted" 1 (Nic.pause_frames_rx a);
+  check_int "control frame not in the rx ring" 0 (Nic.rx_pending a);
+  check_int "data frame still delivered" 1 (Nic.rx_pending b)
+
 let qprops = List.map QCheck_alcotest.to_alcotest [ prop_fragmentation_counts ]
 
 let suite =
@@ -629,5 +996,20 @@ let suite =
     ("nic tx ring accounting", `Quick, test_nic_tx_ring_accounting);
     ("switch multicast group", `Quick, test_switch_multicast_group);
     ("link queue depth", `Quick, test_link_queue_depth_visible);
+    ("mac control roundtrip", `Quick, test_mac_control_roundtrip);
+    ("mac control frame shape", `Quick, test_mac_control_frame_shape);
+    ("switch counter regression", `Quick, test_switch_counter_regression);
+    ("switch ingress bound", `Quick, test_switch_ingress_bound);
+    ("switch egress tail-drop", `Quick, test_switch_egress_cap_tail_drop);
+    ("switch buffer ledger", `Quick, test_switch_buffer_ledger_balances);
+    ("switch buffer exhaustion", `Quick, test_switch_buffer_exhaustion_drops);
+    ("switch xoff/xon cycle", `Quick, test_switch_xoff_xon_cycle);
+    ("switch honors station pause", `Quick, test_switch_honors_station_pause);
+    ("switch xon resumes early", `Quick, test_switch_xon_resumes_early);
+    ("switch protected provisioning", `Quick,
+      test_switch_protected_provisioning);
+    ("nic pause gates tx", `Quick, test_nic_pause_gates_tx);
+    ("nic xon resumes early", `Quick, test_nic_xon_resumes_early);
+    ("nic legacy ignores xoff", `Quick, test_nic_without_pause_ignores_xoff);
   ]
   @ qprops

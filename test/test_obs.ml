@@ -452,6 +452,89 @@ let test_metrics_families_and_determinism () =
   let json = Obs.Metrics.to_json m in
   check_bool "metrics JSON valid" true (Json_check.ok json)
 
+(* The congestion families: recording the incast scenario must populate
+   [switch-buffer], [switch-drop] and [pause] with the right kinds and
+   units, and the export must stay byte-deterministic.  This is the golden
+   export for the 802.3x instrumentation — if a probe stops firing or a
+   family is renamed, this fails. *)
+let test_metrics_congestion_families () =
+  let m = Obs.Metrics.build (record "incast") in
+  let series = m.Obs.Metrics.series in
+  let with_prefix p =
+    List.filter
+      (fun s ->
+        String.length s.Obs.Metrics.s_name >= String.length p
+        && String.sub s.Obs.Metrics.s_name 0 (String.length p) = p)
+      series
+  in
+  let occupancy = with_prefix "switch-buffer/" in
+  check_bool "switch-buffer series present" true (occupancy <> []);
+  List.iter
+    (fun s ->
+      check_bool (s.Obs.Metrics.s_name ^ " is a gauge") true
+        (s.Obs.Metrics.s_kind = Obs.Metrics.Gauge);
+      Alcotest.(check string) "unit" "bytes" s.Obs.Metrics.s_unit;
+      List.iter
+        (fun (_, v) -> check_bool "occupancy >= 0" true (v >= 0.))
+        s.Obs.Metrics.s_points)
+    occupancy;
+  (* the shared pool visibly filled at some point *)
+  check_bool "occupancy rose above zero" true
+    (List.exists
+       (fun s -> List.exists (fun (_, v) -> v > 0.) s.Obs.Metrics.s_points)
+       occupancy);
+  let drops = with_prefix "switch-drop/" in
+  check_bool "switch-drop series present" true (drops <> []);
+  List.iter
+    (fun s ->
+      check_bool (s.Obs.Metrics.s_name ^ " is a counter") true
+        (s.Obs.Metrics.s_kind = Obs.Metrics.Counter);
+      Alcotest.(check string) "unit" "frames" s.Obs.Metrics.s_unit)
+    drops;
+  (* the tail-drop arm loses frames on both sides of the switch *)
+  let has_dir d =
+    List.exists (fun s -> Filename.check_suffix s.Obs.Metrics.s_name d) drops
+  in
+  check_bool "ingress drop series" true (has_dir ".ingress");
+  check_bool "egress drop series" true (has_dir ".egress");
+  let pause = with_prefix "pause/" in
+  check_bool "pause series present" true (pause <> []);
+  List.iter
+    (fun s ->
+      let is_state = Filename.check_suffix s.Obs.Metrics.s_name ".state" in
+      check_bool (s.Obs.Metrics.s_name ^ " kind") true
+        (s.Obs.Metrics.s_kind
+        = if is_state then Obs.Metrics.Gauge else Obs.Metrics.Counter);
+      Alcotest.(check string)
+        "unit"
+        (if is_state then "state" else "frames")
+        s.Obs.Metrics.s_unit;
+      if is_state then
+        List.iter
+          (fun (_, v) -> check_bool "state is 0/1" true (v = 0. || v = 1.))
+          s.Obs.Metrics.s_points)
+    pause;
+  (* XOFF and XON both happened: some NIC went paused and came back *)
+  check_bool "a transmit path was XOFFed" true
+    (List.exists
+       (fun s ->
+         Filename.check_suffix s.Obs.Metrics.s_name ".state"
+         && List.exists (fun (_, v) -> v = 1.) s.Obs.Metrics.s_points
+         && List.exists (fun (_, v) -> v = 0.) s.Obs.Metrics.s_points)
+       pause);
+  check_bool "PAUSE frames were counted on both ends" true
+    (List.exists
+       (fun s -> Filename.check_suffix s.Obs.Metrics.s_name ".tx")
+       pause
+    && List.exists
+         (fun s -> Filename.check_suffix s.Obs.Metrics.s_name ".rx")
+         pause);
+  let csv1 = Obs.Metrics.to_csv m in
+  let csv2 = Obs.Metrics.to_csv (Obs.Metrics.build (record "incast")) in
+  check_bool "congestion CSV deterministic" true (String.equal csv1 csv2);
+  check_bool "congestion metrics JSON valid" true
+    (Json_check.ok (Obs.Metrics.to_json m))
+
 let test_attribution_matches_fig7 () =
   let expected = Report.Figures.fig7 null_fmt in
   let rec_ = record "fig7" in
@@ -556,6 +639,7 @@ let suite =
     ("timeline JSON validity", `Quick, test_timeline_json_valid);
     ("timeline determinism", `Quick, test_timeline_deterministic);
     ("metrics families + determinism", `Quick, test_metrics_families_and_determinism);
+    ("metrics congestion families", `Slow, test_metrics_congestion_families);
     ("attribution reproduces fig7", `Quick, test_attribution_matches_fig7);
     ("host name attribution", `Quick, test_host_attribution);
     ("tab1 golden numbers", `Slow, test_tab1_golden_numbers);

@@ -124,6 +124,55 @@ let test_fig5_quick_invariants () =
         [ clic9000; clic1500; tcp9000; tcp1500 ]
   | _ -> Alcotest.fail "unexpected fig5 shape"
 
+(* The PR-5 acceptance contract: under the same N->1 stampede, the
+   tail-drop fabric must visibly collapse (frames lost at BOTH the bounded
+   uplinks and the egress FIFOs, recovered by retransmission), while the
+   802.3x fabric — provisioned per [Switch.protected_provisioning] — must
+   not lose a single frame at the switch.  Both must still deliver
+   everything: CLIC's reliability is the safety net, PAUSE is the
+   performance story. *)
+let test_incast_acceptance () =
+  let null_fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let rows, gather = Report.Figures.incast ~quick:true null_fmt in
+  let find prefix =
+    match
+      List.find_opt
+        (fun r ->
+          String.length r.Report.Figures.in_name >= String.length prefix
+          && String.sub r.Report.Figures.in_name 0 (String.length prefix)
+             = prefix)
+        rows
+    with
+    | Some r -> r
+    | None -> Alcotest.failf "no %S row in incast output" prefix
+  in
+  let base = find "tail-drop" and fc = find "802.3x" in
+  let open Report.Figures in
+  (* reliability: nothing is allowed to go missing end to end *)
+  check_int "baseline delivers everything" base.in_sent base.in_delivered;
+  check_int "pause delivers everything" fc.in_sent fc.in_delivered;
+  check_bool "workload is non-trivial" true (base.in_sent >= 40);
+  (* the collapse: the baseline loses frames on both sides of the switch *)
+  check_bool "baseline drops at bounded uplinks" true
+    (base.in_ingress_drops > 0);
+  check_bool "baseline drops at egress FIFOs" true (base.in_egress_drops > 0);
+  check_bool "baseline pays in retransmissions" true (base.in_retx > 0);
+  (* the protection: zero switch loss, and the signalling really fired *)
+  check_int "pause fabric loses nothing at ingress" 0 fc.in_ingress_drops;
+  check_int "pause fabric loses nothing at egress" 0 fc.in_egress_drops;
+  check_bool "switch generated PAUSE frames" true (fc.in_pause_tx > 0);
+  check_bool "senders actually spent time XOFFed" true
+    (fc.in_tx_paused_us > 0.);
+  check_bool "shared buffer was exercised" true (fc.in_peak_buffer > 0);
+  (* The gather sees the same contrast on the loss side.  (The quick
+     gather is light enough that the PAUSE arm may finish without any
+     XOFF, so only the zero-loss half of the contract is asserted.) *)
+  (match gather with
+  | [ (_, _, _, base_drops, _, _); (_, _, _, fc_drops, _, _) ] ->
+      check_bool "gather: tail-drop loses frames" true (base_drops > 0);
+      check_int "gather: pause fabric loses nothing" 0 fc_drops
+  | l -> Alcotest.failf "unexpected gather shape (%d rows)" (List.length l))
+
 let suite =
   [
     ("table alignment", `Quick, test_table_alignment);
@@ -134,4 +183,5 @@ let suite =
     ("paper reference", `Quick, test_paper_reference_values);
     ("unknown figure id", `Quick, test_figures_run_rejects_unknown);
     ("fig5 invariants", `Slow, test_fig5_quick_invariants);
+    ("incast acceptance", `Slow, test_incast_acceptance);
   ]
