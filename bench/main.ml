@@ -1,66 +1,109 @@
 (* The benchmark harness: regenerates every table and figure of the paper's
-   evaluation, and (optionally) times each regeneration with the Bechamel
-   test definitions.
+   evaluation, times each regeneration, and measures the simulation
+   engine's raw event throughput.
 
    Usage:
      dune exec bench/main.exe              # regenerate everything
      dune exec bench/main.exe -- fig5      # one experiment
      dune exec bench/main.exe -- --quick   # smaller sweeps
      dune exec bench/main.exe -- --csv DIR # also write fig4/5/6 as CSV
-     dune exec bench/main.exe -- --bechamel
-         # wall-clock timing of each experiment's simulation run (one
-         # Bechamel Test.make per table/figure; single-shot sampling, since
-         # each iteration is a complete deterministic simulation)
+     dune exec bench/main.exe -- --time
+         # wall-clock per experiment, min over 3 complete runs
+     dune exec bench/main.exe -- --bench [--out FILE]
+         # engine events/sec microbenchmarks plus wall clock and
+         # events/sec for every registered figure/scenario; --out writes
+         # the results as JSON (the committed BENCH_*.json files — see
+         # README "Benchmarks")
 
    Simulated results are deterministic: re-running prints identical
-   numbers. *)
+   numbers.  Wall-clock timings of course are not; they are reported as
+   the minimum over three in-process runs to damp scheduler noise. *)
 
 let fmt = Format.std_formatter
 let null_fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
-(* One Bechamel test per table/figure: each run executes the experiment's
-   full simulation (output suppressed).  The long sweeps (fig4-6) run in
-   quick mode under timing so the harness stays snappy. *)
+(* One timed closure per registered table/figure: each run executes the
+   experiment's full simulation (output suppressed).  The long sweeps
+   (fig4-6, tab1, fig1) run in quick mode under timing so the harness
+   stays snappy. *)
 let experiment_runs =
-  [
-    ("fig4", fun () -> ignore (Report.Figures.fig4 ~quick:true null_fmt));
-    ("fig5", fun () -> ignore (Report.Figures.fig5 ~quick:true null_fmt));
-    ("fig6", fun () -> ignore (Report.Figures.fig6 ~quick:true null_fmt));
-    ("fig7", fun () -> Report.Figures.run "fig7" null_fmt);
-    ("tab1", fun () -> ignore (Report.Figures.tab1 ~quick:true null_fmt));
-    ("fig1", fun () -> ignore (Report.Figures.fig1 ~quick:true null_fmt));
-    ("sec2", fun () -> Report.Figures.run "sec2" null_fmt);
-    ("sec3", fun () -> Report.Figures.run "sec3" null_fmt);
-    ("ext1", fun () -> Report.Figures.run "ext1" null_fmt);
-    ("ext2", fun () -> Report.Figures.run "ext2" null_fmt);
-    ("ext3", fun () -> Report.Figures.run "ext3" null_fmt);
-    ("ext4", fun () -> Report.Figures.run "ext4" null_fmt);
-    ("stress", fun () -> Report.Figures.run "stress" null_fmt);
-  ]
-
-let bechamel_tests =
   List.map
-    (fun (id, fn) -> Bechamel.Test.make ~name:id (Bechamel.Staged.stage fn))
-    experiment_runs
+    (fun id ->
+      let fn =
+        match id with
+        | "fig4" ->
+            fun () -> ignore (Report.Figures.fig4 ~quick:true null_fmt)
+        | "fig5" ->
+            fun () -> ignore (Report.Figures.fig5 ~quick:true null_fmt)
+        | "fig6" ->
+            fun () -> ignore (Report.Figures.fig6 ~quick:true null_fmt)
+        | "tab1" ->
+            fun () -> ignore (Report.Figures.tab1 ~quick:true null_fmt)
+        | "fig1" ->
+            fun () -> ignore (Report.Figures.fig1 ~quick:true null_fmt)
+        | other -> fun () -> Report.Figures.run other null_fmt
+      in
+      (id, fn))
+    Report.Figures.all_ids
 
-(* Bechamel's OLS analysis needs many iterations; a complete deterministic
-   simulation per iteration makes single-shot wall-clock sampling the
-   sensible measurement, so we time each test's closure directly (the
-   Test.make definitions above stay usable with the full Bechamel
-   driver). *)
-let run_bechamel () =
-  assert (List.length bechamel_tests = List.length experiment_runs);
+(* Wall-clock per experiment.  A single deterministic simulation per
+   iteration makes direct min-of-N sampling the honest measurement; the
+   previous harness labelled one unrepeated sample a "bechamel" result,
+   which overstated what was measured. *)
+let run_time ?(runs = 3) () =
   List.iter
     (fun (name, fn) ->
-      let t0 = Unix.gettimeofday () in
-      fn ();
-      let t1 = Unix.gettimeofday () in
-      Format.printf "bechamel %-10s %8.2f s/run@." name (t1 -. t0))
+      let best = ref infinity in
+      for _ = 1 to runs do
+        let t0 = Unix.gettimeofday () in
+        fn ();
+        let w = Unix.gettimeofday () -. t0 in
+        if w < !best then best := w
+      done;
+      Format.printf "time %-10s %8.3f s/run  (min of %d)@." name !best runs)
     experiment_runs
 
-let csv_dir args =
+(* Every figure/scenario as an events/sec benchmark: the engine keeps a
+   process-wide fired-event counter precisely so a scenario that builds
+   its simulators internally can still report throughput. *)
+let scenario_results ~runs =
+  List.map
+    (fun (id, fn) ->
+      let f () =
+        let e0 = Engine.Sim.global_events_executed () in
+        fn ();
+        Engine.Sim.global_events_executed () - e0
+      in
+      let events, wall_s = Bench_engine.time_min ~runs f in
+      { Bench_engine.bench_id = "scenario/" ^ id; events; wall_s; nodes = 0 })
+    experiment_runs
+
+let json_of_results results =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"bench_id\": %S, \"events_per_sec\": %.1f, \"wall_s\": \
+            %.6f, \"nodes\": %d}"
+           r.Bench_engine.bench_id
+           (Bench_engine.events_per_sec r)
+           r.Bench_engine.wall_s r.Bench_engine.nodes))
+    results;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let print_result r =
+  Printf.printf "%-24s %12.0f ev/s  %8.4f s  (%d events)\n"
+    r.Bench_engine.bench_id
+    (Bench_engine.events_per_sec r)
+    r.Bench_engine.wall_s r.Bench_engine.events
+
+let flag_value name args =
   let rec go = function
-    | "--csv" :: dir :: _ -> Some dir
+    | f :: v :: _ when f = name -> Some v
     | _ :: rest -> go rest
     | [] -> None
   in
@@ -76,10 +119,31 @@ let write_csv dir name series =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  let csv = csv_dir args in
+  if List.mem "--bench" args then begin
+    (* min-of-3 even in quick mode: CI compares these numbers against the
+       committed baseline, so damping scheduler noise matters more than
+       the two extra sub-second runs. *)
+    let runs = 3 in
+    let results = Bench_engine.run ~runs ~quick () @ scenario_results ~runs in
+    List.iter print_result results;
+    (match flag_value "--out" args with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (json_of_results results);
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+    exit 0
+  end;
+  if List.mem "--time" args || List.mem "--bechamel" args then begin
+    run_time ();
+    exit 0
+  end;
+  let csv = flag_value "--csv" args in
   let ids =
     let rec strip = function
       | "--csv" :: _ :: rest -> strip rest
+      | "--out" :: _ :: rest -> strip rest
       | a :: rest when String.length a > 2 && String.sub a 0 2 = "--" ->
           strip rest
       | a :: rest -> a :: strip rest
@@ -87,21 +151,29 @@ let () =
     in
     strip args
   in
-  if List.mem "--bechamel" args then run_bechamel ()
-  else begin
-    let to_run = if ids = [] then Report.Figures.all_ids else ids in
-    let maybe_csv name series =
-      match csv with Some dir -> write_csv dir name series | None -> ()
-    in
-    List.iter
-      (fun id ->
-        match id with
-        | "fig4" -> maybe_csv "fig4" (Report.Figures.fig4 ~quick fmt)
-        | "fig5" -> maybe_csv "fig5" (Report.Figures.fig5 ~quick fmt)
-        | "fig6" -> maybe_csv "fig6" (Report.Figures.fig6 ~quick fmt)
-        | "tab1" -> ignore (Report.Figures.tab1 ~quick fmt)
-        | "fig1" -> ignore (Report.Figures.fig1 ~quick fmt)
-        | other -> Report.Figures.run other fmt)
-      to_run;
-    Format.fprintf fmt "@."
-  end
+  (match
+     List.filter (fun id -> not (List.mem id Report.Figures.all_ids)) ids
+   with
+  | [] -> ()
+  | unknown ->
+      List.iter
+        (fun id -> Printf.eprintf "unknown experiment id %S\n" id)
+        unknown;
+      Printf.eprintf "known ids: %s\n"
+        (String.concat " " Report.Figures.all_ids);
+      exit 1);
+  let to_run = if ids = [] then Report.Figures.all_ids else ids in
+  let maybe_csv name series =
+    match csv with Some dir -> write_csv dir name series | None -> ()
+  in
+  List.iter
+    (fun id ->
+      match id with
+      | "fig4" -> maybe_csv "fig4" (Report.Figures.fig4 ~quick fmt)
+      | "fig5" -> maybe_csv "fig5" (Report.Figures.fig5 ~quick fmt)
+      | "fig6" -> maybe_csv "fig6" (Report.Figures.fig6 ~quick fmt)
+      | "tab1" -> ignore (Report.Figures.tab1 ~quick fmt)
+      | "fig1" -> ignore (Report.Figures.fig1 ~quick fmt)
+      | other -> Report.Figures.run other fmt)
+    to_run;
+  Format.fprintf fmt "@."

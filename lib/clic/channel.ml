@@ -111,7 +111,7 @@ let cancel_timer slot =
 (* Feed the invariant monitors (lib/check); all no-ops when no probe sink
    is installed. *)
 let probe_window t =
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit
       (Probe.Window
          {
@@ -123,7 +123,7 @@ let probe_window t =
          })
 
 let probe_deliver t seq =
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit
       (Probe.Chan_deliver { chan = t.uid; node = t.self; peer = t.peer; seq })
 
@@ -157,7 +157,7 @@ let note_rtt t sample =
 let rec arm_rto t =
   cancel_timer t.rto_timer;
   let span = effective_rto t in
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit
       (Probe.Rto_armed
          {
@@ -181,7 +181,7 @@ let rec arm_rto t =
    finds [t.dead] set when its acquire returns. *)
 and teardown t =
   if not t.dead then begin
-    if Probe.enabled () then
+    if !Probe.on then
       Probe.emit
         (Probe.Chan_dead { chan = t.uid; node = t.self; peer = t.peer });
     t.dead <- true;
@@ -198,12 +198,10 @@ and teardown t =
       t.withheld <- 0
     end;
     for _ = 1 to Semaphore.waiters t.window do
-      ignore
-        (Sim.schedule t.sim ~after:0 (fun () -> Semaphore.release t.window))
+      Sim.post t.sim ~after:0 (fun () -> Semaphore.release t.window)
     done;
-    ignore
-      (Sim.schedule t.sim ~after:0 (fun () ->
-           Semaphore.release ~n:t.params.Params.tx_window t.window));
+    Sim.post t.sim ~after:0 (fun () ->
+        Semaphore.release ~n:t.params.Params.tx_window t.window);
     t.on_death ()
   end
 
@@ -295,7 +293,7 @@ let apply_advertised t advertised =
   done
 
 let rx_ack t ?window cum_seq =
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit
       (Probe.Ack_rx { chan = t.uid; node = t.self; peer = t.peer; cum_seq });
   if t.dead then ()
@@ -321,7 +319,7 @@ let rx_ack t ?window cum_seq =
     done;
     t.snd_una <- t.snd_una + freed;
     Semaphore.release ~n:freed t.window;
-    if Probe.enabled () then
+    if !Probe.on then
       Probe.emit
         (Probe.Snd_una
            { chan = t.uid; node = t.self; peer = t.peer; snd_una = t.snd_una });
@@ -349,7 +347,7 @@ let schedule_ack_now t =
   cancel_timer t.ack_timer;
   t.ack_timer <- None;
   let cum = t.rcv_nxt in
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit
       (Probe.Ack_tx { chan = t.uid; node = t.self; peer = t.peer; cum_seq = cum });
   Process.spawn t.sim (fun () -> t.send_ack ~cum_seq:cum)

@@ -80,7 +80,7 @@ let traced t ~track label f =
     | Some tr -> fun () -> Trace.run tr label f
     | None -> f
   in
-  if Probe.enabled () then begin
+  if !Probe.on then begin
     let start = Sim.now (sim t) in
     let v = f () in
     Probe.emit
@@ -317,7 +317,7 @@ let rec get_channel t peer =
 
 and deliver_message t msg =
   t.messages_delivered <- t.messages_delivered + 1;
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit
       (Probe.Msg_deliver
          {
@@ -586,7 +586,7 @@ let send_message t ~dst ~port ?(sync = false) ?(sync_failed = fun _ -> ())
   else begin
     let msg_id = t.next_msg_id in
     t.next_msg_id <- t.next_msg_id + 1;
-    if Probe.enabled () then
+    if !Probe.on then
       Probe.emit
         (Probe.Msg_send
            { node = node t; dst; port; msg_id; bytes; epoch = t.epoch });
@@ -662,7 +662,7 @@ let recv_poll t ~port =
         Cpu.copy (cpu t) ~membus:(membus t) msg.msg_uncopied;
         msg.msg_uncopied <- 0
       end;
-      if Probe.enabled () then
+      if !Probe.on then
         Probe.emit
           (Probe.Msg_recv
              {

@@ -36,3 +36,4 @@ let node t i = t.nodes.(i)
 let size t = Array.length t.nodes
 let run t = Sim.run t.sim
 let run_for t span = Sim.run_until t.sim ~limit:(Time.add (Sim.now t.sim) span)
+let run_n t n = Sim.run_n t.sim n

@@ -23,3 +23,9 @@ val run : t -> unit
 (** Runs the simulation to quiescence. *)
 
 val run_for : t -> Time.span -> unit
+
+val run_n : t -> int -> int
+(** Drains at most [n] events in one batch and returns how many fired;
+    see {!Engine.Sim.run_n}.  Lets a driver interleave cluster simulation
+    with external work (progress reporting, bounded-step debugging)
+    without per-event call overhead. *)

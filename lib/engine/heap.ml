@@ -1,16 +1,32 @@
 (* Entries carry an explicit monotone insertion stamp so that FIFO
    tie-breaking among cmp-equal elements is guaranteed by the comparator
-   itself, not by the accident of sift order. *)
-type 'a entry = { item : 'a; stamp : int }
+   itself, not by the accident of sift order.
+
+   Entries are mutable and pooled: [pop] clears the popped entry back to
+   the heap's dummy and parks it in the vacated tail slot, and [push]
+   reuses whatever record sits there.  In a steady push/pop regime the
+   heap therefore allocates no entry records — and, as a corollary, a
+   popped element is never retained by the heap's array (the old
+   implementation leaked the final element after the pop that emptied the
+   heap). *)
+type 'a entry = { mutable item : 'a; mutable stamp : int }
 
 type 'a t = {
   cmp : 'a -> 'a -> int;
+  dummy : 'a entry; (* placeholder filling slots >= size; item is junk *)
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_stamp : int;
 }
 
-let create ~cmp = { cmp; data = [||]; size = 0; next_stamp = 0 }
+(* The dummy's [item] is an unboxed-int stand-in that is never read or
+   compared.  The cast is safe: an ['a entry] record always has a uniform
+   (boxed) representation because of its [int] stamp field, so no
+   float-array specialization can misinterpret the immediate. *)
+let create ~cmp =
+  { cmp; dummy = { item = Obj.magic 0; stamp = -1 }; data = [||]; size = 0;
+    next_stamp = 0 }
+
 let length h = h.size
 let is_empty h = h.size = 0
 
@@ -18,11 +34,11 @@ let entry_cmp h a b =
   let c = h.cmp a.item b.item in
   if c <> 0 then c else compare a.stamp b.stamp
 
-let grow h x =
+let grow h =
   let cap = Array.length h.data in
   if h.size >= cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let ndata = Array.make ncap x in
+    let ndata = Array.make ncap h.dummy in
     Array.blit h.data 0 ndata 0 h.size;
     h.data <- ndata
   end
@@ -55,9 +71,20 @@ let rec sift_down h i =
   end
 
 let push h x =
-  let e = { item = x; stamp = h.next_stamp } in
+  grow h;
+  (* Reuse the parked record at the insertion slot when one is there
+     (left behind by an earlier pop); the dummy itself is shared across
+     slots and must not be mutated. *)
+  let slot = h.data.(h.size) in
+  let e =
+    if slot != h.dummy then begin
+      slot.item <- x;
+      slot.stamp <- h.next_stamp;
+      slot
+    end
+    else { item = x; stamp = h.next_stamp }
+  in
   h.next_stamp <- h.next_stamp + 1;
-  grow h e;
   h.data.(h.size) <- e;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
@@ -68,17 +95,28 @@ let pop_entry h =
   if h.size = 0 then None
   else begin
     let top = h.data.(0) in
+    let x = top.item in
+    let stamp = top.stamp in
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
+      (* Clear and park the popped record for reuse by the next push.
+         Unconditional: the pop that empties the heap must also drop its
+         reference to the element (the old guard here leaked it). *)
+      top.item <- h.dummy.item;
+      top.stamp <- -1;
+      h.data.(h.size) <- top;
       sift_down h 0
+    end
+    else begin
+      top.item <- h.dummy.item;
+      top.stamp <- -1;
+      h.data.(0) <- top
     end;
-    (* Avoid retaining a reference to the popped element. *)
-    if h.size > 0 then h.data.(h.size) <- h.data.(0);
-    Some top
+    Some (x, stamp)
   end
 
-let pop h = match pop_entry h with None -> None | Some e -> Some e.item
+let pop h = match pop_entry h with None -> None | Some (x, _) -> Some x
 
 let pop_exn h =
   match pop h with
@@ -94,7 +132,10 @@ let to_sorted_list h =
   let copy =
     {
       cmp = h.cmp;
-      data = Array.sub h.data 0 h.size;
+      dummy = h.dummy;
+      data = Array.init h.size (fun i ->
+          let e = h.data.(i) in
+          { item = e.item; stamp = e.stamp });
       size = h.size;
       next_stamp = h.next_stamp;
     }

@@ -16,7 +16,7 @@ let is_filled t =
 let fill t v =
   (* Emitted before the single-fill check so the invariant monitor sees the
      offending second fill as well as the raise. *)
-  if Probe.enabled () then Probe.emit (Probe.Ivar_fill { id = t.id });
+  if !Probe.on then Probe.emit (Probe.Ivar_fill { id = t.id });
   match t.state with
   | Filled _ -> invalid_arg "Ivar.fill: already filled"
   | Empty waiters ->

@@ -99,12 +99,22 @@ type event =
 
 let sink : (event -> unit) option ref = ref None
 
-let enabled () = !sink <> None
+(* Mirror of [sink <> None], kept as a plain bool so every emit site in the
+   hot path pays a single load-and-test — no option dereference, no
+   polymorphic comparison — when nothing is listening (the common case). *)
+let on = ref false
+
+let enabled () = !on
 
 let emit ev = match !sink with Some f -> f ev | None -> ()
 
-let install f = sink := Some f
-let uninstall () = sink := None
+let install f =
+  sink := Some f;
+  on := true
+
+let uninstall () =
+  sink := None;
+  on := false
 
 let owner_name = function
   | App -> "app"

@@ -146,7 +146,15 @@ type event =
               violation *)
     }
 
+val on : bool ref
+(** True iff a sink is installed.  Hot emit sites read this directly —
+    [if !Probe.on then Probe.emit ...] — so an uninstrumented run pays one
+    load-and-test per site instead of an option dereference.  Treat as
+    read-only: it is maintained by {!install}/{!uninstall}. *)
+
 val enabled : unit -> bool
+(** [!on], for call sites off the hot path. *)
+
 val emit : event -> unit
 
 val install : (event -> unit) -> unit

@@ -28,7 +28,7 @@ let spawn sim ?(delay = 0) f =
             | Delay d ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    ignore (Sim.schedule sim ~after:d (fun () -> continue k ())))
+                    Sim.post sim ~after:d (fun () -> continue k ()))
             | Await register ->
                 Some
                   (fun (k : (a, unit) continuation) ->
@@ -43,9 +43,9 @@ let spawn sim ?(delay = 0) f =
             | Fork g ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    ignore (Sim.schedule sim ~after:0 (fun () -> exec g));
+                    Sim.post sim ~after:0 (fun () -> exec g);
                     continue k ())
             | _ -> None);
       }
   in
-  ignore (Sim.schedule sim ~after:delay (fun () -> exec f))
+  Sim.post sim ~after:delay (fun () -> exec f)

@@ -45,7 +45,7 @@ let acquire ?(priority = `Low) t =
    add noise. *)
 let probe_span t started =
   let finish = Sim.now t.sim in
-  if finish > started && Probe.enabled () then
+  if finish > started && !Probe.on then
     Probe.emit
       (Probe.Span
          { host = t.name; track = Probe.Busy; label = "busy"; start = started;

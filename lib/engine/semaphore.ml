@@ -7,7 +7,7 @@ let create n =
   if n < 0 then invalid_arg "Semaphore.create: negative permits";
   let id = !next_id in
   incr next_id;
-  if Probe.enabled () then Probe.emit (Probe.Sem_create { id; permits = n });
+  if !Probe.on then Probe.emit (Probe.Sem_create { id; permits = n });
   { id; permits = n; queue = Queue.create () }
 
 let rec drain t =
@@ -15,7 +15,7 @@ let rec drain t =
   | Some w when w.need <= t.permits ->
       ignore (Queue.pop t.queue);
       t.permits <- t.permits - w.need;
-      if Probe.enabled () then
+      if !Probe.on then
         Probe.emit
           (Probe.Sem_acquire { id = t.id; n = w.need; permits = t.permits });
       w.resume ();
@@ -25,14 +25,14 @@ let rec drain t =
 let release ?(n = 1) t =
   if n < 0 then invalid_arg "Semaphore.release: negative count";
   t.permits <- t.permits + n;
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit (Probe.Sem_release { id = t.id; n; permits = t.permits });
   drain t
 
 let try_acquire ?(n = 1) t =
   if Queue.is_empty t.queue && t.permits >= n then begin
     t.permits <- t.permits - n;
-    if Probe.enabled () then
+    if !Probe.on then
       Probe.emit (Probe.Sem_acquire { id = t.id; n; permits = t.permits });
     true
   end

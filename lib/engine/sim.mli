@@ -4,6 +4,13 @@
     (thunks).  Events scheduled for the same instant fire in scheduling
     order (FIFO), which makes runs fully deterministic.
 
+    Two scheduling tiers exist.  {!post} is the fast path: it returns no
+    handle, so the engine pools and reuses its event records — a steady
+    stream of posts allocates nothing.  {!schedule} returns a {!handle}
+    for later {!cancel}; because callers routinely retain handles past
+    the event's firing, those records are freshly allocated and never
+    recycled.  Prefer [post] anywhere the event is never cancelled.
+
     Higher-level blocking-style code is built on top of this in
     {!Process}. *)
 
@@ -39,8 +46,20 @@ val schedule : t -> after:Time.span -> (unit -> unit) -> handle
 val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
 (** Absolute-time variant; [at] must not be in the past. *)
 
+val post : t -> after:Time.span -> (unit -> unit) -> unit
+(** Like {!schedule} but returns no handle, which lets the engine recycle
+    the event record through an internal free list: a steady stream of
+    posts reaches zero allocations per event.  Use for fire-and-forget
+    events (frame arrivals, link updates, process wakeups); anything that
+    might need {!cancel} must use {!schedule}. *)
+
+val post_at : t -> at:Time.t -> (unit -> unit) -> unit
+(** Absolute-time variant of {!post}; [at] must not be in the past. *)
+
 val cancel : handle -> unit
-(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+(** Cancelling an already-fired or already-cancelled event is a no-op.
+    Takes effect immediately in {!pending}; the cancelled record drains
+    from the queue lazily. *)
 
 val is_cancelled : handle -> bool
 
@@ -53,11 +72,26 @@ val run_until : t -> limit:Time.t -> unit
 (** Runs events with timestamp [<= limit]; the clock is advanced to [limit]
     if the queue drains or only later events remain. *)
 
+val run_n : t -> int -> int
+(** [run_n sim n] runs at most [n] events and returns how many actually
+    fired (less than [n] only if the queue drained).  The batched-drain
+    entry point: callers interleaving simulation with external work (the
+    benchmark driver, future incremental UIs) drain bounded bursts
+    without paying per-event loop-control overhead at the call site.
+    @raise Invalid_argument on a negative count. *)
+
 val step : t -> bool
 (** Runs a single event.  Returns [false] if the queue was empty. *)
 
 val pending : t -> int
-(** Number of scheduled (non-cancelled) events, for tests/diagnostics. *)
+(** Number of scheduled (non-cancelled) events, for tests/diagnostics.
+    Cancelled events leave the count at {!cancel} time, not when their
+    record drains from the queue. *)
 
 val events_executed : t -> int
 (** Total count of events fired since creation. *)
+
+val global_events_executed : unit -> int
+(** Process-wide total of events fired across {e all} simulators ever
+    created.  Scenario benchmarks use the delta across a run to compute
+    events/sec, since scenarios construct their simulators internally. *)

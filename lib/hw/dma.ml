@@ -12,7 +12,7 @@ let transfer ~pci ~membus bytes =
     Bus.transfer pci bytes;
     Ivar.read mem_done;
     let finish = Sim.now (Bus.sim pci) in
-    if finish > start && Probe.enabled () then
+    if finish > start && !Probe.on then
       Probe.emit
         (Probe.Span
            { host = Bus.name pci; track = Probe.Dma; label = "dma";

@@ -70,7 +70,7 @@ let deliver t frame =
                 else frame
               in
               if delay = 0 then rx frame
-              else ignore (Sim.schedule t.sim ~after:delay (fun () -> rx frame)))
+              else Sim.post t.sim ~after:delay (fun () -> rx frame))
             copies
       | None -> t.frames_dropped <- t.frames_dropped + 1)
 
@@ -78,7 +78,7 @@ let deliver t frame =
    the wire for its serialization time, then propagates independently (so
    back-to-back frames pipeline across the propagation delay). *)
 let probe_depth t =
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit
       (Probe.Queue_depth { queue = t.name; depth = Queue.length t.queue })
 
@@ -112,22 +112,19 @@ let rec pump t =
       notify_room t;
       (* The wire-occupancy span is known up front: serialization is not
          preemptible, so it can be reported at schedule time. *)
-      if ser > 0 && Probe.enabled () then begin
+      if ser > 0 && !Probe.on then begin
         let start = Sim.now t.sim in
         Probe.emit
           (Probe.Span
              { host = t.name; track = Probe.Link; label = "frame";
                start; finish = start + ser })
       end;
-      ignore
-        (Sim.schedule t.sim ~after:ser (fun () ->
-             ignore
-               (Sim.schedule t.sim ~after:t.propagation (fun () ->
-                    deliver t frame));
-             (* Serialization done: the sender's buffer for this frame is
-                free (a switch releases its shared-pool bytes here). *)
-             (match t.on_tx_complete with Some f -> f frame | None -> ());
-             pump t))
+      Sim.post t.sim ~after:ser (fun () ->
+          Sim.post t.sim ~after:t.propagation (fun () -> deliver t frame);
+          (* Serialization done: the sender's buffer for this frame is
+             free (a switch releases its shared-pool bytes here). *)
+          (match t.on_tx_complete with Some f -> f frame | None -> ());
+          pump t)
 
 let send t frame =
   let full =

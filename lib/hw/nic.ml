@@ -66,6 +66,7 @@ type t = {
   mutable irq_handler : (unit -> unit) option;
   mutable masked : bool;
   mutable quiet_timer : Sim.handle option;
+  mutable quiet_deadline : Time.t;
   mutable abs_timer : Sim.handle option;
   mutable rx_admission : (bytes:int -> bool) option;
   mutable down : bool;
@@ -91,7 +92,7 @@ type t = {
 let cancel_timer = function Some h -> Sim.cancel h | None -> ()
 
 let probe_ring_depth t =
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit
       (Probe.Queue_depth
          { queue = t.name ^ ":rx-ring"; depth = Queue.length t.pending })
@@ -111,7 +112,7 @@ let assert_irq t =
   t.abs_timer <- None;
   t.masked <- true;
   t.interrupts_raised <- t.interrupts_raised + 1;
-  if Probe.enabled () then Probe.emit (Probe.Irq { host = t.name });
+  if !Probe.on then Probe.emit (Probe.Irq { host = t.name });
   match t.irq_handler with
   | Some handler -> handler ()
   | None -> ()
@@ -120,14 +121,32 @@ let assert_irq t =
 let timer_fired t =
   if (not t.masked) && not (Queue.is_empty t.pending) then assert_irq t
 
+(* The quiet timer is lazy: each frame only stores the new deadline
+   ([now + quiet] — monotone, since the clock never goes backwards) and a
+   single in-flight event re-arms itself until it fires at the stored
+   deadline.  A burst of N frames costs N field writes plus O(1) heap
+   operations instead of N cancel+schedule pairs, and the IRQ still
+   asserts at exactly the instant the eager implementation chose: the
+   in-flight event can only be scheduled at or before the deadline. *)
+let rec quiet_fired t () =
+  t.quiet_timer <- None;
+  if not t.down then begin
+    let now = Sim.now t.sim in
+    if now >= t.quiet_deadline then timer_fired t
+    else
+      t.quiet_timer <-
+        Some
+          (Sim.schedule t.sim ~after:(t.quiet_deadline - now) (quiet_fired t))
+  end
+
 let evaluate_coalescing t =
   if not t.masked then begin
     if Queue.length t.pending >= t.coalesce.max_frames then assert_irq t
     else begin
-      cancel_timer t.quiet_timer;
-      t.quiet_timer <-
-        Some (Sim.schedule t.sim ~after:t.coalesce.quiet (fun () ->
-                  timer_fired t));
+      t.quiet_deadline <- Sim.now t.sim + t.coalesce.quiet;
+      if t.quiet_timer = None then
+        t.quiet_timer <-
+          Some (Sim.schedule t.sim ~after:t.coalesce.quiet (quiet_fired t));
       if t.abs_timer = None then
         t.abs_timer <-
           Some (Sim.schedule t.sim ~after:t.coalesce.absolute (fun () ->
@@ -148,7 +167,7 @@ let pause_resume t =
     t.pause_resume <- None;
     let now = Sim.now t.sim in
     t.tx_paused_acc <- t.tx_paused_acc + (now - t.pause_started);
-    if Probe.enabled () then begin
+    if !Probe.on then begin
       Probe.emit (Probe.Pause_state { host = t.name; paused = false });
       Probe.emit
         (Probe.Span
@@ -175,7 +194,7 @@ let pause_enter t ~quanta =
     if not t.tx_paused then begin
       t.tx_paused <- true;
       t.pause_started <- Sim.now t.sim;
-      if Probe.enabled () then
+      if !Probe.on then
         Probe.emit (Probe.Pause_state { host = t.name; paused = true })
     end;
     let span = Mac_control.span_of_quanta ~bits_per_s:(link_rate t) quanta in
@@ -185,7 +204,7 @@ let pause_enter t ~quanta =
 
 let on_pause_frame t ~quanta =
   t.pause_frames_rx <- t.pause_frames_rx + 1;
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit (Probe.Pause_frame { host = t.name; sent = false; quanta });
   match t.pause with
   | Some p when p.honor -> pause_enter t ~quanta
@@ -198,7 +217,7 @@ let send_pause_frame t ~quanta =
   match t.uplink with
   | Some link when not t.down ->
       t.pause_frames_tx <- t.pause_frames_tx + 1;
-      if Probe.enabled () then
+      if !Probe.on then
         Probe.emit (Probe.Pause_frame { host = t.name; sent = true; quanta });
       Link.send link (Mac_control.pause ~src:Mac.flow_control ~quanta)
   | _ -> ()
@@ -281,7 +300,7 @@ let tx_phy_pump t () =
                   else Link.wait_room link
                 done;
                 if not t.down then begin
-                  if Probe.enabled () then
+                  if !Probe.on then
                     Probe.emit (Probe.Tx_wire { host = t.name });
                   Link.send link f
                 end)
@@ -362,7 +381,7 @@ let rx_pump t () =
           else begin
           let rx_id = !next_rx_id in
           incr next_rx_id;
-          if Probe.enabled () then
+          if !Probe.on then
             Probe.emit
               (Probe.Obj_alloc
                  {
@@ -409,7 +428,7 @@ let power_off t =
        the lifecycle sanitizer sees the crash as a release, not a leak. *)
     Queue.iter
       (fun d ->
-        if Probe.enabled () then
+        if !Probe.on then
           Probe.emit
             (Probe.Obj_free
                { kind = Probe.Rx_buffer; id = d.rx_id; where = "nic:power-off" }))
@@ -465,6 +484,7 @@ let create sim ~name ~mtu ~pci ~membus ?(tx_ring = 64) ?(rx_ring = 128)
       irq_handler = None;
       masked = false;
       quiet_timer = None;
+      quiet_deadline = 0;
       abs_timer = None;
       rx_admission = None;
       down = false;

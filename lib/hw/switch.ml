@@ -128,7 +128,7 @@ let protected_provisioning t =
 
 let probe_buffer t port delta =
   match t.buffer with
-  | Some b when Probe.enabled () ->
+  | Some b when !Probe.on ->
       Probe.emit
         (Probe.Switch_buffer
            {
@@ -141,14 +141,14 @@ let probe_buffer t port delta =
   | _ -> ()
 
 let probe_drop t port ~ingress =
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit
       (Probe.Switch_drop
          { switch = t.name; port; ingress; protected = protected_provisioning t })
 
 let probe_fifo t p =
   match t.buffer with
-  | Some _ when Probe.enabled () ->
+  | Some _ when !Probe.on ->
       Probe.emit
         (Probe.Queue_depth
            {
@@ -158,7 +158,7 @@ let probe_fifo t p =
   | _ -> ()
 
 let probe_pause_frame t p ~sent ~quanta =
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit
       (Probe.Pause_frame
          {
@@ -352,9 +352,8 @@ let on_ingress t p frame =
          serialization already accounts for that) and admitted to the
          buffer now; lookup plus internal transfer take the forwarding
          latency before it joins the egress queue. *)
-      ignore
-        (Sim.schedule t.sim ~after:t.forward_latency (fun () ->
-             forward t ~ingress:p.node frame))
+      Sim.post t.sim ~after:t.forward_latency (fun () ->
+          forward t ~ingress:p.node frame)
 
 let add_port t ~node =
   if find_port t node <> None then

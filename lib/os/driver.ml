@@ -71,7 +71,7 @@ let traced t ~track label f =
     | Some tr -> fun () -> Trace.run tr label f
     | None -> f
   in
-  if Probe.enabled () then begin
+  if !Probe.on then begin
     let start = Sim.now t.sim in
     let v = f () in
     Probe.emit
@@ -87,7 +87,7 @@ let deliver_one t desc =
   (match t.rx_upcall with Some f -> f desc | None -> ());
   (* The upcall has consumed the ring buffer's contents; its slot was
      already recycled by [Nic.take_rx], so the buffer's life ends here. *)
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit
       (Probe.Obj_free
          { kind = Probe.Rx_buffer; id = desc.Nic.rx_id; where = "driver:rx-upcall" })
@@ -97,7 +97,7 @@ let deliver_one t desc =
    lifecycle sanitizer balances. *)
 let discard_one t desc =
   t.dead_discards <- t.dead_discards + 1;
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit
       (Probe.Obj_free
          {
@@ -107,13 +107,13 @@ let discard_one t desc =
          })
 
 let transfer_rx desc owner ~where =
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit
       (Probe.Obj_transfer
          { kind = Probe.Rx_buffer; id = desc.Nic.rx_id; owner; where })
 
 let probe_poll_mode t polling =
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit (Probe.Rx_poll_mode { host = Nic.name t.nic; polling })
 
 let exit_polling t =
@@ -146,7 +146,7 @@ let rec poll_loop t () =
                 (t.params.isr_per_packet + rx_packet_cost t.params desc);
               deliver_one t desc)
             descs);
-    if Probe.enabled () then
+    if !Probe.on then
       Probe.emit
         (Probe.Poll_pass
            { host = Nic.name t.nic; processed = n;

@@ -41,7 +41,7 @@ let level t : level =
 let level_int = function `Normal -> 0 | `Soft -> 1 | `Hard -> 2
 
 let probe_pressure t before =
-  if Probe.enabled () then begin
+  if !Probe.on then begin
     let after = level t in
     if after <> before then
       Probe.emit
@@ -58,7 +58,7 @@ let try_alloc t n =
     let before = level t in
     t.used <- t.used + n;
     if t.used > t.high_water then t.high_water <- t.used;
-    if Probe.enabled () then
+    if !Probe.on then
       Probe.emit
         (Probe.Pool_alloc
            { pool = t.name; bytes = n; used = t.used; capacity = t.capacity });
@@ -83,7 +83,7 @@ let free t n =
          t.name n t.used t.capacity);
   let before = level t in
   t.used <- t.used - n;
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit (Probe.Pool_free { pool = t.name; bytes = n; used = t.used });
   probe_pressure t before
 

@@ -11,7 +11,7 @@ let create sim ~cpu ?(switch_cost = Time.us 1.) () =
 let slot sched = { sched; state = Fresh }
 
 let probe_sched sched mk =
-  if Probe.enabled () then mk (Cpu.name sched.cpu) |> Probe.emit
+  if !Probe.on then mk (Cpu.name sched.cpu) |> Probe.emit
 
 let wait s =
   match s.state with

@@ -14,7 +14,7 @@ let create ~header_bytes fragments =
   let sk_id = !next_id in
   incr next_id;
   let t = { sk_id; header_bytes; fragments } in
-  if Probe.enabled () then begin
+  if !Probe.on then begin
     let owner =
       if List.exists (fun f -> f.region = User_memory) fragments then
         Probe.App
@@ -38,11 +38,11 @@ let id t = t.sk_id
 (* Ownership transitions and the final release only feed the lifecycle
    sanitizer; they are free when no probe sink is installed. *)
 let transfer t owner ~where =
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit (Probe.Obj_transfer { kind = Probe.Skb; id = t.sk_id; owner; where })
 
 let release t ~where =
-  if Probe.enabled () then
+  if !Probe.on then
     Probe.emit (Probe.Obj_free { kind = Probe.Skb; id = t.sk_id; where })
 
 let data_bytes t = List.fold_left (fun acc f -> acc + f.bytes) 0 t.fragments

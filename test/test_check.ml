@@ -405,6 +405,31 @@ let test_soak_incast_storm_focused () =
     (ev.Check.Soak.ev_pause_frames > 0 && ev.Check.Soak.ev_tx_paused_ns > 0);
   check_bool "traffic actually flowed" true (ev.Check.Soak.ev_delivered > 0)
 
+(* Satellite: the probe-enabled flag is consulted on the engine's hottest
+   path, so a probe-off run and a probe-on run of a full scenario must
+   render byte-identical output — observation cannot perturb behaviour. *)
+let test_probe_on_off_equivalence () =
+  let sc =
+    match Check.Scenario.find "ext3" with
+    | Some sc -> sc
+    | None -> Alcotest.fail "scenario ext3 not registered"
+  in
+  let render () =
+    let buf = Buffer.create 4096 in
+    let fmt = Format.formatter_of_buffer buf in
+    sc.Check.Scenario.run fmt;
+    Format.pp_print_flush fmt ();
+    Buffer.contents buf
+  in
+  check_bool "probes start off" false (Probe.enabled ());
+  let off = render () in
+  let seen = ref 0 in
+  Probe.install (fun _ -> incr seen);
+  let on_ = Fun.protect ~finally:Probe.uninstall render in
+  check_bool "probe saw the run" true (!seen > 0);
+  check_bool "probes off again" false (Probe.enabled ());
+  Alcotest.(check string) "identical rendered trace with probes on" off on_
+
 let suite =
   [
     Alcotest.test_case "heap: equal keys drain FIFO" `Quick
@@ -452,4 +477,6 @@ let suite =
     Alcotest.test_case "soak: one-seed smoke run" `Quick test_soak_smoke;
     Alcotest.test_case "soak: incast-storm focused" `Quick
       test_soak_incast_storm_focused;
+    Alcotest.test_case "probe on/off trace equivalence" `Quick
+      test_probe_on_off_equivalence;
   ]

@@ -93,6 +93,48 @@ let prop_heap_interleaved =
         ops;
       !ok)
 
+(* Regression: popping the element that empties the heap must clear the
+   parked pool record, or the heap retains the last item forever. *)
+let test_heap_pop_last_releases () =
+  let h = Heap.create ~cmp:compare in
+  let w = Weak.create 1 in
+  (* Scope the only strong reference inside a call that has returned by
+     the time the GC runs. *)
+  let push_and_pop () =
+    let item = ref 0xBEEF in
+    Weak.set w 0 (Some item);
+    Heap.push h item;
+    match Heap.pop h with
+    | Some r -> check_int "popped value" 0xBEEF !r
+    | None -> Alcotest.fail "pop returned None"
+  in
+  push_and_pop ();
+  Gc.full_major ();
+  check_bool "popped last element not retained by the heap" true
+    (Weak.get w 0 = None)
+
+let prop_heap_fifo_stable =
+  QCheck.Test.make ~count:300
+    ~name:"heap FIFO-stable among cmp-equal keys"
+    QCheck.(list (int_range 0 7))
+    (fun ks ->
+      (* cmp sees only the key; the payload records insertion order. *)
+      let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+      List.iteri (fun i k -> Heap.push h (k, i)) ks;
+      let drained = ref [] in
+      let rec drain () =
+        match Heap.pop h with
+        | Some x ->
+            drained := x :: !drained;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      List.rev !drained
+      = List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.mapi (fun i k -> (k, i)) ks))
+
 (* ------------------------------------------------------------------ *)
 (* Sim *)
 
@@ -149,6 +191,121 @@ let test_sim_run_until () =
   check_int "clock advanced to limit" 45 (Sim.now sim);
   Sim.run sim;
   check_int "rest run" 10 !count
+
+(* Satellite regression: [pending] must reflect a cancel immediately (the
+   cancelled slot still rides the heap as a lazy deletion) and must not
+   double-count a double cancel. *)
+let test_sim_pending_counts_cancel () =
+  let sim = Sim.create () in
+  let h1 = Sim.schedule sim ~after:10 (fun () -> ()) in
+  let _h2 = Sim.schedule sim ~after:20 (fun () -> ()) in
+  check_int "two pending" 2 (Sim.pending sim);
+  Sim.cancel h1;
+  check_int "cancel reflected immediately" 1 (Sim.pending sim);
+  Sim.cancel h1;
+  check_int "double cancel counted once" 1 (Sim.pending sim);
+  Sim.run sim;
+  check_int "drained" 0 (Sim.pending sim)
+
+let test_sim_post () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.post sim ~after:20 (fun () -> log := "b" :: !log);
+  Sim.post sim ~after:10 (fun () -> log := "a" :: !log);
+  check_int "posts pending" 2 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check (list string)) "time order" [ "a"; "b" ] (List.rev !log);
+  check_int "clock" 20 (Sim.now sim);
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.post: negative delay") (fun () ->
+      Sim.post sim ~after:(-1) (fun () -> ()))
+
+let test_sim_run_n () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Sim.post sim ~after:(i * 10) (fun () -> incr count)
+  done;
+  check_int "first batch" 3 (Sim.run_n sim 3);
+  check_int "three fired" 3 !count;
+  check_int "clock at third event" 30 (Sim.now sim);
+  check_int "rest" 7 (Sim.run_n sim 100);
+  check_int "all fired" 10 !count;
+  check_int "empty drain" 0 (Sim.run_n sim 5);
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Sim.run_n: negative count") (fun () ->
+      ignore (Sim.run_n sim (-1)))
+
+(* Drives schedule/cancel/partial-drain churn through the slot arena and
+   checks the observable firing order against a sorted-list model.  The
+   cancel arm deliberately re-cancels and holds stale handles across
+   slot reuse: a handle outliving its slot must never affect the arena's
+   new occupant. *)
+let prop_sim_arena_model =
+  QCheck.Test.make ~count:200
+    ~name:"sim slot arena matches sorted-list model"
+    QCheck.(list (pair (int_range 0 50) (int_range 0 5)))
+    (fun ops ->
+      let sim = Sim.create () in
+      let fired = ref [] in
+      let expect = ref [] in
+      let handles = ref [] in
+      let model = ref [] in
+      (* live (at, seq, id) *)
+      let now = ref 0 in
+      let next_seq = ref 0 and next_id = ref 0 in
+      let ok = ref true in
+      let pop_min () =
+        match List.sort compare !model with
+        | [] -> None
+        | (at, _, id) :: rest ->
+            model := rest;
+            now := at;
+            Some id
+      in
+      List.iter
+        (fun (d, action) ->
+          if action <= 3 then begin
+            let id = !next_id and s = !next_seq in
+            incr next_id;
+            incr next_seq;
+            let h = Sim.schedule sim ~after:d (fun () -> fired := id :: !fired) in
+            handles := (id, h) :: !handles;
+            model := (!now + d, s, id) :: !model
+          end
+          else if action = 4 then begin
+            match !handles with
+            | [] -> ()
+            | hs ->
+                let id, h = List.nth hs (d mod List.length hs) in
+                Sim.cancel h;
+                model := List.filter (fun (_, _, i) -> i <> id) !model
+          end
+          else begin
+            let k = d mod 4 in
+            let fired_n = Sim.run_n sim k in
+            let model_n = ref 0 in
+            for _ = 1 to k do
+              match pop_min () with
+              | Some id ->
+                  expect := id :: !expect;
+                  incr model_n
+              | None -> ()
+            done;
+            if fired_n <> !model_n then ok := false
+          end;
+          if Sim.pending sim <> List.length !model then ok := false)
+        ops;
+      Sim.run sim;
+      let rec drain () =
+        match pop_min () with
+        | Some id ->
+            expect := id :: !expect;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      !ok && Sim.pending sim = 0 && List.rev !fired = List.rev !expect)
 
 let test_sim_past_raises () =
   let sim = Sim.create () in
@@ -573,7 +730,8 @@ let prop_semaphore_never_negative =
       Semaphore.available sem = permits)
 
 let qprops = List.map QCheck_alcotest.to_alcotest
-    [ prop_heap_sorts; prop_heap_interleaved; prop_rng_int_in_bounds;
+    [ prop_heap_sorts; prop_heap_interleaved; prop_heap_fifo_stable;
+      prop_sim_arena_model; prop_rng_int_in_bounds;
       prop_rng_exponential_positive; prop_semaphore_never_negative ]
 
 let suite =
@@ -583,11 +741,15 @@ let suite =
     ("time invalid args", `Quick, test_time_invalid);
     ("heap ordering", `Quick, test_heap_order);
     ("heap empty", `Quick, test_heap_empty);
+    ("heap pop releases last element", `Quick, test_heap_pop_last_releases);
     ("sim event ordering", `Quick, test_sim_ordering);
     ("sim same-instant fifo", `Quick, test_sim_fifo_same_instant);
     ("sim cancel", `Quick, test_sim_cancel);
     ("sim nested schedule", `Quick, test_sim_nested_schedule);
     ("sim run_until", `Quick, test_sim_run_until);
+    ("sim pending tracks cancel", `Quick, test_sim_pending_counts_cancel);
+    ("sim post", `Quick, test_sim_post);
+    ("sim run_n", `Quick, test_sim_run_n);
     ("sim schedule in past", `Quick, test_sim_past_raises);
     ("process delay", `Quick, test_process_delay);
     ("process fork", `Quick, test_process_fork);
