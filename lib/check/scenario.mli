@@ -1,0 +1,18 @@
+(** The checkable scenarios: every paper experiment the repository
+    renders, wrapped behind a uniform runner.
+
+    The record is concrete so tests can build synthetic scenarios. *)
+
+type t = {
+  name : string;
+  descr : string;
+  truncated : bool;
+      (** The run is deliberately cut mid-flight ([Net.run_for]): the
+          leak check is waived and determinism is compared by common
+          prefix instead of exact equality. *)
+  run : Format.formatter -> unit;
+}
+
+val all : t list
+val names : string list
+val find : string -> t option

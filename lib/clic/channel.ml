@@ -292,7 +292,7 @@ let apply_advertised t advertised =
     else continue := false
   done
 
-let rx_ack t ?window cum_seq =
+let[@clic.atomic] rx_ack t ?window cum_seq =
   if !Probe.on then
     Probe.emit
       (Probe.Ack_rx { chan = t.uid; node = t.self; peer = t.peer; cum_seq });
@@ -396,7 +396,7 @@ let rec drain_ooo t =
       drain_ooo t
   | _ -> ()
 
-let rx t pkt =
+let[@clic.atomic] rx t pkt =
   if t.dead then ()
   else
     match pkt.Wire.chan_seq with

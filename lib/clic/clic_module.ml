@@ -157,8 +157,12 @@ let try_post t ~eth ~dst ~skb ~needs_dma ~internal_copy ~on_complete pkt =
          transfer, the cost the DMA paths avoid. *)
       Cpu.work (cpu t) (Driver.params driver).Driver.tx_routine;
       let nic = Driver.nic driver in
-      Resource.use_f (Cpu.resource (cpu t)) (fun () ->
-          Bus.transfer (Nic.pci nic) (Skbuff.total_bytes skb));
+      (Resource.use_f (Cpu.resource (cpu t)) (fun () ->
+           Bus.transfer (Nic.pci nic) (Skbuff.total_bytes skb))
+      [@clic.allow_block
+        "programmed I/O by design: the CPU is deliberately held for the \
+         whole PCI transfer (the cost the DMA paths avoid), a bounded \
+         busy-grant like Cpu.work, not an unbounded sleep"]);
       let frame =
         Eth_frame.make ~src:(Mac.of_node (node t)) ~dst
           ~ethertype:Wire.ethertype
@@ -315,7 +319,7 @@ let rec get_channel t peer =
 (* ------------------------------------------------------------------ *)
 (* Receive-side delivery (interrupt context) *)
 
-and deliver_message t msg =
+and[@clic.atomic] deliver_message t msg =
   t.messages_delivered <- t.messages_delivered + 1;
   if !Probe.on then
     Probe.emit
@@ -359,7 +363,7 @@ and deliver_message t msg =
         | exception Channel.Dead _ -> ())
   end
 
-and handle_fragment t ~src ~epoch ~sync ~broadcast ~port ~bytes
+and[@clic.atomic] handle_fragment t ~src ~epoch ~sync ~broadcast ~port ~bytes
     (frag : Wire.frag) =
   let key = (src, frag.Wire.msg_id) in
   let slot =
@@ -395,7 +399,7 @@ and handle_fragment t ~src ~epoch ~sync ~broadcast ~port ~bytes
       }
   end
 
-and handle_reliable t (pkt : Wire.packet) =
+and[@clic.atomic] handle_reliable t (pkt : Wire.packet) =
   traced t ~track:Probe.Module "clic:module-rx" (fun () ->
       Cpu.work ~priority:`High (cpu t) t.p.Params.module_rx);
   match pkt.kind with
@@ -456,7 +460,7 @@ let forget_peer t src =
   List.iter (Hashtbl.remove t.reassembly) stale_keys
 
 (* Entry point from the driver upcall. *)
-let rx t (desc : Nic.rx_desc) =
+let[@clic.atomic] rx t (desc : Nic.rx_desc) =
   match desc.Nic.rx_frame.Eth_frame.payload with
   | Wire.Clic pkt when not t.shut_down -> (
       match classify_epoch t ~src:pkt.src pkt.Wire.epoch with

@@ -19,18 +19,18 @@ type 'a t = {
   mutable next_stamp : int;
 }
 
-(* The dummy's [item] is an unboxed-int stand-in that is never read or
-   compared.  The cast is safe: an ['a entry] record always has a uniform
-   (boxed) representation because of its [int] stamp field, so no
-   float-array specialization can misinterpret the immediate. *)
-let create ~cmp =
-  { cmp; dummy = { item = Obj.magic 0; stamp = -1 }; data = [||]; size = 0;
+(* The caller supplies a throwaway [dummy] element to fill unused slots;
+   it is never read or compared, only stored.  An honest value of ['a]
+   keeps the heap free of unsafe casts (an [Obj.magic 0] stand-in used to
+   live here and needed GC-representation caveats to justify). *)
+let create ~dummy ~cmp =
+  { cmp; dummy = { item = dummy; stamp = -1 }; data = [||]; size = 0;
     next_stamp = 0 }
 
 let length h = h.size
 let is_empty h = h.size = 0
 
-let entry_cmp h a b =
+let[@clic.hot] entry_cmp h a b =
   let c = h.cmp a.item b.item in
   if c <> 0 then c else compare a.stamp b.stamp
 
@@ -45,7 +45,7 @@ let grow h =
 
 (* Standard sift-up: bubble the element at [i] towards the root while it is
    smaller than its parent. *)
-let rec sift_up h i =
+let[@clic.hot] rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
     if entry_cmp h h.data.(i) h.data.(parent) < 0 then begin
@@ -56,7 +56,7 @@ let rec sift_up h i =
     end
   end
 
-let rec sift_down h i =
+let[@clic.hot] rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
   if l < h.size && entry_cmp h h.data.(l) h.data.(!smallest) < 0 then
@@ -70,7 +70,7 @@ let rec sift_down h i =
     sift_down h !smallest
   end
 
-let push h x =
+let[@clic.hot] push h x =
   grow h;
   (* Reuse the parked record at the insertion slot when one is there
      (left behind by an earlier pop); the dummy itself is shared across
@@ -82,7 +82,11 @@ let push h x =
       slot.stamp <- h.next_stamp;
       slot
     end
-    else { item = x; stamp = h.next_stamp }
+    else
+      ({ item = x; stamp = h.next_stamp }
+      [@clic.alloc_ok
+        "first occupancy of a fresh slot only; steady push/pop reuses the \
+         parked record"])
   in
   h.next_stamp <- h.next_stamp + 1;
   h.data.(h.size) <- e;

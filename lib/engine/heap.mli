@@ -9,8 +9,12 @@
 
 type 'a t
 
-val create : cmp:('a -> 'a -> int) -> 'a t
-(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+val create : dummy:'a -> cmp:('a -> 'a -> int) -> 'a t
+(** [create ~dummy ~cmp] is an empty heap ordered by [cmp] (smallest
+    first).  [dummy] is a throwaway element used to fill unoccupied
+    slots of the backing array; it is never compared with [cmp] and
+    never returned, but it may be retained by the heap indefinitely, so
+    prefer a small constant value. *)
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool

@@ -67,13 +67,13 @@ let st_cancelled = 1
 (* Last-resort ordering when key and aux both compare equal: impossible
    in FIFO mode (aux is the unique seq); in rng mode two events drew the
    same tie key and scheduling order decides. *)
-let[@inline] seq_before sim sa sb =
+let[@inline] [@clic.hot] seq_before sim sa sb =
   Array.unsafe_get sim.s_seq sa < Array.unsafe_get sim.s_seq sb
 
 (* Hole-based sifts: carry the moving (key, aux, slot) triple in locals
    and write it once at its final position instead of swapping per
    level. *)
-let sift_up sim i0 =
+let[@clic.hot] sift_up sim i0 =
   let keys = sim.keys and haux = sim.haux and hidx = sim.hidx in
   let kev = Array.unsafe_get keys i0 in
   let aev = Array.unsafe_get haux i0 in
@@ -101,7 +101,7 @@ let sift_up sim i0 =
   Array.unsafe_set haux !i aev;
   Array.unsafe_set hidx !i sev
 
-let sift_down sim i0 =
+let[@clic.hot] sift_down sim i0 =
   let keys = sim.keys and haux = sim.haux and hidx = sim.hidx in
   let n = sim.hsize in
   let kev = Array.unsafe_get keys i0 in
@@ -211,7 +211,7 @@ let[@inline never] grow sim =
   sim.s_gen <- g 0 sim.s_gen;
   sim.free <- g 0 sim.free
 
-let[@inline] alloc_slot sim =
+let[@inline] [@clic.hot] alloc_slot sim =
   let n = sim.free_n in
   if n > 0 then begin
     sim.free_n <- n - 1;
@@ -233,7 +233,7 @@ let[@inline] alloc_slot sim =
    free slot retains its fired closure until reuse — bounded by the
    arena capacity — and {!clear_free_thunks} drops the stragglers in one
    cold sweep whenever a run entry point returns control. *)
-let[@inline] free_slot sim s =
+let[@inline] [@clic.hot] free_slot sim s =
   Array.unsafe_set sim.s_gen s (Array.unsafe_get sim.s_gen s + 1);
   Array.unsafe_set sim.free sim.free_n s;
   sim.free_n <- sim.free_n + 1
@@ -286,7 +286,7 @@ let[@inline never] past_error at now =
 
 (* Shared enqueue: claims a slot, fills it, pushes it on the heap.
    Returns the slot for {!schedule_at} to wrap in a handle. *)
-let[@inline] enqueue sim ~at thunk =
+let[@inline] [@clic.hot] enqueue sim ~at thunk =
   if at < sim.clock then past_error at sim.clock;
   if at = max_int then invalid_arg "Sim.schedule_at: at = max_int is reserved";
   let seq = sim.next_seq in
@@ -324,9 +324,9 @@ let schedule sim ~after thunk =
   if after < 0 then invalid_arg "Sim.schedule: negative delay";
   schedule_at sim ~at:(Time.add sim.clock after) thunk
 
-let post_at sim ~at thunk = ignore (enqueue sim ~at thunk : int)
+let[@clic.hot] post_at sim ~at thunk = ignore (enqueue sim ~at thunk : int)
 
-let post sim ~after thunk =
+let[@clic.hot] post sim ~after thunk =
   if after < 0 then invalid_arg "Sim.post: negative delay";
   post_at sim ~at:(Time.add sim.clock after) thunk
 
@@ -349,7 +349,7 @@ let is_cancelled h = h.hcancelled
 
 (* Removes the root; positions past [hsize] hold only ints, so nothing
    needs clearing. *)
-let[@inline] pop_root sim =
+let[@inline] [@clic.hot] pop_root sim =
   let n = sim.hsize - 1 in
   sim.hsize <- n;
   if n > 0 then begin
@@ -367,7 +367,7 @@ let[@inline] pop_root sim =
 let total_executed = ref 0
 let global_events_executed () = !total_executed
 
-let rec step sim =
+let[@clic.hot] rec step sim =
   if sim.hsize = 0 then false
   else begin
     let at = Array.unsafe_get sim.keys 0 in

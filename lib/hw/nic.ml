@@ -91,7 +91,7 @@ type t = {
 
 let cancel_timer = function Some h -> Sim.cancel h | None -> ()
 
-let probe_ring_depth t =
+let[@clic.hot] probe_ring_depth t =
   if !Probe.on then
     Probe.emit
       (Probe.Queue_depth
@@ -103,7 +103,7 @@ let internal_move_time t bytes =
 (* --------------------------------------------------------------- *)
 (* Interrupt coalescing *)
 
-let assert_irq t =
+let[@clic.hot] [@clic.atomic] assert_irq t =
   if t.down then ()
   else begin
   cancel_timer t.quiet_timer;
@@ -118,7 +118,7 @@ let assert_irq t =
   | None -> ()
   end
 
-let timer_fired t =
+let[@clic.hot] timer_fired t =
   if (not t.masked) && not (Queue.is_empty t.pending) then assert_irq t
 
 (* The quiet timer is lazy: each frame only stores the new deadline
@@ -139,18 +139,25 @@ let rec quiet_fired t () =
           (Sim.schedule t.sim ~after:(t.quiet_deadline - now) (quiet_fired t))
   end
 
-let evaluate_coalescing t =
+let[@clic.hot] evaluate_coalescing t =
   if not t.masked then begin
     if Queue.length t.pending >= t.coalesce.max_frames then assert_irq t
     else begin
       t.quiet_deadline <- Sim.now t.sim + t.coalesce.quiet;
       if t.quiet_timer = None then
         t.quiet_timer <-
-          Some (Sim.schedule t.sim ~after:t.coalesce.quiet (quiet_fired t));
+          (Some (Sim.schedule t.sim ~after:t.coalesce.quiet (quiet_fired t))
+          [@clic.alloc_ok
+            "lazy timer arm: once per quiet period, not per frame: a \
+             burst re-uses the in-flight event and only writes the \
+             deadline field"]);
       if t.abs_timer = None then
         t.abs_timer <-
-          Some (Sim.schedule t.sim ~after:t.coalesce.absolute (fun () ->
-                    timer_fired t))
+          (Some (Sim.schedule t.sim ~after:t.coalesce.absolute (fun () ->
+                     timer_fired t))
+          [@clic.alloc_ok
+            "absolute-deadline backstop: armed once per coalescing window, \
+             amortized across max_frames frames"])
     end
   end
 
@@ -222,7 +229,7 @@ let send_pause_frame t ~quanta =
       Link.send link (Mac_control.pause ~src:Mac.flow_control ~quanta)
   | _ -> ()
 
-let gen_pause_check_high t =
+let[@clic.hot] gen_pause_check_high t =
   match t.pause with
   | Some p
     when p.gen_high > 0 && (not t.gen_xoff_sent)
@@ -231,7 +238,7 @@ let gen_pause_check_high t =
       send_pause_frame t ~quanta:p.gen_quanta
   | _ -> ()
 
-let gen_pause_check_low t =
+let[@clic.hot] gen_pause_check_low t =
   match t.pause with
   | Some p when t.gen_xoff_sent && Queue.length t.pending <= p.gen_low ->
       t.gen_xoff_sent <- false;
@@ -343,7 +350,7 @@ let reassemble t (frame : Eth_frame.t) =
       end
       else None
 
-let admit_host_bytes t bytes =
+let[@clic.hot] admit_host_bytes t bytes =
   match t.rx_admission with None -> true | Some admit -> admit ~bytes
 
 let rx_pump t () =

@@ -13,7 +13,7 @@ let create sim ~cpu ?(dispatch_latency = Time.us 1.0) () =
   { sim; cpu; dispatch_latency; queue = Queue.create (); running = false;
     executed = 0 }
 
-let rec pump t () =
+let[@clic.atomic] rec pump t () =
   match Queue.take_opt t.queue with
   | None -> t.running <- false
   | Some thunk ->

@@ -183,7 +183,7 @@ let note_irq_rate t =
 (* The interrupt service routine: drain the ring, do the per-packet driver
    work, hand the batch to the protocol (via bottom half or directly), then
    re-enable the NIC interrupt. *)
-let isr t () =
+let[@clic.atomic] isr t () =
   if t.dead then ()
   else if note_irq_rate t && not t.polling then
     traced t ~track:Probe.Isr "driver:isr" (fun () ->

@@ -1,0 +1,6 @@
+(* clic-lint fixture: R3 hot-path allocation.
+
+   A [@clic.hot] function that conses a fresh tuple onto a list on every
+   call.  This file is parsed, never compiled. *)
+
+let[@clic.hot] enqueue q x = q := (x, 0) :: !q

@@ -1,0 +1,12 @@
+(* clic-lint fixture: R1 no-sleep-in-atomic.
+
+   The ISR handler reaches [Semaphore.acquire] two calls deep; the
+   linter must propagate the interrupt context through the module call
+   graph and flag the blocking leaf.  This file is parsed, never
+   compiled. *)
+
+let wait_for_buffer sem = Semaphore.acquire sem
+
+let handler sem () = wait_for_buffer sem
+
+let fire intr sem = Interrupt.raise_irq intr ~isr:(handler sem)

@@ -1,0 +1,6 @@
+(* clic-lint fixture: R2 unsafe-cast confinement.
+
+   A bare [Obj.magic] with no [@clic.allow_magic "reason"] waiver.
+   This file is parsed, never compiled. *)
+
+let sneak (x : int) : string = Obj.magic x

@@ -1,0 +1,5 @@
+(* clic-lint fixture: a waiver with no written reason is itself a
+   finding under the rule it tries to silence (R2 here).  This file is
+   parsed, never compiled. *)
+
+let sneak x = (Obj.magic x [@clic.allow_magic])

@@ -1,0 +1,19 @@
+(* clic-lint fixture: a module exercising every rule's happy path —
+   guarded probe emission inside a hot function, a reasoned unsafe-cast
+   waiver, and an ISR handler that never blocks.  Must produce zero
+   findings.  This file is parsed, never compiled. *)
+
+let[@clic.hot] bump counter = incr counter
+
+(* The record allocation is exempt: it sits behind the probe guard, so
+   the probes-off steady state never runs it. *)
+let[@clic.hot] observe name depth =
+  if !Probe.on then Probe.emit (Probe.Queue_depth { queue = name; depth })
+
+let reinterpret (x : int) =
+  (Obj.magic x
+  [@clic.allow_magic "fixture: demonstrates a reasoned waiver"])
+
+let handler () = ()
+
+let fire intr = Interrupt.raise_irq intr ~isr:handler

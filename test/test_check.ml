@@ -17,7 +17,7 @@ let contains haystack needle =
 (* Satellite: FIFO stability of the event heap under many equal keys *)
 
 let test_heap_fifo_stability () =
-  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  let h = Heap.create ~dummy:(0, 0) ~cmp:(fun (a, _) (b, _) -> compare a b) in
   (* 500 entries with the same key: pop order must be insertion order *)
   for i = 0 to 499 do
     Heap.push h (7, i)
@@ -430,6 +430,94 @@ let test_probe_on_off_equivalence () =
   check_bool "probes off again" false (Probe.enabled ());
   Alcotest.(check string) "identical rendered trace with probes on" off on_
 
+(* ------------------------------------------------------------------ *)
+(* Satellite: the clic-lint static analyzer *)
+
+module Lint = Lint_core.Lint_project
+module Ldiag = Lint_core.Lint_diag
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+(* Every bad fixture must trigger — and trigger ONLY — its own rule. *)
+let test_lint_bad_fixtures () =
+  let expect file rule =
+    let r = Lint.run_files [ fixture file ] in
+    match r.Lint.r_findings with
+    | [] -> Alcotest.failf "%s: expected %s findings, got none" file rule
+    | findings ->
+        List.iter
+          (fun (d : Ldiag.t) ->
+            Alcotest.(check string)
+              (file ^ " triggers exactly its rule")
+              rule
+              (Ldiag.rule_id d.Ldiag.d_rule))
+          findings
+  in
+  expect "bad_sleep_in_isr.ml" "R1";
+  expect "bad_unguarded_magic.ml" "R2";
+  expect "bad_hot_alloc.ml" "R3";
+  expect "bad_unguarded_probe.ml" "R4";
+  expect "bad_waiver_no_reason.ml" "R2"
+
+let test_lint_good_fixture () =
+  let r = Lint.run_files [ fixture "good_clean.ml" ] in
+  check_int "no findings" 0 (List.length r.Lint.r_findings);
+  check_int "one waiver collected" 1 (List.length r.Lint.r_waivers);
+  List.iter
+    (fun (w : Ldiag.waiver) ->
+      check_bool "waiver carries a reason" true (w.Ldiag.w_reason <> None))
+    r.Lint.r_waivers
+
+let test_lint_rule_filter () =
+  let r = Lint.run_files [ fixture "bad_hot_alloc.ml" ] in
+  let only rules =
+    (Lint.filter_rules (Some rules) r).Lint.r_findings |> List.length
+  in
+  check_int "R3 filter keeps the findings" (List.length r.Lint.r_findings)
+    (only [ Ldiag.R3 ]);
+  check_int "R1 filter drops them" 0 (only [ Ldiag.R1 ])
+
+(* Whole-repo clean run: the test binary runs from the build context,
+   which mirrors the source tree, so ../lib is exactly the library code
+   this binary was compiled from. *)
+let test_lint_repo_clean () =
+  let r = Lint.run_all ~root:".." in
+  List.iter
+    (fun (d : Ldiag.t) ->
+      Printf.printf "unexpected finding: %s\n" (Ldiag.to_string d))
+    r.Lint.r_findings;
+  check_int "repository lints clean" 0 (List.length r.Lint.r_findings);
+  check_bool "scanned a realistic file count" true (r.Lint.r_files > 60);
+  check_bool "the repo carries reasoned waivers" true
+    (r.Lint.r_waivers <> []);
+  List.iter
+    (fun (w : Ldiag.waiver) ->
+      check_bool
+        ("waiver has a reason: " ^ Ldiag.waiver_to_string w)
+        true
+        (w.Ldiag.w_reason <> None))
+    r.Lint.r_waivers
+
+let test_lint_mli_coverage () =
+  let root = Filename.temp_file "clic_lint" ".d" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Sys.mkdir (Filename.concat root "lib") 0o755;
+  let ml = Filename.concat (Filename.concat root "lib") "naked.ml" in
+  let write path text =
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+  in
+  write ml "let x = 1\n";
+  (match Lint.mli_coverage ~root with
+  | [ d ] -> Alcotest.(check string) "rule" "R5" (Ldiag.rule_id d.Ldiag.d_rule)
+  | l -> Alcotest.failf "expected exactly one R5 finding, got %d"
+           (List.length l));
+  write (ml ^ "i") "val x : int\n";
+  check_int "clean once the interface exists" 0
+    (List.length (Lint.mli_coverage ~root))
+
 let suite =
   [
     Alcotest.test_case "heap: equal keys drain FIFO" `Quick
@@ -479,4 +567,14 @@ let suite =
       test_soak_incast_storm_focused;
     Alcotest.test_case "probe on/off trace equivalence" `Quick
       test_probe_on_off_equivalence;
+    Alcotest.test_case "lint: bad fixtures trigger exactly their rule" `Quick
+      test_lint_bad_fixtures;
+    Alcotest.test_case "lint: clean fixture has zero findings" `Quick
+      test_lint_good_fixture;
+    Alcotest.test_case "lint: --rule narrows findings" `Quick
+      test_lint_rule_filter;
+    Alcotest.test_case "lint: whole repository is clean" `Quick
+      test_lint_repo_clean;
+    Alcotest.test_case "lint: mli coverage (R5)" `Quick
+      test_lint_mli_coverage;
   ]

@@ -33,7 +33,7 @@ let test_time_invalid () =
 (* Heap *)
 
 let test_heap_order () =
-  let h = Heap.create ~cmp:compare in
+  let h = Heap.create ~dummy:0 ~cmp:compare in
   List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
   check_int "len" 7 (Heap.length h);
   Alcotest.(check (list int))
@@ -44,7 +44,7 @@ let test_heap_order () =
   check_int "pop min" 1 (Heap.pop_exn h)
 
 let test_heap_empty () =
-  let h = Heap.create ~cmp:compare in
+  let h = Heap.create ~dummy:0 ~cmp:compare in
   check_bool "empty" true (Heap.is_empty h);
   Alcotest.(check (option int)) "peek" None (Heap.peek h);
   Alcotest.(check (option int)) "pop" None (Heap.pop h);
@@ -55,7 +55,7 @@ let prop_heap_sorts =
   QCheck.Test.make ~count:300 ~name:"heap drains any list sorted"
     QCheck.(list int)
     (fun xs ->
-      let h = Heap.create ~cmp:compare in
+      let h = Heap.create ~dummy:0 ~cmp:compare in
       List.iter (Heap.push h) xs;
       Heap.to_sorted_list h = List.sort compare xs)
 
@@ -63,7 +63,7 @@ let prop_heap_interleaved =
   QCheck.Test.make ~count:200 ~name:"heap pop is min under interleaving"
     QCheck.(list (pair int bool))
     (fun ops ->
-      let h = Heap.create ~cmp:compare in
+      let h = Heap.create ~dummy:0 ~cmp:compare in
       let model = ref [] in
       let ok = ref true in
       List.iter
@@ -96,7 +96,7 @@ let prop_heap_interleaved =
 (* Regression: popping the element that empties the heap must clear the
    parked pool record, or the heap retains the last item forever. *)
 let test_heap_pop_last_releases () =
-  let h = Heap.create ~cmp:compare in
+  let h = Heap.create ~dummy:(ref 0) ~cmp:compare in
   let w = Weak.create 1 in
   (* Scope the only strong reference inside a call that has returned by
      the time the GC runs. *)
@@ -119,7 +119,7 @@ let prop_heap_fifo_stable =
     QCheck.(list (int_range 0 7))
     (fun ks ->
       (* cmp sees only the key; the payload records insertion order. *)
-      let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+      let h = Heap.create ~dummy:(0, 0) ~cmp:(fun (a, _) (b, _) -> compare a b) in
       List.iteri (fun i k -> Heap.push h (k, i)) ks;
       let drained = ref [] in
       let rec drain () =
