@@ -6,6 +6,7 @@
      stream     one-way saturation stream with CPU/interrupt statistics
      chaos      reliability soak under fault injection (sweep or custom)
      incast     N->1 collapse through the switch, tail-drop vs 802.3x PAUSE
+     fabric     cross-rack incast + spine failure on a leaf/spine fabric
      figure     regenerate a paper figure/table by id
      check      run the analysis passes over the paper experiments
      timeline   export a scenario's Perfetto/Chrome trace timeline
@@ -321,10 +322,86 @@ let incast_cmd =
     Term.(
       const run_incast $ verbose_arg $ quick $ senders $ size $ messages)
 
+(* Cross-rack congestion on a leaf/spine fabric: the oversubscribed-uplink
+   collapse must be visible under tail-drop, invisible under 802.3x PAUSE
+   (with the congestion tree provably formed hop by hop), and a fabric
+   losing a spine mid-workload must still deliver everything.  Non-zero
+   exit on any breach, so CI can gate on the contract. *)
+let run_fabric verbose quick =
+  ignore (verbose : bool);
+  let rows, reroute = Report.Figures.fabric ~quick Format.std_formatter in
+  let bad = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> bad := m :: !bad) fmt in
+  List.iter
+    (fun r ->
+      let open Report.Figures in
+      let is_pause =
+        String.length r.fb_name >= 6 && String.sub r.fb_name 0 6 = "802.3x"
+      in
+      if r.fb_delivered <> r.fb_sent then
+        fail "%s: %d of %d messages lost" r.fb_name
+          (r.fb_sent - r.fb_delivered) r.fb_sent;
+      if is_pause then begin
+        if r.fb_drops > 0 then
+          fail "%s: PAUSE fabric dropped %d frame(s)" r.fb_name r.fb_drops;
+        if r.fb_spine_pause = 0 then
+          fail "%s: spine generated no XOFF (no congestion tree)" r.fb_name;
+        if r.fb_tor_pause = 0 then
+          fail "%s: ToRs generated no XOFF (tree did not reach the sources)"
+            r.fb_name;
+        if r.fb_paused_us <= 0. then
+          fail "%s: sender NICs never paused" r.fb_name
+      end
+      else if r.fb_drops = 0 then
+        fail "%s: no switch drops — the oversubscribed uplink did not collapse"
+          r.fb_name)
+    rows;
+  let open Report.Figures in
+  if reroute.rr_delivered <> reroute.rr_sent then
+    fail "reroute: %d of %d messages lost after spine failure"
+      (reroute.rr_sent - reroute.rr_delivered)
+      reroute.rr_sent;
+  if reroute.rr_spine1_tx = 0 then
+    fail "reroute: surviving spine carried no traffic";
+  if !bad <> [] then begin
+    List.iter (fun m -> Printf.eprintf "clic-sim fabric: %s\n" m) !bad;
+    exit 1
+  end
+
+let fabric_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced message counts.")
+  in
+  Cmd.v
+    (Cmd.info "fabric"
+       ~doc:
+         "Cross-rack incast through an oversubscribed leaf/spine fabric \
+          (tail-drop collapse vs 802.3x congestion-tree spreading) plus \
+          spine-failure rerouting under ECMP.  Fails unless the collapse, \
+          the hop-by-hop PAUSE tree, losslessness under PAUSE and \
+          delivery across the failure all hold.")
+    Term.(const run_fabric $ verbose_arg $ quick)
+
 (* Run the sanitizer, invariant monitors and determinism detector over the
    selected scenarios; non-zero exit on any finding so CI can gate on it. *)
-let run_check verbose scenarios seeds list =
+let run_check verbose scenarios seeds list hashes =
   if list then List.iter print_endline Check.Scenario.names
+  else if hashes then begin
+    (* One baseline run per scenario, full logical trace hash: the output
+       format is exactly what test/golden/scenario_hashes.txt pins, so an
+       intentional behaviour change regenerates the file with
+       `clic-sim check --hashes > test/golden/scenario_hashes.txt`. *)
+    let names = if scenarios = [] then None else Some scenarios in
+    let reports =
+      try Check.run_all ~seeds:0 ?names ()
+      with Invalid_argument msg ->
+        prerr_endline ("clic-sim: " ^ msg);
+        exit 2
+    in
+    List.iter
+      (fun r -> Printf.printf "%s %s\n" r.Check.scenario r.Check.baseline_hash)
+      reports
+  end
   else begin
     let names = if scenarios = [] then None else Some scenarios in
     let reports =
@@ -369,12 +446,20 @@ let check_cmd =
   let list =
     Arg.(value & flag & info [ "list" ] ~doc:"List checkable scenarios.")
   in
+  let hashes =
+    Arg.(value & flag
+         & info [ "hashes" ]
+             ~doc:
+               "Print each scenario's baseline logical trace hash (one \
+                `name hash' line per scenario) instead of checking; the \
+                format of test/golden/scenario_hashes.txt.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Run the analysis passes (object-lifecycle sanitizer, protocol \
           invariant monitors, determinism detector) over paper experiments")
-    Term.(const run_check $ verbose_arg $ scenarios $ seeds $ list)
+    Term.(const run_check $ verbose_arg $ scenarios $ seeds $ list $ hashes)
 
 (* The chaos soak: randomized fault schedules (link weather, pool
    pressure, interrupt storms, crash/reboot) under the sanitizer passes,
@@ -594,5 +679,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ latency_cmd; bandwidth_cmd; stream_cmd; chaos_cmd; incast_cmd;
-            figure_cmd; check_cmd; soak_cmd; timeline_cmd; metrics_cmd;
-            list_cmd ]))
+            fabric_cmd; figure_cmd; check_cmd; soak_cmd; timeline_cmd;
+            metrics_cmd; list_cmd ]))

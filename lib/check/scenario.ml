@@ -53,6 +53,9 @@ let all : t list =
         ignore (Report.Figures.chaos ~quick:true fmt));
     sc "incast" "N->1 incast collapse, tail-drop vs 802.3x PAUSE (quick)"
       (fun fmt -> ignore (Report.Figures.incast ~quick:true fmt));
+    sc "fabric"
+      "cross-rack incast + spine failure on a leaf/spine fabric (quick)"
+      (fun fmt -> ignore (Report.Figures.fabric ~quick:true fmt));
   ]
 
 let names = List.map (fun s -> s.name) all

@@ -41,6 +41,8 @@ type evidence = {
   mutable ev_switch_drops : int;  (* frames lost inside a switch, both ends *)
   mutable ev_pause_frames : int;  (* 802.3x PAUSE frames generated *)
   mutable ev_tx_paused_ns : int;  (* time transmitters spent XOFFed *)
+  mutable ev_trunk_frames : int;  (* frames carried switch-to-switch *)
+  mutable ev_switch_failures : int;  (* switches failed mid-trial *)
 }
 
 let fresh_evidence () =
@@ -59,6 +61,8 @@ let fresh_evidence () =
     ev_switch_drops = 0;
     ev_pause_frames = 0;
     ev_tx_paused_ns = 0;
+    ev_trunk_frames = 0;
+    ev_switch_failures = 0;
   }
 
 (* Bank the counters of one node's *current boot*.  Called at the end of a
@@ -96,7 +100,12 @@ let bank_final ev net =
     (fun sw ->
       ev.ev_switch_drops <-
         ev.ev_switch_drops + Switch.egress_drops sw + Switch.ingress_drops sw;
-      ev.ev_pause_frames <- ev.ev_pause_frames + Switch.pause_frames_tx sw)
+      ev.ev_pause_frames <- ev.ev_pause_frames + Switch.pause_frames_tx sw;
+      List.iter
+        (fun peer ->
+          ev.ev_trunk_frames <-
+            ev.ev_trunk_frames + Switch.trunk_tx_frames sw ~peer)
+        (Switch.trunks sw))
     net.Net.switches
 
 (* ------------------------------------------------------------------ *)
@@ -295,6 +304,48 @@ let incast_storm ~quick ~seed ev =
   one ~pause:true ~seed;
   one ~pause:false ~seed:(seed lxor 0x3C3C)
 
+(* 6. Fabric cut: cross-rack traffic over a 2-spine leaf/spine fabric
+   with ECMP; one spine dies mid-run (ports drain, routes recompile onto
+   the survivor) and later returns, and a node also crashes and reboots
+   under the fabric — the topology-aware rewire path.  Retransmission
+   must cover the frames that died inside the spine, and the full monitor
+   set watches the buffer ledgers through the drain. *)
+let fabric_cut ~quick ~seed ev =
+  let config =
+    {
+      Node.default_config with
+      clic_params = { snappy_params with max_retries = 8 };
+      switch_ingress_frames = Some 6;
+      switch_buffer = Some Switch.default_buffer;
+      nic_pause = Some Nic.pause_802_3x;
+    }
+  in
+  let topo = Topology.leaf_spine ~racks:2 ~per_rack:2 ~spines:2 () in
+  let net = Net.create_topo ~config ~topo () in
+  let rng = Rng.create ~seed in
+  let count = scale ~quick 60 in
+  (* cross-rack pairs in both directions, so both spines carry flows *)
+  List.iter
+    (fun (from, to_) ->
+      sender net ~rng:(Rng.split rng) ~from ~to_ ~count ~min_size:512
+        ~max_size:6144 ~gap_us:30. ~port:85)
+    [ (0, 2); (1, 3); (2, 1); (3, 0) ];
+  Process.spawn net.Net.sim (fun () ->
+      Process.delay (Time.us 700.);
+      Net.fail_switch net "spine0.";
+      ev.ev_switch_failures <- ev.ev_switch_failures + 1;
+      Process.delay (Time.us 900.);
+      Net.restore_switch net "spine0.");
+  let victim = Net.node net 3 in
+  Process.spawn net.Net.sim (fun () ->
+      Process.delay (Time.us 1200.);
+      Node.crash victim;
+      bank_boot ev victim;
+      Process.delay (Time.us 700.);
+      Node.reboot victim);
+  Net.run net;
+  bank_final ev net
+
 let templates =
   [
     {
@@ -321,6 +372,11 @@ let templates =
       tp_name = "incast-storm";
       tp_descr = "N->1 stampede, 802.3x PAUSE fabric vs tail-drop baseline";
       tp_run = incast_storm;
+    };
+    {
+      tp_name = "fabric-cut";
+      tp_descr = "spine failure + node crash on a 2-spine leaf/spine fabric";
+      tp_run = fabric_cut;
     };
   ]
 
@@ -365,6 +421,8 @@ let missing_evidence r =
       need "no switch ever dropped a frame" (ev.ev_switch_drops > 0);
       need "no 802.3x PAUSE frame was generated" (ev.ev_pause_frames > 0);
       need "no transmitter was ever XOFFed" (ev.ev_tx_paused_ns > 0);
+      need "no frame ever crossed a trunk" (ev.ev_trunk_frames > 0);
+      need "no switch was ever failed mid-trial" (ev.ev_switch_failures > 0);
     ]
 
 let ok ?(require_evidence = true) r =
@@ -484,4 +542,6 @@ let pp_summary fmt r =
   line "switch drops (ingress + egress)" ev.ev_switch_drops;
   line "802.3x PAUSE frames generated" ev.ev_pause_frames;
   line "tx time XOFFed (ns)" ev.ev_tx_paused_ns;
+  line "frames carried on trunks" ev.ev_trunk_frames;
+  line "switches failed mid-trial" ev.ev_switch_failures;
   List.iter (fun n -> Format.fprintf fmt "  note: %s@." n) r.s_notes

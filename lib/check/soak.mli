@@ -28,6 +28,8 @@ type evidence = {
       (** frames lost inside a switch, ingress + egress *)
   mutable ev_pause_frames : int;  (** 802.3x PAUSE frames generated *)
   mutable ev_tx_paused_ns : int;  (** time transmitters spent XOFFed *)
+  mutable ev_trunk_frames : int;  (** frames carried switch-to-switch *)
+  mutable ev_switch_failures : int;  (** switches failed mid-trial *)
 }
 
 type trial_result = {
@@ -48,7 +50,7 @@ type report = {
 
 val template_names : string list
 (** ["crash-reboot"; "pool-crunch"; "irq-storm"; "faults-mesh";
-    "incast-storm"]. *)
+    "incast-storm"; "fabric-cut"]. *)
 
 val default_seeds : int list
 (** [[101; 202; 303]] — the seeds CI pins. *)

@@ -1,0 +1,82 @@
+(** Declarative fabric topologies.
+
+    A topology is pure data: logical switch name prefixes, trunks between
+    them, and a host→switch attachment map.  {!Net.create_topo}
+    instantiates one copy per NIC rank, naming each physical switch
+    [prefix ^ string_of_int rank] — the {!star}'s single ["switch"] prefix
+    therefore yields the historical ["switch0"], keeping the legacy
+    single-switch wiring byte-identical.
+
+    Unless [learning] is set, {!Net.create_topo} compiles {!routes} —
+    all-pairs BFS shortest paths with equal-cost next-hop sets — into
+    static ECMP switch routes, which are loop-free by construction (the
+    distance to the destination strictly decreases at every hop). *)
+
+type t
+
+val make :
+  ?learning:bool ->
+  ?ttl:int ->
+  switches:string list ->
+  trunks:(string * string) list ->
+  hosts:string array ->
+  unit ->
+  t
+(** [hosts.(id)] names the switch node [id] attaches to; every trunk is an
+    unordered switch pair.  [learning] (default [false]) selects
+    MAC-learning flood-and-learn forwarding instead of compiled static
+    routes; [ttl] (default 16) bounds switch traversals per frame.
+    @raise Invalid_argument on duplicate switches or trunks, self-trunks,
+    references to unknown switches, a disconnected trunk graph, or a TTL
+    smaller than the fabric diameter allows. *)
+
+val star : n:int -> t
+(** [n] hosts on one switch — the legacy cluster, and the compatibility
+    baseline. *)
+
+val linear :
+  ?learning:bool -> ?ttl:int -> racks:int -> per_rack:int -> unit -> t
+(** A chain of [racks] switches, [per_rack] hosts each; the default TTL
+    stretches to cover the chain. *)
+
+val leaf_spine :
+  ?learning:bool ->
+  ?ttl:int ->
+  racks:int ->
+  per_rack:int ->
+  spines:int ->
+  unit ->
+  t
+(** Every ToR trunked to every spine: [spines]-way ECMP between racks,
+    oversubscribed whenever [per_rack] exceeds [spines]. *)
+
+val fat_tree : ?learning:bool -> ?ttl:int -> k:int -> unit -> t
+(** The canonical [k]-ary fat tree: [k] pods of [k/2] edge and [k/2]
+    aggregation switches, [(k/2)²] cores, [k³/4] hosts, [k/2]-way ECMP at
+    each level.
+    @raise Invalid_argument unless [k] is even and at least 2. *)
+
+val n : t -> int
+(** Host count; node ids run [0 .. n-1]. *)
+
+val switches : t -> string list
+(** Switch prefixes in declaration order (the instantiation order). *)
+
+val trunks : t -> (string * string) list
+
+val attach : t -> int -> string
+(** The switch prefix host [id] attaches to. *)
+
+val learning : t -> bool
+val ttl : t -> int
+
+val diameter : t -> int
+(** Longest shortest trunk path between any two switches. *)
+
+val routes : ?excluding:string list -> t -> (string * int * string list) list
+(** All-pairs static routing table: [(at, dst, via)] means switch [at]
+    reaches host [dst] through any trunk in [via] (equal-cost set, in
+    trunk declaration order).  [excluding] drops failed switches from the
+    graph — routes through them vanish and destinations behind them
+    disappear; recompiling with a new exclusion set is how the fabric
+    reroutes around a dead spine. *)

@@ -80,15 +80,26 @@ let uniform_random c ~seed ~messages_per_node ?(min_size = 1)
   Net.run c;
   stats_of tally
 
-let hotspot c ~seed ~target ~messages_per_node ?(size = 4096) ?(port = 71) ()
-    =
+let hotspot c ~seed ~target ?senders ~messages_per_node ?(size = 4096)
+    ?(port = 71) () =
   let n = Net.size c in
   if target < 0 || target >= n then invalid_arg "Workload.hotspot: bad target";
+  let is_sender =
+    match senders with
+    | None -> fun i -> i <> target
+    | Some ids ->
+        List.iter
+          (fun i ->
+            if i < 0 || i >= n || i = target then
+              invalid_arg "Workload.hotspot: bad sender id")
+          ids;
+        fun i -> List.mem i ids
+  in
   let tally = fresh_tally () in
   spawn_receivers c ~port tally;
   let root_rng = Rng.create ~seed in
   for i = 0 to n - 1 do
-    if i <> target then begin
+    if is_sender i then begin
       let rng = Rng.split root_rng in
       let node = Net.node c i in
       Node.spawn node (fun () ->

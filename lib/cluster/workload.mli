@@ -33,13 +33,18 @@ val hotspot :
   Net.t ->
   seed:int ->
   target:int ->
+  ?senders:int list ->
   messages_per_node:int ->
   ?size:int ->
   ?port:int ->
   unit ->
   stats
 (** All nodes hammer [target] — the incast pattern that exercises receive
-    rings, staging and the reliability window. *)
+    rings, staging and the reliability window.  [senders] restricts the
+    stampede to the listed nodes (e.g. only the remote racks of a fabric);
+    default: everyone but the target.
+    @raise Invalid_argument when a sender id is out of range or is the
+    target itself. *)
 
 val ring :
   Net.t -> rounds:int -> ?size:int -> ?port:int -> unit -> stats

@@ -16,6 +16,7 @@ type t = {
   payload : payload;
   frag : frag option;
   corrupted : bool;
+  hops : int;  (* switch traversals so far; not on the wire *)
 }
 
 let header_bytes = 14
@@ -30,7 +31,7 @@ let ethertype_mac_control = 0x8808
 let make ~src ~dst ~ethertype ~payload_bytes ?frag ?(corrupted = false) payload
     =
   if payload_bytes < 0 then invalid_arg "Eth_frame.make: negative payload";
-  { src; dst; ethertype; payload_bytes; payload; frag; corrupted }
+  { src; dst; ethertype; payload_bytes; payload; frag; corrupted; hops = 0 }
 
 let padded_payload t = max t.payload_bytes min_payload
 

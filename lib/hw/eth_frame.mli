@@ -33,6 +33,10 @@ type t = {
       (** bits flipped in flight (fault injection): the receiving MAC's
           FCS check fails and the frame is dropped with a [bad_fcs]
           count instead of being delivered *)
+  hops : int;
+      (** switch traversals so far — incremented by each switch that
+          forwards the frame, and dropped once it reaches the switch TTL.
+          Bookkeeping only: contributes nothing to the wire size. *)
 }
 
 val header_bytes : int

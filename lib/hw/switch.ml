@@ -38,18 +38,25 @@ let validate_buffer b =
   if b.max_frame_bytes <= 0 then
     invalid_arg "Switch: buffer max_frame_bytes <= 0"
 
+(* Ports come in two kinds sharing one record: station ports ([node] >= 0,
+   the node id) and trunk ports toward a peer switch ([node] < 0, a
+   per-switch unique pid; [label] names the peer).  Both directions of a
+   trunk are real {!Link}s, so serialization, propagation, faults, PAUSE
+   and the buffer ledger all behave identically on trunks and stations. *)
 type port = {
-  node : int;
+  node : int;  (* pid: station = node id; trunk = -(trunk ordinal) *)
+  label : string;  (* "n<id>" for stations, the peer switch name for trunks *)
   uplink : Link.t;
   downlink : Link.t;
-  fifo : (Eth_frame.t * int) Queue.t;  (* frame, ingress node *)
-  on_wire : (int * int) Queue.t;  (* charged bytes, ingress node *)
+  fifo : (Eth_frame.t * int) Queue.t;  (* frame, ingress pid *)
+  on_wire : (int * int) Queue.t;  (* charged bytes, ingress pid *)
   mutable wire_count : int;  (* frames handed to the downlink, ser pending *)
+  mutable tx_frames : int;  (* data frames transmitted on the downlink *)
   mutable egress_bytes : int;  (* buffered bytes queued toward this port *)
   mutable ingress_bytes : int;  (* buffered bytes received from this port *)
-  mutable paused_rx : bool;  (* we have XOFFed this port's station *)
+  mutable paused_rx : bool;  (* we have XOFFed this port's peer *)
   mutable xoff_at : Time.t;
-  mutable tx_paused_until : Time.t;  (* station has PAUSEd this egress *)
+  mutable tx_paused_until : Time.t;  (* peer has PAUSEd this egress *)
   mutable resume : Sim.handle option;
   mutable gate_start : Time.t;
   mutable egress_paused_ns : int;
@@ -67,6 +74,12 @@ type t = {
   egress_frames : int option;
   ingress_frames : int option;
   buffer : buffer option;
+  learning : bool;
+  ttl : int;
+  fdb : (int, port) Hashtbl.t;  (* learned node -> port *)
+  routes : (int, port array) Hashtbl.t;  (* static node -> ECMP trunk set *)
+  mutable trunk_count : int;
+  mutable down : bool;
   mutable port_list : port list;
   mutable shared_used : int;
   mutable occupied : int;
@@ -74,16 +87,21 @@ type t = {
   mutable frames_forwarded : int;
   mutable frames_flooded : int;
   mutable frames_unroutable : int;
+  mutable frames_ttl_dropped : int;
+  mutable unknown_floods : int;
+  mutable down_drops : int;
   mutable pause_frames_tx : int;
   mutable pause_frames_rx : int;
 }
 
 let create sim ~name ~bits_per_s ?(forward_latency = Time.us 2.)
     ?(propagation = Time.ns 500) ?(fault = fun () -> Fault.none)
-    ?egress_frames ?ingress_frames ?buffer () =
+    ?egress_frames ?ingress_frames ?buffer ?(learning = false) ?(ttl = 16) ()
+    =
   (match ingress_frames with
   | Some n when n <= 0 -> invalid_arg "Switch.create: ingress_frames <= 0"
   | _ -> ());
+  if ttl < 1 then invalid_arg "Switch.create: ttl < 1";
   Option.iter validate_buffer buffer;
   {
     sim;
@@ -95,6 +113,12 @@ let create sim ~name ~bits_per_s ?(forward_latency = Time.us 2.)
     egress_frames;
     ingress_frames;
     buffer;
+    learning;
+    ttl;
+    fdb = Hashtbl.create 16;
+    routes = Hashtbl.create 16;
+    trunk_count = 0;
+    down = false;
     port_list = [];
     shared_used = 0;
     occupied = 0;
@@ -102,11 +126,15 @@ let create sim ~name ~bits_per_s ?(forward_latency = Time.us 2.)
     frames_forwarded = 0;
     frames_flooded = 0;
     frames_unroutable = 0;
+    frames_ttl_dropped = 0;
+    unknown_floods = 0;
+    down_drops = 0;
     pause_frames_tx = 0;
     pause_frames_rx = 0;
   }
 
-let find_port t node = List.find_opt (fun p -> p.node = node) t.port_list
+let name t = t.name
+let find_port t pid = List.find_opt (fun p -> p.node = pid) t.port_list
 let n_ports t = List.length t.port_list
 
 let shared_capacity t b =
@@ -116,10 +144,13 @@ let shared_capacity t b =
    every port's worst case — its ingress high watermark plus the frames
    already committed to the wire and uplink FIFO when the XOFF lands — the
    switch guarantees zero loss.  Drops under this provisioning are flagged
-   so the zero-loss invariant monitor can convict them. *)
+   so the zero-loss invariant monitor can convict them.  The proof is
+   per-switch and does not compose across trunks (an XOFFed trunk shifts
+   the backlog upstream rather than bounding it), so any trunked switch is
+   never claimed protected. *)
 let protected_provisioning t =
   match (t.buffer, t.ingress_frames) with
-  | Some b, Some limit when b.pause ->
+  | Some b, Some limit when b.pause && t.trunk_count = 0 ->
       let n = n_ports t in
       n * (b.ingress_high_bytes + ((limit + 3) * b.max_frame_bytes))
       + b.max_frame_bytes
@@ -152,7 +183,7 @@ let probe_fifo t p =
       Probe.emit
         (Probe.Queue_depth
            {
-             queue = Printf.sprintf "%s->n%d:fifo" t.name p.node;
+             queue = Printf.sprintf "%s->%s:fifo" t.name p.label;
              depth = Queue.length p.fifo;
            })
   | _ -> ()
@@ -163,8 +194,8 @@ let probe_pause_frame t p ~sent ~quanta =
       (Probe.Pause_frame
          {
            host =
-             Printf.sprintf "%s%sn%d" t.name (if sent then "->" else "<-")
-               p.node;
+             Printf.sprintf "%s%s%s" t.name (if sent then "->" else "<-")
+               p.label;
            sent;
            quanta;
          })
@@ -182,7 +213,8 @@ let send_pause t p ~quanta =
 (* Ingress-side PAUSE generation: XOFF once the port's buffered bytes cross
    the high watermark, refreshed while frames keep landing from a paused
    port (the first XOFF races frames already in flight), XON at the low
-   watermark. *)
+   watermark.  On a trunk port the XOFF lands on the upstream switch's
+   egress pump, so congestion propagates hop by hop toward the sources. *)
 let maybe_xoff t b q =
   if b.pause then
     if not q.paused_rx then begin
@@ -211,18 +243,19 @@ let maybe_xon t b q =
 let egress_gated t p = Sim.now t.sim < p.tx_paused_until
 
 let rec pump_port t p =
-  if p.wire_count = 0 && not (egress_gated t p) then
+  if (not t.down) && p.wire_count = 0 && not (egress_gated t p) then
     match Queue.take_opt p.fifo with
     | None -> ()
-    | Some (frame, ingress_node) ->
+    | Some (frame, ingress_pid) ->
         probe_fifo t p;
         let charged =
           match t.buffer with
           | Some _ -> Eth_frame.buffer_bytes frame
           | None -> 0
         in
-        Queue.add (charged, ingress_node) p.on_wire;
+        Queue.add (charged, ingress_pid) p.on_wire;
         p.wire_count <- p.wire_count + 1;
+        p.tx_frames <- p.tx_frames + 1;
         Link.send p.downlink frame
 
 (* Downlink serialization finished: free the frame's buffer bytes (both
@@ -231,7 +264,7 @@ and on_tx_complete t p frame =
   p.wire_count <- p.wire_count - 1;
   if not (Mac_control.is_mac_control frame) then begin
     match Queue.take_opt p.on_wire with
-    | Some (charged, ingress_node) when charged > 0 -> (
+    | Some (charged, ingress_pid) when charged > 0 -> (
         match t.buffer with
         | Some b ->
             let r = b.port_reserve_bytes in
@@ -243,10 +276,10 @@ and on_tx_complete t p frame =
             t.shared_used <- t.shared_used - extra_shared;
             t.occupied <- t.occupied - charged;
             probe_buffer t p.node (-charged);
-            (match find_port t ingress_node with
+            (match find_port t ingress_pid with
             | Some q ->
                 q.ingress_bytes <- q.ingress_bytes - charged;
-                maybe_xon t b q
+                if not t.down then maybe_xon t b q
             | None -> ())
         | None -> ())
     | _ -> ()
@@ -254,7 +287,7 @@ and on_tx_complete t p frame =
   pump_port t p
 
 (* Admission control for one frame headed to egress port [p] from ingress
-   node [ingress].  Returns [true] when the frame was accepted (and, in
+   pid [ingress].  Returns [true] when the frame was accepted (and, in
    buffered mode, charged to both ledgers). *)
 let admit t ~ingress p frame =
   let tail_full =
@@ -300,24 +333,75 @@ let enqueue t p ~ingress frame =
   probe_fifo t p;
   pump_port t p
 
+(* Deterministic flow hash for ECMP: frames of one (src, dst) flow always
+   pick the same member of an equal-cost trunk set, so per-flow ordering
+   survives multipath. *)
+let flow_hash ~src ~dst n =
+  let h = (src * 0x9e3779b1) lxor (dst * 0x85ebca6b) in
+  let h = h lxor (h lsr 13) in
+  let h = h * 0xc2b2ae35 in
+  let h = h lxor (h lsr 16) in
+  (h land max_int) mod n
+
+let flood t ~ingress frame =
+  List.iter
+    (fun port ->
+      if port.node <> ingress then begin
+        t.frames_flooded <- t.frames_flooded + 1;
+        if admit t ~ingress port frame then enqueue t port ~ingress frame
+      end)
+    t.port_list
+
+(* Forwarding decision, in priority order: local station port, static
+   ECMP route, learned FDB entry, unknown-unicast flood (learning
+   switches only), unroutable.  The hop count bounds any loop — static
+   shortest-path routes are loop-free by construction, but flooding on a
+   cyclic fabric is not, so the TTL is the backstop. *)
 let forward t ~ingress frame =
-  match frame.Eth_frame.dst with
-  | Mac.Node node -> (
-      match find_port t node with
-      | Some port ->
+  if t.down then t.down_drops <- t.down_drops + 1
+  else if frame.Eth_frame.hops >= t.ttl then
+    t.frames_ttl_dropped <- t.frames_ttl_dropped + 1
+  else begin
+    (if t.learning then
+       match frame.Eth_frame.src with
+       | Mac.Node src -> (
+           match find_port t ingress with
+           | Some q -> Hashtbl.replace t.fdb src q
+           | None -> ())
+       | Mac.Broadcast | Mac.Multicast _ -> ());
+    let frame = { frame with Eth_frame.hops = frame.Eth_frame.hops + 1 } in
+    match frame.Eth_frame.dst with
+    | Mac.Node node -> (
+        let unicast port =
           t.frames_forwarded <- t.frames_forwarded + 1;
           if admit t ~ingress port frame then enqueue t port ~ingress frame
-      | None -> t.frames_unroutable <- t.frames_unroutable + 1)
-  | Mac.Broadcast | Mac.Multicast _ ->
-      List.iter
-        (fun port ->
-          if port.node <> ingress then begin
-            t.frames_flooded <- t.frames_flooded + 1;
-            if admit t ~ingress port frame then enqueue t port ~ingress frame
-          end)
-        t.port_list
+        in
+        match find_port t node with
+        | Some port -> unicast port
+        | None -> (
+            match Hashtbl.find_opt t.routes node with
+            | Some arr ->
+                let src =
+                  match frame.Eth_frame.src with
+                  | Mac.Node s -> s
+                  | Mac.Broadcast | Mac.Multicast _ -> 0
+                in
+                unicast arr.(flow_hash ~src ~dst:node (Array.length arr))
+            | None -> (
+                match
+                  if t.learning then Hashtbl.find_opt t.fdb node else None
+                with
+                | Some port -> unicast port
+                | None ->
+                    if t.learning then begin
+                      t.unknown_floods <- t.unknown_floods + 1;
+                      flood t ~ingress frame
+                    end
+                    else t.frames_unroutable <- t.frames_unroutable + 1)))
+    | Mac.Broadcast | Mac.Multicast _ -> flood t ~ingress frame
+  end
 
-(* A station PAUSEd us: gate that port's egress pump for the quanta (the
+(* A peer PAUSEd us: gate that port's egress pump for the quanta (the
    frame already on the wire finishes), resuming early on XON. *)
 let on_pause_rx t p ~quanta =
   t.pause_frames_rx <- t.pause_frames_rx + 1;
@@ -345,23 +429,51 @@ let on_pause_rx t p ~quanta =
   end
 
 let on_ingress t p frame =
-  match Mac_control.quanta_of frame with
-  | Some quanta -> on_pause_rx t p ~quanta
-  | None ->
-      (* Store-and-forward: the frame is fully received (the uplink's
-         serialization already accounts for that) and admitted to the
-         buffer now; lookup plus internal transfer take the forwarding
-         latency before it joins the egress queue. *)
-      Sim.post t.sim ~after:t.forward_latency (fun () ->
-          forward t ~ingress:p.node frame)
+  if t.down then t.down_drops <- t.down_drops + 1
+  else
+    match Mac_control.quanta_of frame with
+    | Some quanta -> on_pause_rx t p ~quanta
+    | None ->
+        (* Store-and-forward: the frame is fully received (the uplink's
+           serialization already accounts for that) and admitted to the
+           buffer now; lookup plus internal transfer take the forwarding
+           latency before it joins the egress queue. *)
+        Sim.post t.sim ~after:t.forward_latency (fun () ->
+            forward t ~ingress:p.node frame)
+
+let check_reserves t what =
+  match t.buffer with
+  | Some b when (n_ports t + 1) * b.port_reserve_bytes >= b.total_bytes ->
+      invalid_arg (what ^ ": port reserves exceed the shared buffer")
+  | _ -> ()
+
+let blank_port ~node ~label ~uplink ~downlink =
+  {
+    node;
+    label;
+    uplink;
+    downlink;
+    fifo = Queue.create ();
+    on_wire = Queue.create ();
+    wire_count = 0;
+    tx_frames = 0;
+    egress_bytes = 0;
+    ingress_bytes = 0;
+    paused_rx = false;
+    xoff_at = 0;
+    tx_paused_until = 0;
+    resume = None;
+    gate_start = 0;
+    egress_paused_ns = 0;
+    ingress_drops = 0;
+    egress_drops = 0;
+  }
 
 let add_port t ~node =
+  if node < 0 then invalid_arg "Switch.add_port: negative node";
   if find_port t node <> None then
     invalid_arg (Printf.sprintf "Switch.add_port: duplicate node %d" node);
-  (match t.buffer with
-  | Some b when (n_ports t + 1) * b.port_reserve_bytes >= b.total_bytes ->
-      invalid_arg "Switch.add_port: port reserves exceed the shared buffer"
-  | _ -> ());
+  check_reserves t "Switch.add_port";
   let uplink =
     Link.create t.sim
       ~name:(Printf.sprintf "%s<-n%d" t.name node)
@@ -375,24 +487,7 @@ let add_port t ~node =
       ()
   in
   let port =
-    {
-      node;
-      uplink;
-      downlink;
-      fifo = Queue.create ();
-      on_wire = Queue.create ();
-      wire_count = 0;
-      egress_bytes = 0;
-      ingress_bytes = 0;
-      paused_rx = false;
-      xoff_at = 0;
-      tx_paused_until = 0;
-      resume = None;
-      gate_start = 0;
-      egress_paused_ns = 0;
-      ingress_drops = 0;
-      egress_drops = 0;
-    }
+    blank_port ~node ~label:(Printf.sprintf "n%d" node) ~uplink ~downlink
   in
   Link.connect uplink (fun frame -> on_ingress t port frame);
   Link.set_on_drop uplink (fun _frame ->
@@ -401,18 +496,150 @@ let add_port t ~node =
   Link.set_tx_complete downlink (fun frame -> on_tx_complete t port frame);
   t.port_list <- t.port_list @ [ port ]
 
+let find_trunk t peer =
+  List.find_opt (fun p -> p.node < 0 && p.label = peer) t.port_list
+
+(* A trunk is one full-duplex switch-to-switch pair: each side owns a port
+   whose downlink is its transmit direction and whose uplink is the peer's
+   downlink.  PAUSE frames sent on a trunk downlink land in the peer's
+   MAC-control path and gate the peer's egress toward us, which is exactly
+   how congestion trees form across a fabric. *)
+let add_trunk ?bits_per_s a b =
+  if a.sim != b.sim then invalid_arg "Switch.add_trunk: different sims";
+  if a == b then invalid_arg "Switch.add_trunk: self-trunk";
+  List.iter
+    (fun (t, peer) ->
+      if find_trunk t peer.name <> None then
+        invalid_arg
+          (Printf.sprintf "Switch.add_trunk: duplicate trunk %s=>%s" t.name
+             peer.name);
+      check_reserves t "Switch.add_trunk")
+    [ (a, b); (b, a) ];
+  let rate = Option.value bits_per_s ~default:a.bits_per_s in
+  let mk_link t peer =
+    Link.create t.sim
+      ~name:(Printf.sprintf "%s=>%s" t.name peer.name)
+      ~bits_per_s:rate ~propagation:t.propagation ~fault:(t.fault ()) ()
+  in
+  let la = mk_link a b and lb = mk_link b a in
+  let mk_port t peer ~uplink ~downlink =
+    t.trunk_count <- t.trunk_count + 1;
+    let port =
+      blank_port ~node:(-t.trunk_count) ~label:peer.name ~uplink ~downlink
+    in
+    t.port_list <- t.port_list @ [ port ];
+    port
+  in
+  let pa = mk_port a b ~uplink:lb ~downlink:la in
+  let pb = mk_port b a ~uplink:la ~downlink:lb in
+  Link.connect la (fun frame -> on_ingress b pb frame);
+  Link.connect lb (fun frame -> on_ingress a pa frame);
+  Link.set_tx_complete la (fun frame -> on_tx_complete a pa frame);
+  Link.set_tx_complete lb (fun frame -> on_tx_complete b pb frame)
+
 let get_port t node =
   match find_port t node with
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Switch: unknown node %d" node)
 
+let get_trunk t ~what peer =
+  match find_trunk t peer with
+  | Some p -> p
+  | None ->
+      invalid_arg (Printf.sprintf "%s: %s has no trunk to %s" what t.name peer)
+
+let set_route t ~dst ~via =
+  match via with
+  | [] -> Hashtbl.remove t.routes dst
+  | _ ->
+      Hashtbl.replace t.routes dst
+        (Array.of_list (List.map (get_trunk t ~what:"Switch.set_route") via))
+
+let clear_routes t = Hashtbl.reset t.routes
+let flush_fdb t = Hashtbl.reset t.fdb
+
+let fdb_lookup t ~node =
+  Option.map (fun p -> p.label) (Hashtbl.find_opt t.fdb node)
+
+(* Release one drained frame's ledger charges without the XON side effect
+   (a powered-off switch must not transmit). *)
+let release t p charged ingress_pid =
+  match t.buffer with
+  | Some b ->
+      let r = b.port_reserve_bytes in
+      let extra_shared =
+        max 0 (p.egress_bytes - r) - max 0 (p.egress_bytes - charged - r)
+      in
+      p.egress_bytes <- p.egress_bytes - charged;
+      t.shared_used <- t.shared_used - extra_shared;
+      t.occupied <- t.occupied - charged;
+      probe_buffer t p.node (-charged);
+      (match find_port t ingress_pid with
+      | Some q -> q.ingress_bytes <- q.ingress_bytes - charged
+      | None -> ())
+  | None -> ()
+
+(* Power the switch down or back up.  Down: ingress is refused, egress
+   FIFOs drain into thin air with their ledger charges released, PAUSE
+   gates and pending XOFF state are cleared (upstream gates expire on
+   their own quanta timers — a dead switch sends no XON).  Frames already
+   mid-serialization finish on the wire.  Up: every pump restarts. *)
+let set_down t flag =
+  if t.down <> flag then begin
+    t.down <- flag;
+    if flag then
+      List.iter
+        (fun p ->
+          Option.iter Sim.cancel p.resume;
+          p.resume <- None;
+          let now = Sim.now t.sim in
+          if egress_gated t p then begin
+            p.egress_paused_ns <- p.egress_paused_ns + (now - p.gate_start);
+            p.tx_paused_until <- now
+          end;
+          p.paused_rx <- false;
+          Queue.iter
+            (fun (frame, ingress_pid) ->
+              match t.buffer with
+              | Some _ ->
+                  release t p (Eth_frame.buffer_bytes frame) ingress_pid
+              | None -> ())
+            p.fifo;
+          Queue.clear p.fifo;
+          probe_fifo t p)
+        t.port_list
+    else List.iter (fun p -> pump_port t p) t.port_list
+  end
+
+let is_down t = t.down
 let uplink t ~node = (get_port t node).uplink
 let connect_node t ~node rx = Link.connect (get_port t node).downlink rx
-let rewire_node t ~node rx = Link.reconnect (get_port t node).downlink rx
-let ports t = List.map (fun p -> p.node) t.port_list
+
+let rewire_node t ~node rx =
+  (* The rebooted node's NIC is new hardware: any learned entry for it is
+     stale the instant the old NIC dies, so withdraw it and let the fabric
+     relearn (remote switches keep their entries — they can't see a
+     reboot, a documented blind spot of flooding-based learning). *)
+  Hashtbl.remove t.fdb node;
+  Link.reconnect (get_port t node).downlink rx
+
+let ports t =
+  List.filter_map (fun p -> if p.node >= 0 then Some p.node else None)
+    t.port_list
+
+let trunks t =
+  List.filter_map (fun p -> if p.node < 0 then Some p.label else None)
+    t.port_list
+
+let trunk_tx_frames t ~peer =
+  (get_trunk t ~what:"Switch.trunk_tx_frames" peer).tx_frames
+
 let frames_forwarded t = t.frames_forwarded
 let frames_flooded t = t.frames_flooded
 let frames_unroutable t = t.frames_unroutable
+let frames_ttl_dropped t = t.frames_ttl_dropped
+let unknown_floods t = t.unknown_floods
+let down_drops t = t.down_drops
 
 let egress_drops t =
   List.fold_left (fun acc p -> acc + p.egress_drops) 0 t.port_list

@@ -1,22 +1,32 @@
-(** A shared-buffer store-and-forward Ethernet switch with 802.3x PAUSE.
+(** A shared-buffer store-and-forward Ethernet switch with 802.3x PAUSE
+    and multi-hop fabric support.
 
-    Each port is a full-duplex pair of {!Link}s (node→switch, switch→node).
-    Unicast frames are forwarded to the port owning the destination MAC
-    (static table: one node per port, as in a dedicated cluster); broadcast
-    and multicast frames are flooded to every port except the ingress one —
-    the data-link multicast capability CLIC's broadcast primitives exploit.
-    Forwarding adds a fixed per-frame latency modelling lookup plus internal
-    transfer; output contention arises from the egress queues draining at
-    the line rate.
+    Each port is a full-duplex pair of {!Link}s.  Station ports
+    (node→switch, switch→node) attach NICs; trunk ports ({!add_trunk})
+    attach peer switches, so fabrics — linear chains, leaf/spine, fat
+    trees — compose from the same switch.  Unicast frames are forwarded to
+    the local port owning the destination MAC, else along a static ECMP
+    route set ({!set_route}, hashed per flow), else to a learned FDB entry
+    (when [learning] is on), else flooded (learning) or counted
+    unroutable.  Broadcast and multicast frames are flooded to every port
+    except the ingress one — the data-link multicast capability CLIC's
+    broadcast primitives exploit.  Every switch traversal increments the
+    frame's hop count; frames at the [ttl] bound are dropped, the backstop
+    against forwarding loops.  Forwarding adds a fixed per-frame latency
+    modelling lookup plus internal transfer; output contention arises from
+    the egress queues draining at the line rate.
 
     Buffering: each egress port owns a FIFO drawing on a shared byte pool
     ({!buffer}) — a per-port reserve is always available, the remainder is
     shared, and frames that fit neither are tail-dropped against the egress
     port.  Every buffered frame is also charged to its {e ingress} port;
     when that occupancy crosses the high watermark the switch XOFFs the
-    offending station with a real PAUSE frame ({!Mac_control}), and XONs it
-    at the low watermark.  Stations can likewise PAUSE the switch: MAC
+    offending peer with a real PAUSE frame ({!Mac_control}), and XONs it
+    at the low watermark.  Peers can likewise PAUSE the switch: MAC
     control frames arriving on an uplink gate that port's egress pump.
+    Trunk ports participate fully, so an XOFF on a congested downstream
+    switch gates the upstream pump and congestion trees form hop by hop
+    across the fabric.
 
     Uplinks may be bounded ([ingress_frames]): a station blind-dumping into
     a full uplink FIFO loses frames to {!ingress_drops}, the failure mode
@@ -48,6 +58,8 @@ val create :
   ?egress_frames:int ->
   ?ingress_frames:int ->
   ?buffer:buffer ->
+  ?learning:bool ->
+  ?ttl:int ->
   unit ->
   t
 (** [fault] is called once per created link to give each direction its own
@@ -55,13 +67,53 @@ val create :
     excess frames are tail-dropped into {!egress_drops}.  [ingress_frames]
     bounds each uplink's transmit queue, making blind-dumping stations
     lose frames to {!ingress_drops}.  [buffer] enables the shared-buffer
-    ledger and PAUSE generation.
-    @raise Invalid_argument on nonsensical buffer parameters. *)
+    ledger and PAUSE generation.  [learning] (default [false]) enables the
+    MAC-learning FDB and unknown-unicast flooding; [ttl] (default 16)
+    bounds switch traversals per frame.
+    @raise Invalid_argument on nonsensical buffer parameters or [ttl < 1]. *)
+
+val name : t -> string
 
 val add_port : t -> node:int -> unit
-(** Declares a port for [node].
-    @raise Invalid_argument on duplicates, or when the per-port reserves
-    of the new port count would exhaust the shared buffer. *)
+(** Declares a station port for [node].
+    @raise Invalid_argument on duplicates, a negative node, or when the
+    per-port reserves of the new port count would exhaust the shared
+    buffer. *)
+
+val add_trunk : ?bits_per_s:float -> t -> t -> unit
+(** [add_trunk a b] joins two switches with a full-duplex trunk (one
+    {!Link} per direction, at [bits_per_s], defaulting to [a]'s port
+    rate).  Each side gets a trunk port carrying data, PAUSE and the
+    buffer ledger exactly like a station port.
+    @raise Invalid_argument on a self-trunk, switches from different
+    simulations, an existing trunk between the pair, or exhausted port
+    reserves. *)
+
+val set_route : t -> dst:int -> via:string list -> unit
+(** Installs a static route: unicast frames for node [dst] (when [dst] is
+    not a local station) leave via one of the named peer trunks, chosen by
+    a deterministic per-flow hash — equal-cost multipath when several
+    peers are given.  An empty [via] removes the route.
+    @raise Invalid_argument when a named peer has no trunk here. *)
+
+val clear_routes : t -> unit
+
+val flush_fdb : t -> unit
+(** Forgets every learned MAC (an operator clearing the FDB); subsequent
+    unknown destinations flood and relearn. *)
+
+val fdb_lookup : t -> node:int -> string option
+(** The port label ("n<id>" or a peer switch name) the FDB currently maps
+    [node] to, if learned. *)
+
+val set_down : t -> bool -> unit
+(** Powers the switch down ([true]) or back up ([false]).  Down: ingress
+    frames are refused into {!down_drops}, buffered frames drain with
+    their ledger charges released, and PAUSE state clears — upstream
+    gates expire on their own quanta timers, since a dead switch sends no
+    XON.  Frames already mid-serialization finish.  Idempotent. *)
+
+val is_down : t -> bool
 
 val uplink : t -> node:int -> Link.t
 (** The node→switch link: the node's NIC transmits into this. *)
@@ -71,15 +123,37 @@ val connect_node : t -> node:int -> (Eth_frame.t -> unit) -> unit
 
 val rewire_node : t -> node:int -> (Eth_frame.t -> unit) -> unit
 (** Replaces the receive function on an existing port: a rebooted node
-    reattaching its freshly created NIC. *)
+    reattaching its freshly created NIC.  Also withdraws the node's own
+    FDB entry (its old NIC is gone); remote switches keep theirs until
+    traffic relearns them. *)
 
 val ports : t -> int list
+(** Station node ids, in port order (trunks excluded). *)
+
+val trunks : t -> string list
+(** Peer switch names reachable over local trunks, in port order. *)
+
+val trunk_tx_frames : t -> peer:string -> int
+(** Data frames transmitted on the trunk toward [peer] — the per-uplink
+    load counter ECMP-spread tests read.
+    @raise Invalid_argument when no such trunk exists. *)
+
 val frames_forwarded : t -> int
 
 val frames_flooded : t -> int
-(** Copies emitted for group-addressed frames. *)
+(** Copies emitted for group-addressed or unknown-unicast frames. *)
 
 val frames_unroutable : t -> int
+
+val frames_ttl_dropped : t -> int
+(** Frames dropped at the hop-count bound — nonzero means a forwarding
+    loop (or a fabric deeper than [ttl]). *)
+
+val unknown_floods : t -> int
+(** Unicast frames flooded because the FDB had no entry (learning mode). *)
+
+val down_drops : t -> int
+(** Frames refused while the switch was powered down. *)
 
 val egress_drops : t -> int
 (** Frames tail-dropped at full egress FIFOs or an exhausted shared
@@ -93,7 +167,7 @@ val pause_frames_tx : t -> int
 (** PAUSE frames the switch generated (XOFF and XON). *)
 
 val pause_frames_rx : t -> int
-(** PAUSE frames received from stations. *)
+(** PAUSE frames received from stations or peer switches. *)
 
 val buffer_occupied : t -> int
 (** Bytes currently held in the shared buffer (0 when unbuffered). *)
@@ -101,10 +175,11 @@ val buffer_occupied : t -> int
 val peak_buffer_occupied : t -> int
 
 val egress_paused_ns : t -> int
-(** Total time egress ports spent gated by station-originated PAUSE. *)
+(** Total time egress ports spent gated by peer-originated PAUSE. *)
 
 val protected_provisioning : t -> bool
 (** Whether the configuration guarantees zero switch loss for
-    PAUSE-honouring stations: PAUSE on, bounded uplinks, and a shared
-    buffer large enough for every port's high watermark plus its
-    worst-case in-flight spill. *)
+    PAUSE-honouring stations: PAUSE on, bounded uplinks, no trunks (the
+    per-switch proof does not compose across hops), and a shared buffer
+    large enough for every port's high watermark plus its worst-case
+    in-flight spill. *)

@@ -128,7 +128,39 @@ val incast :
     pause tx, paused us) per condition.  Every message must be delivered
     in every condition; with PAUSE the switch must lose nothing at all. *)
 
+type fabric_row = {
+  fb_name : string;
+  fb_sent : int;
+  fb_delivered : int;
+  fb_elapsed_ms : float;
+  fb_retx : int;
+  fb_drops : int;  (** switch drops fabric-wide (ingress + egress) *)
+  fb_spine_pause : int;  (** PAUSE frames the spine generated (XOFFs ToRs) *)
+  fb_tor_pause : int;  (** PAUSE frames the ToRs generated (XOFF senders) *)
+  fb_paused_us : float;  (** total sender-NIC time spent XOFFed *)
+  fb_peak_buf : int;  (** largest peak shared-buffer occupancy, any switch *)
+}
+
+type reroute_row = {
+  rr_sent : int;
+  rr_delivered : int;
+  rr_retx : int;
+  rr_spine0_tx : int;  (** tor0 trunk frames toward the spine that dies *)
+  rr_spine1_tx : int;  (** toward the survivor *)
+  rr_down_drops : int;  (** frames the dead spine refused *)
+}
+
+val fabric :
+  ?quick:bool -> Format.formatter -> fabric_row list * reroute_row
+(** Cross-rack congestion panel: six remote senders incast node 0 through
+    a one-spine leaf/spine (3 Gb/s per remote ToR into 1 Gb/s uplinks),
+    tail-drop vs 802.3x PAUSE — the collapse a star cannot express — then
+    a 2-spine ECMP fabric loses a spine mid-workload and must deliver
+    everything over the survivor.  Under PAUSE the congestion tree must
+    form hop by hop (spine XOFFs ToRs, ToRs XOFF senders) with zero
+    switch loss. *)
+
 val all_ids : string list
 val run : string -> Format.formatter -> unit
-(** Run one experiment by id ("fig4" ... "ext3").
+(** Run one experiment by id ("fig4" ... "fabric").
     @raise Invalid_argument on unknown ids. *)

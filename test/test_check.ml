@@ -408,6 +408,61 @@ let test_soak_incast_storm_focused () =
 (* Satellite: the probe-enabled flag is consulted on the engine's hottest
    path, so a probe-off run and a probe-on run of a full scenario must
    render byte-identical output — observation cannot perturb behaviour. *)
+let test_soak_fabric_cut_focused () =
+  (* The fabric template alone: a spine failure plus a node crash on a
+     2-spine leaf/spine, clean under the full monitor set, with frames
+     actually crossing trunks and the spine really failing mid-trial. *)
+  let r = Check.Soak.run ~seeds:[ 21 ] ~quick:true ~only:[ "fabric-cut" ] () in
+  List.iter
+    (fun v -> Printf.printf "unexpected: %s\n" (Check.Violation.to_string v))
+    (Check.Soak.violations r);
+  check_bool "fabric-cut runs clean" true (Check.Soak.ok r);
+  let ev = r.Check.Soak.s_evidence in
+  check_bool "frames crossed trunks" true (ev.Check.Soak.ev_trunk_frames > 0);
+  check_bool "a switch failed mid-trial" true
+    (ev.Check.Soak.ev_switch_failures > 0);
+  check_bool "a node crashed mid-trial" true (ev.Check.Soak.ev_crashes > 0);
+  check_bool "traffic actually flowed" true (ev.Check.Soak.ev_delivered > 0)
+
+(* The PR-8 compatibility contract: the topology-DSL rebuild of the wiring
+   must leave every pre-existing scenario's logical trace untouched.  The
+   full 15-scenario sweep runs in CI (`clic-sim check --hashes` against
+   test/golden/scenario_hashes.txt); in-suite, a fast subset pins the
+   hashes on every `dune runtest`. *)
+let fast_hash_scenarios =
+  [ "fig1"; "fig7"; "sec2"; "sec3"; "ext2"; "ext3"; "chaos"; "incast"; "fabric" ]
+
+let test_scenario_hashes_pinned () =
+  let golden =
+    let ic = open_in "golden/scenario_hashes.txt" in
+    let rec loop acc =
+      match input_line ic with
+      | line -> (
+          match String.split_on_char ' ' line with
+          | [ name; hash ] -> loop ((name, hash) :: acc)
+          | _ -> loop acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    loop []
+  in
+  check_bool "golden file pins every scenario" true (List.length golden >= 16);
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name golden) then
+        Alcotest.failf "scenario %s missing from the golden file" name)
+    fast_hash_scenarios;
+  let reports = Check.run_all ~seeds:0 ~names:fast_hash_scenarios () in
+  List.iter
+    (fun r ->
+      Alcotest.(check string)
+        (r.Check.scenario
+       ^ ": logical trace hash pinned by test/golden/scenario_hashes.txt")
+        (List.assoc r.Check.scenario golden)
+        r.Check.baseline_hash)
+    reports
+
 let test_probe_on_off_equivalence () =
   let sc =
     match Check.Scenario.find "ext3" with
@@ -565,6 +620,10 @@ let suite =
     Alcotest.test_case "soak: one-seed smoke run" `Quick test_soak_smoke;
     Alcotest.test_case "soak: incast-storm focused" `Quick
       test_soak_incast_storm_focused;
+    Alcotest.test_case "soak: fabric-cut focused" `Quick
+      test_soak_fabric_cut_focused;
+    Alcotest.test_case "check: scenario trace hashes pinned" `Slow
+      test_scenario_hashes_pinned;
     Alcotest.test_case "probe on/off trace equivalence" `Quick
       test_probe_on_off_equivalence;
     Alcotest.test_case "lint: bad fixtures trigger exactly their rule" `Quick

@@ -243,6 +243,379 @@ let test_node_crash_reboot_guards () =
       check_int "epoch counts boots" 1 (Node.epoch nb));
   Net.run c
 
+(* ------------------------------------------------------------------ *)
+(* Fabric topologies: the DSL, compiled routes, and multi-hop clusters *)
+
+let raw ~src ~dst n =
+  Hw.Eth_frame.make ~src:(Hw.Mac.of_node src) ~dst:(Hw.Mac.of_node dst)
+    ~ethertype:0x88 ~payload_bytes:n (Hw.Eth_frame.Raw n)
+
+let test_topology_star_compat () =
+  let t = Topology.star ~n:4 in
+  check_int "hosts" 4 (Topology.n t);
+  Alcotest.(check (list string))
+    "the legacy single prefix" [ "switch" ] (Topology.switches t);
+  check_int "no trunks" 0 (List.length (Topology.trunks t));
+  for id = 0 to 3 do
+    Alcotest.(check string) "everyone on the one switch" "switch"
+      (Topology.attach t id)
+  done;
+  check_int "diameter" 0 (Topology.diameter t);
+  check_int "no routes to compile" 0 (List.length (Topology.routes t))
+
+let test_topology_validation () =
+  let mk ?ttl ~switches ~trunks ~hosts () =
+    ignore (Topology.make ?ttl ~switches ~trunks ~hosts ())
+  in
+  Alcotest.check_raises "duplicate switch"
+    (Invalid_argument "Topology: duplicate switch s") (fun () ->
+      mk ~switches:[ "s"; "s" ] ~trunks:[] ~hosts:[| "s" |] ());
+  Alcotest.check_raises "self trunk"
+    (Invalid_argument "Topology: self-trunk s") (fun () ->
+      mk ~switches:[ "s" ] ~trunks:[ ("s", "s") ] ~hosts:[| "s" |] ());
+  Alcotest.check_raises "unknown trunk end"
+    (Invalid_argument "Topology: trunk to unknown switch t") (fun () ->
+      mk ~switches:[ "s" ] ~trunks:[ ("s", "t") ] ~hosts:[| "s" |] ());
+  Alcotest.check_raises "disconnected fabric"
+    (Invalid_argument "Topology: switch t is disconnected") (fun () ->
+      mk ~switches:[ "s"; "t" ] ~trunks:[] ~hosts:[| "s" |] ());
+  Alcotest.check_raises "ttl below the diameter"
+    (Invalid_argument "Topology: ttl below the fabric diameter") (fun () ->
+      mk ~ttl:2
+        ~switches:[ "s"; "t"; "u" ]
+        ~trunks:[ ("s", "t"); ("t", "u") ]
+        ~hosts:[| "s"; "u" |] ());
+  Alcotest.check_raises "fat tree wants even k"
+    (Invalid_argument "Topology.fat_tree: k must be even and >= 2") (fun () ->
+      ignore (Topology.fat_tree ~k:3 ()))
+
+let test_topology_linear_routes () =
+  let t = Topology.linear ~racks:3 ~per_rack:2 () in
+  check_int "hosts" 6 (Topology.n t);
+  check_int "diameter of the chain" 2 (Topology.diameter t);
+  Alcotest.(check string) "host 5 in the last rack" "s2." (Topology.attach t 5);
+  let routes = Topology.routes t in
+  let via at dst =
+    match
+      List.find_opt (fun (a, d, _) -> a = at && d = dst) routes
+    with
+    | Some (_, _, v) -> v
+    | None -> []
+  in
+  Alcotest.(check (list string)) "s0 reaches rack 2 through s1" [ "s1." ]
+    (via "s0." 5);
+  Alcotest.(check (list string)) "middle rack goes left for rack 0" [ "s0." ]
+    (via "s1." 0);
+  Alcotest.(check (list string)) "no route entry for a local host" []
+    (via "s0." 0)
+
+let test_topology_leaf_spine_shape () =
+  let t = Topology.leaf_spine ~racks:3 ~per_rack:2 ~spines:2 () in
+  check_int "hosts" 6 (Topology.n t);
+  check_int "tors + spines" 5 (List.length (Topology.switches t));
+  check_int "full tor x spine mesh" 6 (List.length (Topology.trunks t));
+  check_int "two-hop diameter via any spine" 2 (Topology.diameter t);
+  (* every cross-rack destination gets the full equal-cost spine set *)
+  List.iter
+    (fun (at, dst, via) ->
+      if String.length at >= 3 && String.sub at 0 3 = "tor" then
+        check_int
+          (Printf.sprintf "ECMP width at %s for %d" at dst)
+          2 (List.length via))
+    (List.filter (fun (_, _, via) -> via <> []) (Topology.routes t))
+
+let test_topology_fat_tree_shape () =
+  let t = Topology.fat_tree ~k:4 () in
+  check_int "k^3/4 hosts" 16 (Topology.n t);
+  check_int "edge + aggregation + core" 20 (List.length (Topology.switches t));
+  (* k pods x (k/2 edge x k/2 agg) + (k/2)^2 cores x k pods *)
+  check_int "trunks" 32 (List.length (Topology.trunks t));
+  check_int "diameter edge-agg-core-agg-edge" 4 (Topology.diameter t);
+  check_bool "default ttl clears the diameter" true
+    (Topology.ttl t >= Topology.diameter t + 1);
+  (* same-pod, different-edge traffic has k/2 equal-cost aggregations *)
+  let routes = Topology.routes t in
+  match
+    List.find_opt (fun (at, dst, _) -> at = "e0_0." && dst = 2) routes
+  with
+  | Some (_, _, via) -> check_int "in-pod ECMP width" 2 (List.length via)
+  | None -> Alcotest.fail "no route from e0_0. to host 2"
+
+let test_topology_reroute_excluding () =
+  let t = Topology.leaf_spine ~racks:2 ~per_rack:1 ~spines:2 () in
+  let via excluding =
+    match
+      List.find_opt
+        (fun (at, dst, _) -> at = "tor0." && dst = 1)
+        (Topology.routes ~excluding t)
+    with
+    | Some (_, _, v) -> v
+    | None -> []
+  in
+  Alcotest.(check (list string))
+    "healthy: both spines equal cost" [ "spine0."; "spine1." ] (via []);
+  Alcotest.(check (list string))
+    "spine0 dead: the survivor carries all" [ "spine1." ] (via [ "spine0." ]);
+  Alcotest.(check (list string))
+    "both spines dead: the destination vanishes" []
+    (via [ "spine0."; "spine1." ])
+
+(* Instantiate a topology's rank-0 fabric with bare counting stations —
+   the switch-level view the qcheck properties drive directly, mirroring
+   what [Net.create_topo] wires per NIC rank. *)
+let build_fabric sim topo =
+  let phys p = p ^ "0" in
+  let sws =
+    List.map
+      (fun p ->
+        ( p,
+          Hw.Switch.create sim ~name:(phys p) ~bits_per_s:1e9
+            ~learning:(Topology.learning topo) ~ttl:(Topology.ttl topo) () ))
+      (Topology.switches topo)
+  in
+  let sw p = List.assoc p sws in
+  List.iter
+    (fun (x, y) -> Hw.Switch.add_trunk (sw x) (sw y))
+    (Topology.trunks topo);
+  for id = 0 to Topology.n topo - 1 do
+    Hw.Switch.add_port (sw (Topology.attach topo id)) ~node:id
+  done;
+  if not (Topology.learning topo) then
+    List.iter
+      (fun (at, dst, via) ->
+        Hw.Switch.set_route (sw at) ~dst ~via:(List.map phys via))
+      (Topology.routes topo);
+  sws
+
+let topo_arb =
+  let print t =
+    Printf.sprintf "{n=%d; switches=%s%s}" (Topology.n t)
+      (String.concat "," (Topology.switches t))
+      (if Topology.learning t then "; learning" else "")
+  in
+  QCheck.make ~print
+    QCheck.Gen.(
+      oneof
+        [
+          map2
+            (fun racks per_rack -> Topology.linear ~racks ~per_rack ())
+            (int_range 1 4) (int_range 1 3);
+          map2
+            (fun racks per_rack ->
+              Topology.linear ~learning:true ~racks ~per_rack ())
+            (int_range 1 3) (int_range 1 2);
+          map3
+            (fun racks per_rack spines ->
+              Topology.leaf_spine ~racks ~per_rack ~spines ())
+            (int_range 2 4) (int_range 1 3) (int_range 1 3);
+          return (Topology.fat_tree ~k:2 ());
+          return (Topology.fat_tree ~k:4 ());
+          return (Topology.star ~n:5);
+        ])
+
+let prop_fabric_all_pairs_delivery =
+  QCheck.Test.make ~count:20 ~name:"fabric: all-pairs delivery, loop-free"
+    topo_arb
+    (fun topo ->
+      let sim = Sim.create () in
+      let sws = build_fabric sim topo in
+      let n = Topology.n topo in
+      let got = Array.make n 0 in
+      for id = 0 to n - 1 do
+        let sw = List.assoc (Topology.attach topo id) sws in
+        Hw.Switch.connect_node sw ~node:id (fun f ->
+            (* learning fabrics flood unknown destinations to every
+               station: count only frames addressed to this one *)
+            if Hw.Mac.equal f.Hw.Eth_frame.dst (Hw.Mac.of_node id) then
+              got.(id) <- got.(id) + 1)
+      done;
+      for s = 0 to n - 1 do
+        for d = 0 to n - 1 do
+          if s <> d then
+            Hw.Link.send
+              (Hw.Switch.uplink (List.assoc (Topology.attach topo s) sws)
+                 ~node:s)
+              (raw ~src:s ~dst:d 200)
+        done
+      done;
+      Sim.run sim;
+      Array.for_all (fun c -> c = n - 1) got
+      && List.for_all
+           (fun (_, sw) ->
+             Hw.Switch.frames_ttl_dropped sw = 0
+             && Hw.Switch.frames_unroutable sw = 0)
+           sws)
+
+let prop_fabric_flood_bounded_by_ttl =
+  (* a broadcast on a cyclic static-routed fabric storms around the spine
+     loops; the TTL must bound it and every station must still hear it *)
+  QCheck.Test.make ~count:15 ~name:"fabric: broadcast storm dies at the TTL"
+    (QCheck.make
+       ~print:(fun (s, r) -> Printf.sprintf "spines=%d racks=%d" s r)
+       QCheck.Gen.(pair (int_range 2 3) (int_range 2 3)))
+    (fun (spines, racks) ->
+      let topo = Topology.leaf_spine ~racks ~per_rack:2 ~spines () in
+      let sim = Sim.create () in
+      let sws = build_fabric sim topo in
+      let n = Topology.n topo in
+      let heard = Array.make n 0 in
+      for id = 0 to n - 1 do
+        let sw = List.assoc (Topology.attach topo id) sws in
+        Hw.Switch.connect_node sw ~node:id (fun f ->
+            if Hw.Mac.equal f.Hw.Eth_frame.dst Hw.Mac.broadcast then
+              heard.(id) <- heard.(id) + 1)
+      done;
+      Hw.Link.send
+        (Hw.Switch.uplink (List.assoc (Topology.attach topo 0) sws) ~node:0)
+        (Hw.Eth_frame.make ~src:(Hw.Mac.of_node 0) ~dst:Hw.Mac.broadcast
+           ~ethertype:0x88 ~payload_bytes:100 (Hw.Eth_frame.Raw 100));
+      Sim.run sim (* termination itself is the property under test *);
+      let ttl_drops =
+        List.fold_left
+          (fun acc (_, sw) -> acc + Hw.Switch.frames_ttl_dropped sw)
+          0 sws
+      in
+      (* with >= 2 spines the flood loops, so the TTL must have fired;
+         looped copies may even circle back to the sender's own switch *)
+      ttl_drops > 0
+      && Array.for_all (fun c -> c >= 1) (Array.sub heard 1 (n - 1)))
+
+let prop_fabric_ecmp_spreads_load =
+  QCheck.Test.make ~count:15 ~name:"fabric: ECMP loads every spine trunk"
+    (QCheck.make
+       ~print:(fun (s, p) -> Printf.sprintf "spines=%d per_rack=%d" s p)
+       QCheck.Gen.(pair (int_range 2 4) (int_range 2 3)))
+    (fun (spines, per_rack) ->
+      let topo = Topology.leaf_spine ~racks:2 ~per_rack ~spines () in
+      let sim = Sim.create () in
+      let sws = build_fabric sim topo in
+      let n = Topology.n topo in
+      let got = ref 0 in
+      for id = 0 to n - 1 do
+        let sw = List.assoc (Topology.attach topo id) sws in
+        Hw.Switch.connect_node sw ~node:id (fun f ->
+            if Hw.Mac.equal f.Hw.Eth_frame.dst (Hw.Mac.of_node id) then
+              incr got)
+      done;
+      (* every cross-rack ordered pair, both directions, two frames each *)
+      let flows = ref 0 in
+      for s = 0 to n - 1 do
+        for d = 0 to n - 1 do
+          if Topology.attach topo s <> Topology.attach topo d then begin
+            incr flows;
+            for _ = 1 to 2 do
+              Hw.Link.send
+                (Hw.Switch.uplink (List.assoc (Topology.attach topo s) sws)
+                   ~node:s)
+                (raw ~src:s ~dst:d 200)
+            done
+          end
+        done
+      done;
+      Sim.run sim;
+      (* pigeonhole honesty: a handful of flows cannot promise to land in
+         every one of [spines] hash bins, so the per-flow hash is judged
+         fabric-wide — across both ToRs every spine must carry load, and
+         no single spine may swallow everything *)
+      let load sp =
+        Hw.Switch.trunk_tx_frames (List.assoc "tor0." sws) ~peer:(sp ^ "0")
+        + Hw.Switch.trunk_tx_frames (List.assoc "tor1." sws) ~peer:(sp ^ "0")
+      in
+      let loads = List.init spines (fun i -> load (Printf.sprintf "spine%d." i)) in
+      !got = 2 * !flows
+      && List.fold_left ( + ) 0 loads = 2 * !flows
+      && List.for_all (fun l -> l > 0 && l < 2 * !flows) loads)
+
+let test_net_fail_switch_reroutes () =
+  let topo = Topology.leaf_spine ~racks:2 ~per_rack:1 ~spines:2 () in
+  let c = Net.create_topo ~topo () in
+  Alcotest.(check (list string))
+    "nothing failed initially" [] (Net.failed_switches c);
+  Alcotest.check_raises "unknown prefix"
+    (Invalid_argument "Net.switch: unknown xx") (fun () ->
+      ignore (Net.switch c "xx"));
+  Net.fail_switch c "spine0.";
+  Net.fail_switch c "spine0." (* idempotent *);
+  Alcotest.(check (list string))
+    "failure recorded once" [ "spine0." ] (Net.failed_switches c);
+  check_bool "switch powered down" true
+    (Hw.Switch.is_down (Net.switch c "spine0."));
+  let pair = Measure.clic_pair c ~a:0 ~b:1 () in
+  let r = Measure.pingpong c pair ~size:1024 ~reps:2 ~warmup:1 () in
+  check_bool "traffic survives on the remaining spine" true
+    (r.Measure.one_way > 0);
+  check_int "the dead spine carried nothing"
+    0
+    (Hw.Switch.trunk_tx_frames (Net.switch c "tor0.") ~peer:"spine0.0");
+  Net.restore_switch c "spine0.";
+  Alcotest.(check (list string))
+    "restored" [] (Net.failed_switches c);
+  check_bool "switch back up" false
+    (Hw.Switch.is_down (Net.switch c "spine0."))
+
+let test_fabric_crash_reboot_rewires () =
+  (* the satellite regression: crash/reboot must rewire the node into its
+     own ToR on a multi-switch fabric, not a hard-coded single star *)
+  let config = { Node.default_config with clic_params = snappy } in
+  let topo = Topology.leaf_spine ~racks:2 ~per_rack:1 ~spines:1 () in
+  let c = Net.create_topo ~config ~topo () in
+  let na = Net.node c 0 and nb = Net.node c 1 in
+  let first = ref 0 and second = ref 0 in
+  Node.spawn nb (fun () ->
+      first := (Clic.Api.recv nb.Node.clic ~port:7).Clic.Clic_module.msg_bytes);
+  Node.spawn na (fun () ->
+      Clic.Api.send na.Node.clic ~dst:1 ~port:7 500;
+      (* while the peer is down, a confirmed send must detect the death —
+         this also tears the stale-epoch channel down for phase 3 *)
+      Process.delay (Time.us 2_500.);
+      (try
+         Clic.Api.send_sync na.Node.clic ~dst:1 ~port:7 2_000;
+         Alcotest.fail "send to a crashed node succeeded"
+       with Clic.Channel.Dead _ -> ());
+      Process.delay (Time.ms 8.);
+      let rec resend () =
+        try Clic.Api.send na.Node.clic ~dst:1 ~port:7 1_500
+        with Clic.Channel.Dead _ ->
+          Process.delay (Time.us 300.);
+          resend ()
+      in
+      resend ());
+  Node.spawn na (fun () ->
+      Process.delay (Time.ms 2.);
+      Node.crash nb;
+      Process.delay (Time.ms 4.);
+      Node.reboot nb;
+      Node.spawn nb (fun () ->
+          second :=
+            (Clic.Api.recv nb.Node.clic ~port:7).Clic.Clic_module.msg_bytes));
+  Net.run c;
+  check_int "pre-crash message crossed the fabric" 500 !first;
+  check_int "post-reboot message reaches the rewired NIC" 1_500 !second;
+  check_int "one boot recorded" 1 (Node.epoch nb)
+
+let test_workload_hotspot_explicit_senders () =
+  let c = Net.create ~n:5 () in
+  let s =
+    Workload.hotspot c ~seed:3 ~target:0 ~senders:[ 2; 4 ]
+      ~messages_per_node:10 ()
+  in
+  check_int "only the two senders sent" 20 s.Workload.sent;
+  check_int "delivered exactly once" 20 s.Workload.delivered;
+  let c2 = Net.create ~n:5 () in
+  Alcotest.check_raises "the target cannot send to itself"
+    (Invalid_argument "Workload.hotspot: bad sender id") (fun () ->
+      ignore
+        (Workload.hotspot c2 ~seed:3 ~target:0 ~senders:[ 0 ]
+           ~messages_per_node:1 ()))
+
+let fabric_qprops =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_fabric_all_pairs_delivery;
+      prop_fabric_flood_bounded_by_ttl;
+      prop_fabric_ecmp_spreads_load;
+    ]
+
 let suite =
   [
     ("cluster shape", `Quick, test_cluster_shape);
@@ -261,4 +634,14 @@ let suite =
     ("incast + finite buffers", `Quick, test_incast_with_finite_switch_buffers);
     ("node crash & recovery", `Quick, test_node_crash_recovery_reestablishes);
     ("crash/reboot guards", `Quick, test_node_crash_reboot_guards);
+    ("topology star compat", `Quick, test_topology_star_compat);
+    ("topology validation", `Quick, test_topology_validation);
+    ("topology linear routes", `Quick, test_topology_linear_routes);
+    ("topology leaf/spine shape", `Quick, test_topology_leaf_spine_shape);
+    ("topology fat tree shape", `Quick, test_topology_fat_tree_shape);
+    ("topology reroute excluding", `Quick, test_topology_reroute_excluding);
+    ("net fail/restore switch", `Quick, test_net_fail_switch_reroutes);
+    ("fabric crash/reboot rewire", `Quick, test_fabric_crash_reboot_rewires);
+    ("workload hotspot senders", `Quick, test_workload_hotspot_explicit_senders);
   ]
+  @ fabric_qprops

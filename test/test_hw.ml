@@ -957,6 +957,321 @@ let test_nic_without_pause_ignores_xoff () =
   check_int "control frame not in the rx ring" 0 (Nic.rx_pending a);
   check_int "data frame still delivered" 1 (Nic.rx_pending b)
 
+(* ------------------------------------------------------------------ *)
+(* Multi-hop fabrics: trunks, static ECMP routes, MAC learning, TTL, and
+   PAUSE propagating switch to switch *)
+
+(* Stations on a buffered fabric also see PAUSE frames on their downlink;
+   run [k] only for data. *)
+let on_data f k = if Mac_control.quanta_of f = None then k ()
+
+let two_switches ?buffer ?learning ?ttl ?trunk_bits_per_s sim =
+  let mk name =
+    Switch.create sim ~name ~bits_per_s:1e9 ?buffer ?learning ?ttl ()
+  in
+  let a = mk "a" and b = mk "b" in
+  Switch.add_trunk ?bits_per_s:trunk_bits_per_s a b;
+  (a, b)
+
+let test_switch_trunk_forwarding () =
+  let sim = Sim.create () in
+  let a, b = two_switches sim in
+  Switch.add_port a ~node:0;
+  Switch.add_port b ~node:1;
+  Switch.set_route a ~dst:1 ~via:[ "b" ];
+  Switch.set_route b ~dst:0 ~via:[ "a" ];
+  let got = ref 0 and hops = ref 0 in
+  Switch.connect_node a ~node:0 (fun _ -> ());
+  Switch.connect_node b ~node:1 (fun f ->
+      on_data f (fun () ->
+          incr got;
+          hops := f.Eth_frame.hops));
+  Link.send (Switch.uplink a ~node:0) (raw ~src:0 ~dst:1 500);
+  Sim.run sim;
+  check_int "delivered across the trunk" 1 !got;
+  check_int "two switch traversals" 2 !hops;
+  check_int "trunk load counter" 1 (Switch.trunk_tx_frames a ~peer:"b");
+  check_int "second hop forwarded" 1 (Switch.frames_forwarded b);
+  Alcotest.(check (list string)) "peer visible" [ "b" ] (Switch.trunks a);
+  Alcotest.(check (list int)) "stations exclude trunks" [ 0 ] (Switch.ports a)
+
+let test_switch_trunk_validation () =
+  let sim = Sim.create () in
+  let a, b = two_switches sim in
+  Alcotest.check_raises "self-trunk"
+    (Invalid_argument "Switch.add_trunk: self-trunk") (fun () ->
+      Switch.add_trunk a a);
+  Alcotest.check_raises "duplicate trunk"
+    (Invalid_argument "Switch.add_trunk: duplicate trunk a=>b") (fun () ->
+      Switch.add_trunk a b);
+  Alcotest.check_raises "route via a stranger"
+    (Invalid_argument "Switch.set_route: a has no trunk to zz") (fun () ->
+      Switch.set_route a ~dst:9 ~via:[ "zz" ]);
+  (* an otherwise fully provisioned switch loses its zero-loss guarantee
+     the moment a trunk appears: the proof does not compose across hops *)
+  let p =
+    Switch.create sim ~name:"p" ~bits_per_s:1e9 ~ingress_frames:6
+      ~buffer:Switch.default_buffer ()
+  in
+  let q = Switch.create sim ~name:"q" ~bits_per_s:1e9 () in
+  List.iter (fun n -> Switch.add_port p ~node:n) [ 0; 1; 2 ];
+  check_bool "protected before trunking" true (Switch.protected_provisioning p);
+  Switch.add_trunk p q;
+  check_bool "trunk voids the proof" false (Switch.protected_provisioning p)
+
+let test_switch_ttl_loop_drop () =
+  let sim = Sim.create () in
+  let a, b = two_switches ~ttl:6 sim in
+  Switch.add_port a ~node:0;
+  Switch.connect_node a ~node:0 (fun _ -> ());
+  (* a deliberately broken route set: each side claims the other owns
+     node 9, so the frame ping-pongs until the hop bound kills it *)
+  Switch.set_route a ~dst:9 ~via:[ "b" ];
+  Switch.set_route b ~dst:9 ~via:[ "a" ];
+  Link.send (Switch.uplink a ~node:0) (raw ~src:0 ~dst:9 500);
+  Sim.run sim;
+  check_int "exactly one frame dies at the hop bound" 1
+    (Switch.frames_ttl_dropped a + Switch.frames_ttl_dropped b);
+  check_int "the loop really crossed the trunk" 3
+    (Switch.trunk_tx_frames a ~peer:"b")
+
+let test_switch_learning_flood_then_unicast () =
+  let sim = Sim.create () in
+  let a, b = two_switches ~learning:true sim in
+  Switch.add_port a ~node:0;
+  Switch.add_port a ~node:2;
+  Switch.add_port b ~node:1;
+  let got = Array.make 3 0 in
+  List.iter
+    (fun (sw, n) ->
+      Switch.connect_node sw ~node:n (fun f ->
+          on_data f (fun () -> got.(n) <- got.(n) + 1)))
+    [ (a, 0); (a, 2); (b, 1) ];
+  Link.send (Switch.uplink a ~node:0) (raw ~src:0 ~dst:1 500);
+  Sim.run sim;
+  check_int "unknown unicast flooded" 1 (Switch.unknown_floods a);
+  check_int "bystander saw the flood" 1 got.(2);
+  check_int "destination reached" 1 got.(1);
+  Alcotest.(check (option string))
+    "b learned node 0 behind the trunk" (Some "a")
+    (Switch.fdb_lookup b ~node:0);
+  (* the reply teaches a where node 1 lives *)
+  Link.send (Switch.uplink b ~node:1) (raw ~src:1 ~dst:0 500);
+  Sim.run sim;
+  check_int "reply went unicast off b's FDB" 0 (Switch.unknown_floods b);
+  Alcotest.(check (option string))
+    "a learned node 1" (Some "b")
+    (Switch.fdb_lookup a ~node:1);
+  got.(1) <- 0;
+  got.(2) <- 0;
+  Link.send (Switch.uplink a ~node:0) (raw ~src:0 ~dst:1 500);
+  Sim.run sim;
+  check_int "second frame needed no flood" 1 (Switch.unknown_floods a);
+  check_int "no bystander copy this time" 0 got.(2);
+  check_int "destination reached again" 1 got.(1)
+
+let test_switch_fdb_relearn_after_rewire () =
+  let sim = Sim.create () in
+  let a, b = two_switches ~learning:true sim in
+  Switch.add_port a ~node:0;
+  Switch.add_port b ~node:1;
+  Switch.connect_node a ~node:0 (fun _ -> ());
+  let got = ref 0 in
+  Switch.connect_node b ~node:1 (fun f -> on_data f (fun () -> incr got));
+  Link.send (Switch.uplink a ~node:0) (raw ~src:0 ~dst:1 100);
+  Sim.run sim;
+  Alcotest.(check (option string))
+    "a learned node 0 locally" (Some "n0")
+    (Switch.fdb_lookup a ~node:0);
+  (* reboot: a fresh NIC reattaches, the local switch forgets the entry *)
+  Switch.rewire_node a ~node:0 (fun _ -> ());
+  Alcotest.(check (option string))
+    "own entry withdrawn" None
+    (Switch.fdb_lookup a ~node:0);
+  Alcotest.(check (option string))
+    "remote switch keeps its stale entry" (Some "a")
+    (Switch.fdb_lookup b ~node:0);
+  Link.send (Switch.uplink a ~node:0) (raw ~src:0 ~dst:1 100);
+  Sim.run sim;
+  Alcotest.(check (option string))
+    "traffic relearns" (Some "n0")
+    (Switch.fdb_lookup a ~node:0);
+  check_int "both frames delivered" 2 !got
+
+let test_switch_flush_fdb_refloods () =
+  let sim = Sim.create () in
+  let a, b = two_switches ~learning:true sim in
+  Switch.add_port a ~node:0;
+  Switch.add_port b ~node:1;
+  Switch.connect_node a ~node:0 (fun _ -> ());
+  Switch.connect_node b ~node:1 (fun _ -> ());
+  Link.send (Switch.uplink a ~node:0) (raw ~src:0 ~dst:1 100);
+  Link.send (Switch.uplink b ~node:1) (raw ~src:1 ~dst:0 100);
+  Sim.run sim;
+  check_int "initial unknown flood" 1 (Switch.unknown_floods a);
+  Alcotest.(check (option string))
+    "learned from the reply" (Some "b")
+    (Switch.fdb_lookup a ~node:1);
+  Switch.flush_fdb a;
+  Alcotest.(check (option string))
+    "operator flush forgets" None
+    (Switch.fdb_lookup a ~node:1);
+  Link.send (Switch.uplink a ~node:0) (raw ~src:0 ~dst:1 100);
+  Sim.run sim;
+  check_int "floods again after the flush" 2 (Switch.unknown_floods a)
+
+let test_switch_ecmp_spread () =
+  let sim = Sim.create () in
+  let mk name = Switch.create sim ~name ~bits_per_s:1e9 () in
+  let a = mk "a" and b = mk "b" and c = mk "c" and d = mk "d" in
+  Switch.add_trunk a b;
+  Switch.add_trunk a c;
+  Switch.add_trunk b d;
+  Switch.add_trunk c d;
+  for n = 0 to 7 do
+    Switch.add_port a ~node:n;
+    Switch.connect_node a ~node:n (fun _ -> ())
+  done;
+  Switch.add_port d ~node:9;
+  let got = ref 0 in
+  Switch.connect_node d ~node:9 (fun f -> on_data f (fun () -> incr got));
+  Switch.set_route a ~dst:9 ~via:[ "b"; "c" ];
+  Switch.set_route b ~dst:9 ~via:[ "d" ];
+  Switch.set_route c ~dst:9 ~via:[ "d" ];
+  for n = 0 to 7 do
+    for _ = 1 to 4 do
+      Link.send (Switch.uplink a ~node:n) (raw ~src:n ~dst:9 500)
+    done
+  done;
+  Sim.run sim;
+  check_int "all 32 delivered" 32 !got;
+  let via_b = Switch.trunk_tx_frames a ~peer:"b"
+  and via_c = Switch.trunk_tx_frames a ~peer:"c" in
+  check_int "every frame took a trunk" 32 (via_b + via_c);
+  check_bool
+    (Printf.sprintf "both equal-cost paths carried load (%d/%d)" via_b via_c)
+    true
+    (via_b > 0 && via_c > 0);
+  (* per-flow hashing: a flow never splits, so ECMP cannot reorder it *)
+  check_bool "4-frame flows stay whole" true
+    (via_b mod 4 = 0 && via_c mod 4 = 0)
+
+let test_switch_trunk_pause_propagates () =
+  let sim = Sim.create () in
+  (* a 10 Gb/s trunk feeding 1 Gb/s stations: b's egress backlog charges
+     the trunk ingress, so b must XOFF the upstream *switch*, not a
+     station — the first hop of a congestion tree *)
+  let buffer = shared_buffer ~high:8000 ~low:3000 () in
+  let a, b = two_switches ~buffer ~trunk_bits_per_s:1e10 sim in
+  Switch.add_port a ~node:0;
+  Switch.add_port a ~node:1;
+  Switch.add_port b ~node:2;
+  Switch.set_route a ~dst:2 ~via:[ "b" ];
+  let got = ref 0 in
+  Switch.connect_node a ~node:0 (fun _ -> ());
+  Switch.connect_node a ~node:1 (fun _ -> ());
+  Switch.connect_node b ~node:2 (fun f -> on_data f (fun () -> incr got));
+  Process.spawn sim (fun () ->
+      for _ = 1 to 12 do
+        Link.send (Switch.uplink a ~node:0) (raw ~src:0 ~dst:2 1400);
+        Link.send (Switch.uplink a ~node:1) (raw ~src:1 ~dst:2 1400)
+      done);
+  Sim.run sim;
+  check_int "everything delivered" 24 !got;
+  check_bool "downstream switch XOFFed its upstream peer" true
+    (Switch.pause_frames_tx b >= 2);
+  check_bool "upstream switch heard it" true (Switch.pause_frames_rx a >= 2);
+  check_bool "upstream trunk pump actually sat gated" true
+    (Switch.egress_paused_ns a > 0);
+  check_int "PAUSE kept the whole fabric lossless" 0
+    (Switch.egress_drops a + Switch.ingress_drops a + Switch.egress_drops b
+   + Switch.ingress_drops b);
+  (* the XON re-armed the trunk: without it the quanta gate alone would
+     have idled the trunk for milliseconds per XOFF *)
+  check_bool "finished long before the quanta timeout" true
+    (Sim.now sim < Time.ms 2.)
+
+let test_switch_trunk_hol_blocking () =
+  (* a congested flow XOFFs the trunk; an innocent flow to a different,
+     idle station on the far switch shares the gated pump and stalls
+     behind it — head-of-line blocking across hops *)
+  let victim_arrival ~congested =
+    let sim = Sim.create () in
+    let buffer = shared_buffer ~high:8000 ~low:3000 () in
+    let a, b = two_switches ~buffer ~trunk_bits_per_s:1e10 sim in
+    List.iter
+      (fun n ->
+        Switch.add_port a ~node:n;
+        Switch.connect_node a ~node:n (fun _ -> ()))
+      [ 0; 1; 4 ];
+    Switch.add_port b ~node:2;
+    Switch.add_port b ~node:3;
+    Switch.set_route a ~dst:2 ~via:[ "b" ];
+    Switch.set_route a ~dst:3 ~via:[ "b" ];
+    Switch.connect_node b ~node:2 (fun _ -> ());
+    let at = ref 0 in
+    Switch.connect_node b ~node:3 (fun f ->
+        on_data f (fun () -> at := Sim.now sim));
+    if congested then
+      Process.spawn sim (fun () ->
+          for _ = 1 to 40 do
+            Link.send (Switch.uplink a ~node:0) (raw ~src:0 ~dst:2 1400);
+            Link.send (Switch.uplink a ~node:4) (raw ~src:4 ~dst:2 1400)
+          done);
+    Sim.post sim ~after:(Time.us 200.) (fun () ->
+        Link.send (Switch.uplink a ~node:1) (raw ~src:1 ~dst:3 200));
+    Sim.run sim;
+    !at
+  in
+  let clear = victim_arrival ~congested:false in
+  let blocked = victim_arrival ~congested:true in
+  check_bool "victim still delivered" true (blocked > 0);
+  check_bool
+    (Printf.sprintf "HOL victim stalled behind the congestion tree (%d vs %d)"
+       blocked clear)
+    true
+    (blocked > clear + Time.us 30.)
+
+let test_switch_set_down_drains () =
+  let sim = Sim.create () in
+  let sw =
+    Switch.create sim ~name:"sw" ~bits_per_s:1e9 ~buffer:(shared_buffer ()) ()
+  in
+  List.iter (fun n -> Switch.add_port sw ~node:n) [ 0; 1; 2 ];
+  let got = ref 0 in
+  Switch.connect_node sw ~node:0 (fun _ -> ());
+  Switch.connect_node sw ~node:1 (fun _ -> ());
+  Switch.connect_node sw ~node:2 (fun f -> on_data f (fun () -> incr got));
+  Process.spawn sim (fun () ->
+      for _ = 1 to 10 do
+        Link.send (Switch.uplink sw ~node:0) (raw ~src:0 ~dst:2 1400);
+        Link.send (Switch.uplink sw ~node:1) (raw ~src:1 ~dst:2 1400)
+      done);
+  Sim.post sim ~after:(Time.us 40.) (fun () ->
+      check_bool "mid-burst the buffer is charged" true
+        (Switch.buffer_occupied sw > 0);
+      Switch.set_down sw true;
+      check_bool "down" true (Switch.is_down sw);
+      (* the FIFO backlog's charges are released on the spot; only the one
+         frame already mid-serialization may still hold its charge *)
+      check_bool "queued frames released their ledger charges" true
+        (Switch.buffer_occupied sw <= 1518 + 18);
+      Switch.set_down sw true (* idempotent *));
+  Sim.post sim ~after:(Time.us 100.) (fun () ->
+      check_int "once the wire drains the ledger is empty" 0
+        (Switch.buffer_occupied sw));
+  let down_mark = ref (-1) in
+  Sim.post sim ~after:(Time.us 400.) (fun () ->
+      down_mark := !got;
+      Switch.set_down sw false;
+      for _ = 1 to 3 do
+        Link.send (Switch.uplink sw ~node:1) (raw ~src:1 ~dst:2 500)
+      done);
+  Sim.run sim;
+  check_bool "frames were refused while down" true (Switch.down_drops sw > 0);
+  check_bool "power-up is visible" false (Switch.is_down sw);
+  check_int "revived switch forwards again" (!down_mark + 3) !got
+
 let qprops = List.map QCheck_alcotest.to_alcotest [ prop_fragmentation_counts ]
 
 let suite =
@@ -1011,5 +1326,18 @@ let suite =
     ("nic pause gates tx", `Quick, test_nic_pause_gates_tx);
     ("nic xon resumes early", `Quick, test_nic_xon_resumes_early);
     ("nic legacy ignores xoff", `Quick, test_nic_without_pause_ignores_xoff);
+    ("switch trunk forwarding", `Quick, test_switch_trunk_forwarding);
+    ("switch trunk validation", `Quick, test_switch_trunk_validation);
+    ("switch ttl loop drop", `Quick, test_switch_ttl_loop_drop);
+    ("switch learning flood/unicast", `Quick,
+      test_switch_learning_flood_then_unicast);
+    ("switch fdb relearn after rewire", `Quick,
+      test_switch_fdb_relearn_after_rewire);
+    ("switch fdb flush refloods", `Quick, test_switch_flush_fdb_refloods);
+    ("switch ecmp spread", `Quick, test_switch_ecmp_spread);
+    ("switch trunk pause propagates", `Quick,
+      test_switch_trunk_pause_propagates);
+    ("switch trunk hol blocking", `Quick, test_switch_trunk_hol_blocking);
+    ("switch set_down drains", `Quick, test_switch_set_down_drains);
   ]
   @ qprops

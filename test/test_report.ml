@@ -173,6 +173,49 @@ let test_incast_acceptance () =
       check_int "gather: pause fabric loses nothing" 0 fc_drops
   | l -> Alcotest.failf "unexpected gather shape (%d rows)" (List.length l))
 
+(* The PR-8 acceptance contract: the same cross-rack stampede through an
+   oversubscribed spine must collapse under tail-drop yet stay lossless
+   under 802.3x, with the congestion tree visibly forming hop by hop
+   (spine XOFFs ToRs, ToRs XOFF senders); and when a spine dies under
+   ECMP load, the survivor must carry everything to completion. *)
+let test_fabric_acceptance () =
+  let null_fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let rows, reroute = Report.Figures.fabric ~quick:true null_fmt in
+  let find prefix =
+    match
+      List.find_opt
+        (fun r ->
+          String.length r.Report.Figures.fb_name >= String.length prefix
+          && String.sub r.Report.Figures.fb_name 0 (String.length prefix)
+             = prefix)
+        rows
+    with
+    | Some r -> r
+    | None -> Alcotest.failf "no %S row in fabric output" prefix
+  in
+  let base = find "tail-drop" and fc = find "802.3x" in
+  let open Report.Figures in
+  check_int "baseline delivers everything" base.fb_sent base.fb_delivered;
+  check_int "pause delivers everything" fc.fb_sent fc.fb_delivered;
+  check_bool "workload is non-trivial" true (base.fb_sent >= 40);
+  (* the collapse through the oversubscribed uplink *)
+  check_bool "tail-drop loses frames in the fabric" true (base.fb_drops > 0);
+  check_bool "tail-drop pays in retransmissions" true (base.fb_retx > 0);
+  (* the congestion tree: both hops of PAUSE fired, and losslessly *)
+  check_int "pause fabric loses nothing" 0 fc.fb_drops;
+  check_bool "spine XOFFed the ToRs" true (fc.fb_spine_pause > 0);
+  check_bool "ToRs XOFFed the senders" true (fc.fb_tor_pause > 0);
+  check_bool "senders sat XOFFed" true (fc.fb_paused_us > 0.);
+  check_bool "shared buffers were exercised" true (fc.fb_peak_buf > 0);
+  (* spine failure under ECMP: the survivor carries the rest *)
+  check_int "reroute delivers everything" reroute.rr_sent
+    reroute.rr_delivered;
+  check_bool "traffic had used the doomed spine" true
+    (reroute.rr_spine0_tx > 0);
+  check_bool "the survivor carried the load" true (reroute.rr_spine1_tx > 0);
+  check_bool "survivor outcarried the corpse" true
+    (reroute.rr_spine1_tx > reroute.rr_spine0_tx)
+
 let suite =
   [
     ("table alignment", `Quick, test_table_alignment);
@@ -184,4 +227,5 @@ let suite =
     ("unknown figure id", `Quick, test_figures_run_rejects_unknown);
     ("fig5 invariants", `Slow, test_fig5_quick_invariants);
     ("incast acceptance", `Slow, test_incast_acceptance);
+    ("fabric acceptance", `Slow, test_fabric_acceptance);
   ]
