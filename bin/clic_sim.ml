@@ -322,6 +322,82 @@ let incast_cmd =
     Term.(
       const run_incast $ verbose_arg $ quick $ senders $ size $ messages)
 
+(* The congestion-regime robustness matrix: {tail-drop, PAUSE, ECN/DCTCP}
+   x {incast, cross-rack} x {go-back-N, SACK}, plus the same-seed bursty
+   loss comparison of the two retransmit schemes.  The exit-status
+   contract is the point: every cell delivers everything; the ECN cells
+   stay switch-lossless with zero PAUSE frames while actually marking CE;
+   and under identical burst weather SACK must retransmit strictly fewer
+   bytes than go-back-N, with the savings accounted for. *)
+let run_congestion verbose quick =
+  ignore (verbose : bool);
+  let cells, bursty =
+    Report.Figures.congestion_matrix ~quick Format.std_formatter
+  in
+  let bad = ref [] in
+  let complain fmt = Printf.ksprintf (fun m -> bad := m :: !bad) fmt in
+  List.iter
+    (fun c ->
+      let open Report.Figures in
+      let cell =
+        Printf.sprintf "%s/%s/%s" c.cg_regime c.cg_topo c.cg_scheme
+      in
+      if c.cg_delivered <> c.cg_sent then
+        complain "%s: %d of %d messages lost" cell
+          (c.cg_sent - c.cg_delivered) c.cg_sent;
+      if c.cg_regime = "ecn" then begin
+        if c.cg_switch_drops > 0 then
+          complain "%s: ECN fabric dropped %d frame(s)" cell
+            c.cg_switch_drops;
+        if c.cg_pause_tx > 0 then
+          complain "%s: ECN fabric emitted %d PAUSE frame(s)" cell
+            c.cg_pause_tx;
+        if c.cg_ecn_marks = 0 then
+          complain "%s: ECN fabric never CE-marked a frame" cell;
+        if c.cg_ce_echoes = 0 then
+          complain "%s: DCTCP senders never saw a CE echo" cell
+      end;
+      if c.cg_regime = "pause" && c.cg_switch_drops > 0 then
+        complain "%s: PAUSE fabric dropped %d frame(s)" cell
+          c.cg_switch_drops)
+    cells;
+  (match
+     ( List.find_opt (fun r -> r.Report.Figures.bu_scheme = "gbn") bursty,
+       List.find_opt (fun r -> r.Report.Figures.bu_scheme = "sack") bursty )
+   with
+  | Some gbn, Some sack ->
+      let open Report.Figures in
+      if sack.bu_retx_bytes >= gbn.bu_retx_bytes then
+        complain
+          "bursty: SACK retransmitted %d bytes, not fewer than go-back-N's \
+           %d"
+          sack.bu_retx_bytes gbn.bu_retx_bytes;
+      if sack.bu_sacked = 0 then
+        complain "bursty: SACK run never recorded a SACKed segment";
+      if sack.bu_retx_bytes_saved = 0 then
+        complain "bursty: SACK run saved no retransmit bytes"
+  | _ -> complain "bursty: missing a retransmit-scheme row");
+  if !bad <> [] then begin
+    List.iter (fun m -> Printf.eprintf "clic-sim congestion: %s\n" m) !bad;
+    exit 1
+  end
+
+let congestion_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced message counts.")
+  in
+  Cmd.v
+    (Cmd.info "congestion"
+       ~doc:
+         "Congestion-regime robustness matrix: tail-drop vs 802.3x PAUSE \
+          vs ECN/DCTCP, on an incast star and a cross-rack leaf/spine, \
+          under go-back-N and SACK retransmission, plus a same-seed bursty \
+          loss run comparing the schemes' retransmit bills.  Fails unless \
+          every cell delivers everything, the ECN fabric is lossless and \
+          PAUSE-free while marking CE, and SACK beats go-back-N's \
+          retransmit bytes under identical loss weather.")
+    Term.(const run_congestion $ verbose_arg $ quick)
+
 (* Cross-rack congestion on a leaf/spine fabric: the oversubscribed-uplink
    collapse must be visible under tail-drop, invisible under 802.3x PAUSE
    (with the congestion tree provably formed hop by hop), and a fabric
@@ -679,5 +755,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ latency_cmd; bandwidth_cmd; stream_cmd; chaos_cmd; incast_cmd;
-            fabric_cmd; figure_cmd; check_cmd; soak_cmd; timeline_cmd;
-            metrics_cmd; list_cmd ]))
+            congestion_cmd; fabric_cmd; figure_cmd; check_cmd; soak_cmd;
+            timeline_cmd; metrics_cmd; list_cmd ]))

@@ -18,7 +18,11 @@
    - every armed RTO lies within [rto_min, rto_max],
    - an ivar is filled at most once,
    - semaphore permit counts follow the accounting identity
-     permits = created + released - acquired, and never go negative.
+     permits = created + released - acquired, and never go negative,
+   - a switch sets CE only when the egress queue really stood at or above
+     the configured marking threshold,
+   - a segment covered by a received SACK block is never retransmitted
+     while the block still stands.
 
    [register] adds project-specific monitors; see DESIGN.md. *)
 
@@ -426,6 +430,84 @@ let zero_loss_when_protected () =
         | _ -> None);
   }
 
+(* ECN marking is tied to real congestion: a switch may set CE only when
+   the egress queue at enqueue time stood at or above the configured
+   threshold, and only if a threshold was configured at all. *)
+let ecn_mark_above_threshold () =
+  {
+    name = "ecn-mark-above-threshold";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Ecn_mark { switch; port; occupied; threshold } ->
+            if threshold <= 0 then
+              Some
+                (Printf.sprintf
+                   "switch %s: CE set on port %d with no threshold \
+                    configured (%d)"
+                   switch port threshold)
+            else if occupied < threshold then
+              Some
+                (Printf.sprintf
+                   "switch %s: CE set on port %d at %dB occupancy, below \
+                    the %dB threshold"
+                   switch port occupied threshold)
+            else None
+        | _ -> None);
+  }
+
+(* Selective retransmission must honour the peer's SACKs: once a sender
+   has seen a SACK block cover a sequence number, retransmitting it while
+   the block still stands (i.e. before the cumulative ack retires it) is
+   wasted wire — exactly the waste the SACK scheme exists to avoid.  The
+   simulator never reneges, so a standing block is authoritative. *)
+let sack_no_spurious_retx () =
+  let sacked : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  {
+    name = "sack-no-spurious-retx";
+    on_event =
+      (fun ~now:_ ev ->
+        match ev with
+        | Probe.Sim_start ->
+            Hashtbl.reset sacked;
+            None
+        | Probe.Sack_rx { chan; blocks; _ } ->
+            let set =
+              match Hashtbl.find_opt sacked chan with
+              | Some s -> s
+              | None ->
+                  let s = Hashtbl.create 16 in
+                  Hashtbl.add sacked chan s;
+                  s
+            in
+            List.iter
+              (fun (start, stop) ->
+                for seq = start to stop - 1 do
+                  Hashtbl.replace set seq ()
+                done)
+              blocks;
+            None
+        | Probe.Snd_una { chan; snd_una; _ } -> (
+            match Hashtbl.find_opt sacked chan with
+            | None -> None
+            | Some set ->
+                (* the cumulative ack retired everything below it *)
+                Hashtbl.iter
+                  (fun seq () -> if seq < snd_una then Hashtbl.remove set seq)
+                  (Hashtbl.copy set);
+                None)
+        | Probe.Chan_retx { chan; node; peer; seq } -> (
+            match Hashtbl.find_opt sacked chan with
+            | Some set when Hashtbl.mem set seq ->
+                Some
+                  (Printf.sprintf
+                     "chan#%d (%d->%d): retransmitted seq %d still covered \
+                      by a standing SACK"
+                     chan node peer seq)
+            | _ -> None)
+        | _ -> None);
+  }
+
 let defaults : ctor list =
   [
     clock_monotone;
@@ -443,6 +525,8 @@ let defaults : ctor list =
     no_tx_while_paused;
     switch_buffer_ledger;
     zero_loss_when_protected;
+    ecn_mark_above_threshold;
+    sack_no_spurious_retx;
   ]
 
 let registry : ctor list ref = ref defaults

@@ -56,6 +56,9 @@ let all : t list =
     sc "fabric"
       "cross-rack incast + spine failure on a leaf/spine fabric (quick)"
       (fun fmt -> ignore (Report.Figures.fabric ~quick:true fmt));
+    sc "congestion"
+      "congestion-regime matrix + same-seed GBN vs SACK bursty loss (quick)"
+      (fun fmt -> ignore (Report.Figures.congestion_matrix ~quick:true fmt));
   ]
 
 let names = List.map (fun s -> s.name) all

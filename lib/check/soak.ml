@@ -43,6 +43,8 @@ type evidence = {
   mutable ev_tx_paused_ns : int;  (* time transmitters spent XOFFed *)
   mutable ev_trunk_frames : int;  (* frames carried switch-to-switch *)
   mutable ev_switch_failures : int;  (* switches failed mid-trial *)
+  mutable ev_ecn_marks : int;  (* frames CE-marked above the ECN threshold *)
+  mutable ev_sacked_segments : int;  (* segments covered by SACK blocks *)
 }
 
 let fresh_evidence () =
@@ -63,6 +65,8 @@ let fresh_evidence () =
     ev_tx_paused_ns = 0;
     ev_trunk_frames = 0;
     ev_switch_failures = 0;
+    ev_ecn_marks = 0;
+    ev_sacked_segments = 0;
   }
 
 (* Bank the counters of one node's *current boot*.  Called at the end of a
@@ -88,7 +92,9 @@ let bank_boot ev (node : Node.t) =
   ev.ev_peer_reboots <- ev.ev_peer_reboots + Clic.Clic_module.peer_reboots m;
   ev.ev_stale_drops <- ev.ev_stale_drops + Clic.Clic_module.stale_epoch_drops m;
   ev.ev_retransmissions <- ev.ev_retransmissions + Clic.Clic_module.retransmissions m;
-  ev.ev_acks_deferred <- ev.ev_acks_deferred + Clic.Clic_module.acks_deferred m
+  ev.ev_acks_deferred <- ev.ev_acks_deferred + Clic.Clic_module.acks_deferred m;
+  ev.ev_sacked_segments <-
+    ev.ev_sacked_segments + Clic.Clic_module.sacked_segments m
 
 let bank_final ev net =
   Array.iter
@@ -101,6 +107,7 @@ let bank_final ev net =
       ev.ev_switch_drops <-
         ev.ev_switch_drops + Switch.egress_drops sw + Switch.ingress_drops sw;
       ev.ev_pause_frames <- ev.ev_pause_frames + Switch.pause_frames_tx sw;
+      ev.ev_ecn_marks <- ev.ev_ecn_marks + Switch.ecn_marked sw;
       List.iter
         (fun peer ->
           ev.ev_trunk_frames <-
@@ -346,6 +353,52 @@ let fabric_cut ~quick ~seed ev =
   Net.run net;
   bank_final ev net
 
+(* 7. ECN collapse: the incast stampede again, but on the ECN-provisioned
+   fabric — uncapped egress, CE marking above the shared-buffer threshold,
+   PAUSE generation off, DCTCP senders — under both retransmit schemes.
+   The monitors watch that every CE mark was earned (occupancy really was
+   above threshold) while the stampede completes without a single switch
+   drop or PAUSE frame.  A third half runs SACK mode under Gilbert–Elliott
+   burst loss on a point-to-point link, because the lossless ECN fabric
+   never gives the SACK machinery a hole to advertise — that half is where
+   the sacked-segment evidence (and the no-spurious-retransmit monitor's
+   workout) comes from. *)
+let ecn_collapse ~quick ~seed ev =
+  let stampede ~scheme ~seed =
+    let config = Report.Figures.congestion_config ~regime:`Ecn ~scheme in
+    let net = Net.create ~config ~n:5 () in
+    let rng = Rng.create ~seed in
+    let count = scale ~quick 32 in
+    for i = 1 to 4 do
+      sender net ~rng:(Rng.split rng) ~from:i ~to_:0 ~count ~min_size:4096
+        ~max_size:8192 ~gap_us:5. ~port:86
+    done;
+    Net.run net;
+    bank_final ev net
+  in
+  stampede ~scheme:`Go_back_n ~seed;
+  stampede ~scheme:`Sack ~seed:(seed lxor 0x6A6A);
+  let fault_rng = Rng.create ~seed:(seed lxor 0x1B1B) in
+  let mk_fault () =
+    Fault.gilbert_elliott ~rng:(Rng.split fault_rng) ~p_good_to_bad:0.01
+      ~p_bad_to_good:0.05 ~loss_bad:0.5 ()
+  in
+  let config =
+    {
+      Node.default_config with
+      clic_params =
+        { snappy_params with retx_scheme = `Sack; max_retries = 8 };
+      link_fault = Some mk_fault;
+    }
+  in
+  let net = Net.create ~config ~n:2 () in
+  let rng = Rng.create ~seed in
+  let count = scale ~quick 60 in
+  sender net ~rng:(Rng.split rng) ~from:0 ~to_:1 ~count ~min_size:2048
+    ~max_size:8192 ~gap_us:10. ~port:87;
+  Net.run net;
+  bank_final ev net
+
 let templates =
   [
     {
@@ -377,6 +430,11 @@ let templates =
       tp_name = "fabric-cut";
       tp_descr = "spine failure + node crash on a 2-spine leaf/spine fabric";
       tp_run = fabric_cut;
+    };
+    {
+      tp_name = "ecn-collapse";
+      tp_descr = "incast on the ECN/DCTCP fabric + SACK under bursty loss";
+      tp_run = ecn_collapse;
     };
   ]
 
@@ -423,6 +481,8 @@ let missing_evidence r =
       need "no transmitter was ever XOFFed" (ev.ev_tx_paused_ns > 0);
       need "no frame ever crossed a trunk" (ev.ev_trunk_frames > 0);
       need "no switch was ever failed mid-trial" (ev.ev_switch_failures > 0);
+      need "no frame was ever CE-marked" (ev.ev_ecn_marks > 0);
+      need "no segment was ever SACKed" (ev.ev_sacked_segments > 0);
     ]
 
 let ok ?(require_evidence = true) r =
@@ -544,4 +604,6 @@ let pp_summary fmt r =
   line "tx time XOFFed (ns)" ev.ev_tx_paused_ns;
   line "frames carried on trunks" ev.ev_trunk_frames;
   line "switches failed mid-trial" ev.ev_switch_failures;
+  line "frames CE-marked (ECN)" ev.ev_ecn_marks;
+  line "segments covered by SACK blocks" ev.ev_sacked_segments;
   List.iter (fun n -> Format.fprintf fmt "  note: %s@." n) r.s_notes

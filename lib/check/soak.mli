@@ -30,6 +30,10 @@ type evidence = {
   mutable ev_tx_paused_ns : int;  (** time transmitters spent XOFFed *)
   mutable ev_trunk_frames : int;  (** frames carried switch-to-switch *)
   mutable ev_switch_failures : int;  (** switches failed mid-trial *)
+  mutable ev_ecn_marks : int;
+      (** frames CE-marked above the ECN threshold *)
+  mutable ev_sacked_segments : int;
+      (** segments a sender saw covered by received SACK blocks *)
 }
 
 type trial_result = {
@@ -50,7 +54,7 @@ type report = {
 
 val template_names : string list
 (** ["crash-reboot"; "pool-crunch"; "irq-storm"; "faults-mesh";
-    "incast-storm"; "fabric-cut"]. *)
+    "incast-storm"; "fabric-cut"; "ecn-collapse"]. *)
 
 val default_seeds : int list
 (** [[101; 202; 303]] — the seeds CI pins. *)

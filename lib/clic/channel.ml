@@ -16,7 +16,7 @@ type t = {
   params : Params.t;
   transmit : Wire.packet -> retransmission:bool -> unit;
   deliver : Wire.packet -> unit;
-  send_ack : cum_seq:int -> unit;
+  send_ack : cum_seq:int -> sacks:(int * int) list -> ce_echo:bool -> unit;
   defer_acks : (unit -> bool) option;
       (* receive-side backpressure: while true, ack staging is deferred
          (doubled batch size and timeout) to spare the kernel pool *)
@@ -48,6 +48,22 @@ type t = {
   mutable fast_retransmits : int;
   rto_stats : Stats.Summary.t;  (* effective RTO (us) at each arming *)
   on_death : unit -> unit;  (* owner notification, fired once at teardown *)
+  (* selective retransmit (retx_scheme = `Sack) *)
+  sacked : (int, unit) Hashtbl.t;
+      (* outstanding sequences the peer has SACKed: skipped on RTO until
+         the cumulative ack passes them (no reneging in this model) *)
+  mutable sacked_segments : int;
+  mutable retx_bytes : int;  (* wire bytes spent on retransmissions *)
+  mutable retx_bytes_saved : int;
+      (* wire bytes an RTO did not resend because the peer held them *)
+  (* DCTCP congestion control (params.dctcp) *)
+  mutable advertised : int;  (* peer's latest advertised window *)
+  mutable cwnd : float;  (* congestion window, packets *)
+  mutable dctcp_alpha : float;  (* EWMA fraction of CE-marked acks *)
+  mutable ce_echoes : int;  (* acks received with the CE-echo bit *)
+  mutable acks_seen : int;  (* acks in the current observation window *)
+  mutable ce_acked : int;  (* CE-echo acks in the current window *)
+  mutable alpha_update_seq : int;  (* next alpha update once cum passes *)
   (* receive side *)
   mutable rcv_nxt : int;
   mutable ooo : (int * Wire.packet) list;
@@ -56,6 +72,8 @@ type t = {
   mutable duplicates : int;
   mutable delivered : int;
   mutable acks_deferred : int;
+  mutable ce_pending : bool;  (* CE seen since the last ack went out *)
+  mutable ce_marks_rx : int;  (* CE-marked packets received *)
 }
 
 let next_uid = ref 0
@@ -96,6 +114,17 @@ let create sim ~self ~peer ?(epoch = 0) ~params ~transmit ~deliver ~send_ack
     fast_retransmits = 0;
     rto_stats = Stats.Summary.create "rto_us";
     on_death;
+    sacked = Hashtbl.create 16;
+    sacked_segments = 0;
+    retx_bytes = 0;
+    retx_bytes_saved = 0;
+    advertised = params.Params.tx_window;
+    cwnd = float_of_int params.Params.tx_window;
+    dctcp_alpha = 0.;
+    ce_echoes = 0;
+    acks_seen = 0;
+    ce_acked = 0;
+    alpha_update_seq = 0;
     rcv_nxt = 0;
     ooo = [];
     unacked_rx = 0;
@@ -103,6 +132,8 @@ let create sim ~self ~peer ?(epoch = 0) ~params ~transmit ~deliver ~send_ack
     duplicates = 0;
     delivered = 0;
     acks_deferred = 0;
+    ce_pending = false;
+    ce_marks_rx = 0;
   }
 
 let cancel_timer slot =
@@ -191,6 +222,7 @@ and teardown t =
     t.ack_timer <- None;
     Hashtbl.reset t.unacked;
     Hashtbl.reset t.sent_at;
+    Hashtbl.reset t.sacked;
     (* Withheld permits go back into circulation so the accounting identity
        the sanitizer checks still balances. *)
     if t.withheld > 0 then begin
@@ -205,8 +237,12 @@ and teardown t =
     t.on_death ()
   end
 
-(* Go-back-N on timeout: resend everything outstanding, oldest first, with
-   the RTO doubled (capped) for each consecutive timeout without progress. *)
+(* Resend outstanding segments on timeout, in ascending sequence order so
+   the receiver sees the oldest hole filled first, with the RTO doubled
+   (capped) for each consecutive timeout without progress.  Go-back-N
+   resends everything; SACK mode resends only the holes — segments the
+   peer has advertised as held are skipped (and the bytes they would have
+   cost are credited to [retx_bytes_saved]). *)
 and on_rto t =
   if t.dead then ()
   else if t.snd_una < t.snd_nxt && t.retries >= t.params.Params.max_retries
@@ -217,26 +253,43 @@ and on_rto t =
     teardown t
   end
   else if t.snd_una < t.snd_nxt then begin
+    let sack_mode = t.params.Params.retx_scheme = `Sack in
     t.retries <- t.retries + 1;
     t.timeouts <- t.timeouts + 1;
     t.backoff <- t.backoff + 1;
     Log.debug (fun m ->
-        m "rto to peer %d: go-back-N from seq %d (%d outstanding, retry %d, \
-           next rto %a)"
-          t.peer t.snd_una (t.snd_nxt - t.snd_una) t.retries Time.pp
+        m "rto to peer %d: %s from seq %d (%d outstanding, retry %d, next \
+           rto %a)"
+          t.peer
+          (if sack_mode then "sack holes" else "go-back-N")
+          t.snd_una (t.snd_nxt - t.snd_una) t.retries Time.pp
           (effective_rto t));
     let seqs = ref [] in
-    for seq = t.snd_nxt - 1 downto t.snd_una do
+    for seq = t.snd_una to t.snd_nxt - 1 do
       match Hashtbl.find_opt t.unacked seq with
       | Some pkt ->
-          Hashtbl.remove t.sent_at seq;
-          seqs := pkt :: !seqs
+          if sack_mode && Hashtbl.mem t.sacked seq then
+            t.retx_bytes_saved <-
+              t.retx_bytes_saved
+              + Wire.wire_bytes ~header_bytes:t.params.Params.header_bytes pkt
+          else begin
+            Hashtbl.remove t.sent_at seq;
+            t.retx_bytes <-
+              t.retx_bytes
+              + Wire.wire_bytes ~header_bytes:t.params.Params.header_bytes pkt;
+            if !Probe.on then
+              Probe.emit
+                (Probe.Chan_retx
+                   { chan = t.uid; node = t.self; peer = t.peer; seq });
+            seqs := pkt :: !seqs
+          end
       | None -> ()
     done;
-    t.retransmissions <- t.retransmissions + List.length !seqs;
+    let seqs = List.rev !seqs in
+    t.retransmissions <- t.retransmissions + List.length seqs;
     arm_rto t;
     Process.spawn t.sim (fun () ->
-        List.iter (fun pkt -> t.transmit pkt ~retransmission:true) !seqs)
+        List.iter (fun pkt -> t.transmit pkt ~retransmission:true) seqs)
   end
 
 let next_seq t ~data_bytes kind =
@@ -249,7 +302,7 @@ let next_seq t ~data_bytes kind =
   t.snd_nxt <- t.snd_nxt + 1;
   let pkt =
     { Wire.src = t.self; epoch = t.epoch; chan_seq = Some seq; data_bytes;
-      kind }
+      ce = false; kind }
   in
   Hashtbl.replace t.unacked seq pkt;
   Hashtbl.replace t.sent_at seq (Sim.now t.sim);
@@ -268,20 +321,36 @@ let fast_retransmit t =
       t.dup_acks <- 0;
       t.fast_retransmits <- t.fast_retransmits + 1;
       t.retransmissions <- t.retransmissions + 1;
+      t.retx_bytes <-
+        t.retx_bytes
+        + Wire.wire_bytes ~header_bytes:t.params.Params.header_bytes pkt;
+      if !Probe.on then
+        Probe.emit
+          (Probe.Chan_retx
+             { chan = t.uid; node = t.self; peer = t.peer; seq = t.snd_una });
       Hashtbl.remove t.sent_at t.snd_una;
       Log.debug (fun m ->
           m "fast retransmit of seq %d to peer %d" t.snd_una t.peer);
       arm_rto t;
       Process.spawn t.sim (fun () -> t.transmit pkt ~retransmission:true)
 
-(* Honour the peer's advertised window by holding the difference to
-   [tx_window] out of the semaphore.  Shrinking is best-effort and
-   non-blocking: only currently-free permits can be withheld (slots
-   covering packets already in flight are reclaimed as their acks free
-   them and a later ack still advertises the small window). *)
-let apply_advertised t advertised =
-  let adv = max 1 (min advertised t.params.Params.tx_window) in
-  let target = t.params.Params.tx_window - adv in
+(* The effective transmit limit is the tighter of the peer's advertised
+   window and (under DCTCP) the congestion window, never below one
+   packet.  The difference to [tx_window] is held out of the semaphore.
+   Shrinking is best-effort and non-blocking: only currently-free permits
+   can be withheld (slots covering packets already in flight are
+   reclaimed as their acks free them, and a later ack reapplies the small
+   limit). *)
+let effective_limit t =
+  let adv = max 1 (min t.advertised t.params.Params.tx_window) in
+  let cw =
+    if t.params.Params.dctcp then max 1 (int_of_float t.cwnd)
+    else t.params.Params.tx_window
+  in
+  min adv cw
+
+let apply_window_limit t =
+  let target = t.params.Params.tx_window - effective_limit t in
   while t.withheld > target do
     Semaphore.release t.window;
     t.withheld <- t.withheld - 1
@@ -292,13 +361,68 @@ let apply_advertised t advertised =
     else continue := false
   done
 
-let[@clic.atomic] rx_ack t ?window cum_seq =
+(* DCTCP (Alizadeh et al.): estimate the fraction of acks carrying a CE
+   echo over roughly one window of acks, smooth it into [alpha] with gain
+   [g], and on any marked window cut the congestion window by
+   [alpha / 2] — a multiplicative decrease proportional to how congested
+   the path actually is, instead of TCP's blanket halving.  Unmarked acks
+   grow the window additively back toward [tx_window]. *)
+let dctcp_on_ack t ~ce_echo ~progressed cum_seq =
+  if t.params.Params.dctcp then begin
+    t.acks_seen <- t.acks_seen + 1;
+    if ce_echo then begin
+      t.ce_acked <- t.ce_acked + 1;
+      t.ce_echoes <- t.ce_echoes + 1
+    end;
+    if progressed && not ce_echo then
+      t.cwnd <-
+        min
+          (float_of_int t.params.Params.tx_window)
+          (t.cwnd +. (1. /. Float.max 1. t.cwnd));
+    if cum_seq > t.alpha_update_seq then begin
+      let g = t.params.Params.dctcp_g in
+      let f = float_of_int t.ce_acked /. float_of_int t.acks_seen in
+      t.dctcp_alpha <- ((1. -. g) *. t.dctcp_alpha) +. (g *. f);
+      if t.ce_acked > 0 then
+        t.cwnd <- Float.max 1. (t.cwnd *. (1. -. (t.dctcp_alpha /. 2.)));
+      t.acks_seen <- 0;
+      t.ce_acked <- 0;
+      t.alpha_update_seq <- t.snd_nxt
+    end;
+    apply_window_limit t
+  end
+
+(* SACK blocks name segments the peer already holds: mark them so the
+   next RTO resends only the holes.  The cumulative ack passing a
+   sequence retires its mark; the receiver never reneges in this model
+   (held packets stay held until delivered), so a mark is trustworthy
+   until then. *)
+let note_sacks t sacks =
+  if sacks <> [] then begin
+    if !Probe.on then
+      Probe.emit
+        (Probe.Sack_rx
+           { chan = t.uid; node = t.self; peer = t.peer; blocks = sacks });
+    List.iter
+      (fun (start, stop) ->
+        for seq = max start t.snd_una to stop - 1 do
+          if Hashtbl.mem t.unacked seq && not (Hashtbl.mem t.sacked seq)
+          then begin
+            Hashtbl.replace t.sacked seq ();
+            t.sacked_segments <- t.sacked_segments + 1
+          end
+        done)
+      sacks
+  end
+
+let[@clic.atomic] rx_ack t ?window ?(sacks = []) ?(ce_echo = false) cum_seq =
   if !Probe.on then
     Probe.emit
       (Probe.Ack_rx { chan = t.uid; node = t.self; peer = t.peer; cum_seq });
   if t.dead then ()
   else begin
-  if cum_seq > t.snd_una then begin
+  let progressed = cum_seq > t.snd_una in
+  if progressed then begin
     let now = Sim.now t.sim in
     let upper = min cum_seq t.snd_nxt in
     (* Sample the newest acked packet that was never retransmitted. *)
@@ -315,7 +439,8 @@ let[@clic.atomic] rx_ack t ?window cum_seq =
     t.dup_acks <- 0;
     let freed = upper - t.snd_una in
     for seq = t.snd_una to t.snd_una + freed - 1 do
-      Hashtbl.remove t.unacked seq
+      Hashtbl.remove t.unacked seq;
+      Hashtbl.remove t.sacked seq
     done;
     t.snd_una <- t.snd_una + freed;
     Semaphore.release ~n:freed t.window;
@@ -337,20 +462,60 @@ let[@clic.atomic] rx_ack t ?window cum_seq =
       && t.last_fast_rtx <> t.snd_una
     then fast_retransmit t
   end;
-  (match window with Some w -> apply_advertised t w | None -> ())
+  if t.params.Params.retx_scheme = `Sack then note_sacks t sacks;
+  dctcp_on_ack t ~ce_echo ~progressed cum_seq;
+  (match window with
+  | Some w ->
+      t.advertised <- w;
+      apply_window_limit t
+  | None -> ())
   end
 
 (* ---------------- receive side ---------------- *)
+
+(* Up to [params.sack_blocks] maximal contiguous runs from the (sorted)
+   out-of-order queue, as absolute half-open ranges above [rcv_nxt]. *)
+let sack_blocks_of t =
+  if t.params.Params.retx_scheme <> `Sack then []
+  else begin
+    let blocks = ref [] and count = ref 0 in
+    let flush lo hi =
+      if !count < t.params.Params.sack_blocks then begin
+        blocks := (lo, hi + 1) :: !blocks;
+        incr count
+      end
+    in
+    let run = ref None in
+    List.iter
+      (fun (s, _) ->
+        match !run with
+        | Some (lo, hi) when s = hi + 1 -> run := Some (lo, s)
+        | Some (lo, hi) ->
+            flush lo hi;
+            run := Some (s, s)
+        | None -> run := Some (s, s))
+      t.ooo;
+    (match !run with Some (lo, hi) -> flush lo hi | None -> ());
+    List.rev !blocks
+  end
 
 let schedule_ack_now t =
   t.unacked_rx <- 0;
   cancel_timer t.ack_timer;
   t.ack_timer <- None;
   let cum = t.rcv_nxt in
-  if !Probe.on then
+  let sacks = sack_blocks_of t in
+  let ce_echo = t.ce_pending in
+  t.ce_pending <- false;
+  if !Probe.on then begin
     Probe.emit
       (Probe.Ack_tx { chan = t.uid; node = t.self; peer = t.peer; cum_seq = cum });
-  Process.spawn t.sim (fun () -> t.send_ack ~cum_seq:cum)
+    if sacks <> [] then
+      Probe.emit
+        (Probe.Sack_tx
+           { chan = t.uid; node = t.self; peer = t.peer; blocks = sacks })
+  end;
+  Process.spawn t.sim (fun () -> t.send_ack ~cum_seq:cum ~sacks ~ce_echo)
 
 let deferring t =
   match t.defer_acks with Some f -> f () | None -> false
@@ -402,6 +567,14 @@ let[@clic.atomic] rx t pkt =
     match pkt.Wire.chan_seq with
     | None -> invalid_arg "Channel.rx: unsequenced packet"
     | Some seq ->
+        if pkt.Wire.ce then begin
+          (* The congestion signal is per-arrival: any CE-marked packet
+             since the last ack makes the next ack echo it, duplicates
+             included (a retransmitted copy crossing a hot queue is
+             evidence of congestion too). *)
+          t.ce_marks_rx <- t.ce_marks_rx + 1;
+          t.ce_pending <- true
+        end;
         if seq = t.rcv_nxt then begin
           t.rcv_nxt <- t.rcv_nxt + 1;
           t.delivered <- t.delivered + 1;
@@ -436,6 +609,13 @@ let peer t = t.peer
 let epoch t = t.epoch
 let outstanding t = t.snd_nxt - t.snd_una
 let advertised_window t = t.params.Params.tx_window - t.withheld
+let sacked_segments t = t.sacked_segments
+let retx_bytes t = t.retx_bytes
+let retx_bytes_saved t = t.retx_bytes_saved
+let ce_echoes t = t.ce_echoes
+let ce_marks_rx t = t.ce_marks_rx
+let dctcp_alpha t = t.dctcp_alpha
+let cwnd t = effective_limit t
 let acks_deferred t = t.acks_deferred
 let retransmissions t = t.retransmissions
 let duplicates_dropped t = t.duplicates

@@ -5,6 +5,16 @@
     go-back-N retransmission on timeout, and in-order delivery with an
     out-of-order hold queue (packets may reorder under channel bonding).
 
+    Two congestion-regime extensions ride on the same machinery, both off
+    by default.  With {!Params.retx_scheme}[ = `Sack] the receiver
+    advertises up to {!Params.sack_blocks} SACK blocks from its
+    out-of-order queue on every ack and the sender retransmits only the
+    unSACKed holes on timeout.  With {!Params.dctcp} the receiver echoes
+    switch-set CE marks back on acks and the sender runs DCTCP: an EWMA
+    estimate [alpha] of the marked-ack fraction (gain {!Params.dctcp_g}),
+    a multiplicative [1 - alpha/2] window cut once per marked window, and
+    additive increase back toward {!Params.tx_window} on clean acks.
+
     The retransmission timeout adapts to the measured path: each
     unambiguous ack yields an RTT sample feeding Jacobson/Karels smoothing
     (SRTT, RTTVAR; RTO = SRTT + 4 RTTVAR clamped to
@@ -38,7 +48,7 @@ val create :
   params:Params.t ->
   transmit:(Wire.packet -> retransmission:bool -> unit) ->
   deliver:(Wire.packet -> unit) ->
-  send_ack:(cum_seq:int -> unit) ->
+  send_ack:(cum_seq:int -> sacks:(int * int) list -> ce_echo:bool -> unit) ->
   ?defer_acks:(unit -> bool) ->
   ?on_death:(unit -> unit) ->
   unit ->
@@ -66,14 +76,19 @@ val rx : t -> Wire.packet -> unit
     an immediate ack naming the hole, so the sender's duplicate-ack
     counter can fire a fast retransmit. *)
 
-val rx_ack : t -> ?window:int -> int -> unit
+val rx_ack :
+  t -> ?window:int -> ?sacks:(int * int) list -> ?ce_echo:bool -> int -> unit
 (** Cumulative ack from the peer: frees window slots and retransmit state,
     feeds the RTT estimator, resets backoff; a duplicate ack advances the
     fast-retransmit counter instead.  [window], when present, is the
     peer's advertised window: the channel withholds
     [tx_window - window] currently-free permits (best-effort,
     non-blocking) so new transmissions respect the peer's backpressure,
-    and releases them again when the advertisement grows. *)
+    and releases them again when the advertisement grows.  [sacks]
+    (honoured only when {!Params.retx_scheme}[ = `Sack]) marks the named
+    outstanding segments as held by the peer, so the next timeout skips
+    them; [ce_echo] feeds the DCTCP estimator when {!Params.dctcp} is
+    on. *)
 
 val teardown : t -> unit
 (** Declares the channel dead immediately: cancels timers, discards
@@ -105,6 +120,32 @@ val acks_deferred : t -> int
 val retransmissions : t -> int
 val duplicates_dropped : t -> int
 val delivered : t -> int
+
+val sacked_segments : t -> int
+(** Outstanding segments the peer's SACK blocks marked as held (counted
+    once per segment). *)
+
+val retx_bytes : t -> int
+(** Wire bytes (CLIC header + payload) spent on retransmissions — the
+    quantity the SACK-vs-go-back-N comparison measures. *)
+
+val retx_bytes_saved : t -> int
+(** Wire bytes timeouts did {e not} resend because the peer had SACKed
+    the segment. *)
+
+val ce_echoes : t -> int
+(** Acks received carrying the CE-echo bit (sender side). *)
+
+val ce_marks_rx : t -> int
+(** CE-marked packets received (receiver side). *)
+
+val dctcp_alpha : t -> float
+(** The DCTCP EWMA estimate of the marked-ack fraction; 0 until marks
+    arrive. *)
+
+val cwnd : t -> int
+(** The effective transmit limit: the peer's advertised window tightened
+    by the DCTCP congestion window when {!Params.dctcp} is on. *)
 
 val srtt : t -> Time.span option
 (** Smoothed RTT; [None] until the first sample. *)

@@ -301,14 +301,15 @@ let rec get_channel t peer =
             transmit_packet t ~dst:(Mac.of_node peer)
               ~staged:retransmission pkt)
           ~deliver:(fun pkt -> handle_reliable t pkt)
-          ~send_ack:(fun ~cum_seq ->
+          ~send_ack:(fun ~cum_seq ~sacks ~ce_echo ->
             Cpu.work (cpu t) t.p.Params.module_tx;
             transmit_packet t ~dst:(Mac.of_node peer) ~staged:true
               { Wire.src = node t; epoch = t.epoch; chan_seq = None;
-                data_bytes = 0;
+                data_bytes = 0; ce = false;
                 kind =
                   Wire.Chan_ack
-                    { cum_seq; window = advertised_window_of t } })
+                    { cum_seq; window = advertised_window_of t; ce_echo;
+                      sacks } })
           ~defer_acks:(fun () -> Kmem.level (kmem t) <> `Normal)
           ~on_death:(fun () -> reject_sync_waiters t peer)
           ()
@@ -463,6 +464,14 @@ let forget_peer t src =
 let[@clic.atomic] rx t (desc : Nic.rx_desc) =
   match desc.Nic.rx_frame.Eth_frame.payload with
   | Wire.Clic pkt when not t.shut_down -> (
+      (* A switch marks congestion on the frame (its CE rewrite happens in
+         flight, below the payload value); fold it into the packet header
+         the channel sees. *)
+      let pkt =
+        if desc.Nic.rx_frame.Eth_frame.ce && not pkt.Wire.ce then
+          { pkt with Wire.ce = true }
+        else pkt
+      in
       match classify_epoch t ~src:pkt.src pkt.Wire.epoch with
       | `Stale -> t.stale_epoch_drops <- t.stale_epoch_drops + 1
       | (`Current | `Newer) as cls -> (
@@ -471,13 +480,13 @@ let[@clic.atomic] rx t (desc : Nic.rx_desc) =
             forget_peer t pkt.src
           end;
           match pkt.kind with
-          | Wire.Chan_ack { cum_seq; window } -> (
+          | Wire.Chan_ack { cum_seq; window; ce_echo; sacks } -> (
               Cpu.work ~priority:`High (cpu t) t.p.Params.module_rx;
               (* Acks only ever apply to a live channel; they must not
                  re-establish one on their own. *)
               match Hashtbl.find_opt t.channels pkt.src with
               | Some c when not (Channel.is_dead c) ->
-                  Channel.rx_ack c ~window cum_seq
+                  Channel.rx_ack c ~window ~sacks ~ce_echo cum_seq
               | Some _ | None -> ())
           | Wire.Bcast { port; frag } ->
               traced t ~track:Probe.Module "clic:module-rx" (fun () ->
@@ -624,7 +633,7 @@ let broadcast_message t ~port bytes =
       let frag = { Wire.msg_id; frag_index; frag_count; msg_bytes = bytes } in
       transmit_packet t ~dst:Mac.broadcast ~staged:false
         { Wire.src = node t; epoch = t.epoch; chan_seq = None;
-          data_bytes = len; kind = Wire.Bcast { port; frag } })
+          data_bytes = len; ce = false; kind = Wire.Bcast { port; frag } })
     (fragments_of t bytes)
 
 let remote_write t ~dst ~region bytes =
@@ -724,5 +733,20 @@ let timeouts t =
 
 let fast_retransmits t =
   Hashtbl.fold (fun _ c acc -> acc + Channel.fast_retransmits c) t.channels 0
+
+let sacked_segments t =
+  Hashtbl.fold (fun _ c acc -> acc + Channel.sacked_segments c) t.channels 0
+
+let retx_bytes t =
+  Hashtbl.fold (fun _ c acc -> acc + Channel.retx_bytes c) t.channels 0
+
+let retx_bytes_saved t =
+  Hashtbl.fold (fun _ c acc -> acc + Channel.retx_bytes_saved c) t.channels 0
+
+let ce_echoes t =
+  Hashtbl.fold (fun _ c acc -> acc + Channel.ce_echoes c) t.channels 0
+
+let ce_marks_rx t =
+  Hashtbl.fold (fun _ c acc -> acc + Channel.ce_marks_rx c) t.channels 0
 
 let channel_to t ~peer = Hashtbl.find_opt t.channels peer

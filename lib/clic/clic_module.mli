@@ -111,6 +111,23 @@ val timeouts : t -> int
 val fast_retransmits : t -> int
 (** Duplicate-ack hole resends summed over all channels. *)
 
+val sacked_segments : t -> int
+(** Outstanding segments marked held by peers' SACK blocks, summed over
+    all channels. *)
+
+val retx_bytes : t -> int
+(** Wire bytes spent on retransmissions, summed over all channels. *)
+
+val retx_bytes_saved : t -> int
+(** Wire bytes timeouts skipped thanks to SACK, summed over all
+    channels. *)
+
+val ce_echoes : t -> int
+(** Acks received with the CE-echo bit, summed over all channels. *)
+
+val ce_marks_rx : t -> int
+(** CE-marked packets received, summed over all channels. *)
+
 val channel_to : t -> peer:int -> Channel.t option
 
 val epoch : t -> int

@@ -27,6 +27,11 @@ type t = {
   kmem_soft_frac : float;
   kmem_hard_frac : float;
   soft_window_frac : float;
+  retx_scheme : [ `Go_back_n | `Sack ];
+  sack_blocks : int;
+  dctcp : bool;
+  dctcp_g : float;
+  ecn_threshold : int;
 }
 
 let default =
@@ -51,6 +56,11 @@ let default =
     kmem_soft_frac = 0.5;
     kmem_hard_frac = 0.875;
     soft_window_frac = 0.5;
+    retx_scheme = `Go_back_n;
+    sack_blocks = Wire.max_sack_blocks;
+    dctcp = false;
+    dctcp_g = 0.0625;
+    ecn_threshold = 32 * 1024;
   }
 
 let one_copy = { default with data_path = Staged_nic_buffer }
@@ -92,6 +102,13 @@ let validate t =
       t.kmem_soft_frac t.kmem_hard_frac;
   if not (t.soft_window_frac > 0. && t.soft_window_frac <= 1.) then
     fail "Clic.Params: soft_window_frac %g outside (0, 1]" t.soft_window_frac;
+  if t.sack_blocks < 1 || t.sack_blocks > Wire.max_sack_blocks then
+    fail "Clic.Params: sack_blocks %d outside [1, %d]" t.sack_blocks
+      Wire.max_sack_blocks;
+  if not (t.dctcp_g > 0. && t.dctcp_g <= 1.) then
+    fail "Clic.Params: dctcp_g %g outside (0, 1]" t.dctcp_g;
+  if t.ecn_threshold <= 0 then
+    fail "Clic.Params: ecn_threshold %d <= 0" t.ecn_threshold;
   t
 
 let payload_per_packet t ~link_mtu =

@@ -70,6 +70,24 @@ type t = {
   soft_window_frac : float;
       (** fraction of {!tx_window} advertised to peers while the pool is
           above its soft mark (at least 1 packet is always advertised) *)
+  retx_scheme : [ `Go_back_n | `Sack ];
+      (** loss recovery on timeout: [`Go_back_n] (the default) resends
+          everything outstanding; [`Sack] resends only the holes the
+          peer's SACK blocks have not covered, and makes receivers
+          advertise SACK blocks from their out-of-order queues *)
+  sack_blocks : int;
+      (** most SACK blocks advertised per ack when [retx_scheme = `Sack];
+          within [1, {!Wire.max_sack_blocks}] *)
+  dctcp : bool;
+      (** DCTCP-style congestion control: receivers echo CE marks on
+          acks, senders keep an EWMA mark fraction and scale their
+          effective window multiplicatively.  Needs an ECN-marking
+          switch ({!Hw.Switch.buffer}[.ecn_threshold]) to do anything *)
+  dctcp_g : float;
+      (** EWMA gain for the DCTCP mark-fraction estimate, in (0, 1] *)
+  ecn_threshold : int;
+      (** the per-egress marking watermark (bytes) experiment configs
+          provision ECN-capable switches with; must be positive *)
 }
 
 val default : t
@@ -88,9 +106,11 @@ val validate : t -> t
 (** Checks the parameter set for internal consistency and returns it
     unchanged; {!Clic_module.create} calls this on construction.
     @raise Invalid_argument when [rto_min > rto_max], when
-    [dup_ack_threshold], [max_retries], [tx_window] or [ack_every] is
-    non-positive, when the kernel-pool watermark fractions are out of
-    order, or when [soft_window_frac] is outside [(0, 1]]. *)
+    [dup_ack_threshold], [max_retries], [tx_window], [ack_every] or
+    [ecn_threshold] is non-positive, when the kernel-pool watermark
+    fractions are out of order, when [soft_window_frac] or [dctcp_g] is
+    outside [(0, 1]], or when [sack_blocks] is outside
+    [[1, Wire.max_sack_blocks]]. *)
 
 val payload_per_packet : t -> link_mtu:int -> int
 (** Data bytes carried per CLIC packet: the NIC MTU (or super-packet size

@@ -9,7 +9,12 @@ type kind =
   | Data of { port : int; sync : bool; frag : frag }
   | Remote_write of { region : int; frag : frag }
   | Bcast of { port : int; frag : frag }
-  | Chan_ack of { cum_seq : int; window : int }
+  | Chan_ack of {
+      cum_seq : int;
+      window : int;
+      ce_echo : bool;
+      sacks : (int * int) list;
+    }
   | Msg_ack of { msg_id : int }
 
 type packet = {
@@ -17,6 +22,7 @@ type packet = {
   epoch : int;
   chan_seq : int option;
   data_bytes : int;
+  ce : bool;
   kind : kind;
 }
 
@@ -40,7 +46,8 @@ let wire_bytes ~header_bytes pkt = header_bytes + pkt.data_bytes
 
      off  size  field
       0     1   kind tag (0=data 1=rwrite 2=bcast 3=chan-ack 4=msg-ack)
-      1     1   flags (bit0: sync, bit1: chan_seq present)
+      1     1   flags (bit0: sync, bit1: chan_seq present, bit2: CE,
+                bit3: CE-echo, chan-ack only)
       2     2   src node
       4     4   chan_seq (0 when absent)
       8     2   data_bytes (payload carried by this packet)
@@ -51,20 +58,27 @@ let wire_bytes ~header_bytes pkt = header_bytes + pkt.data_bytes
      20     2   frag_index
      22     2   frag_count (0 for ack kinds)
      24     2   sender boot epoch
-     26     2   reserved, must be zero
+     26     1   sack block count (0-3; nonzero only for chan-ack)
+     27     1   reserved, must be zero
+     28    12   3 SACK blocks of (2-byte start offset, 2-byte length);
+                the start offset is relative to cum_seq and must be >= 1,
+                the length must be >= 1, blocks must be ascending and
+                non-mergeable, unused blocks must be zero
 
    The epoch field (and the 24 -> 28 byte growth that came with it) is
-   the crash-recovery handshake: a rebooted node bumps its epoch, and
-   receivers discard frames carrying an older epoch than the one they
-   have seen, so packets buffered from before a crash cannot corrupt the
-   re-established channel.  A 24-byte pre-epoch header no longer decodes
-   at all (the length check fails first), which is the intended total
-   failure — old and new format must never misparse as each other.
+   the crash-recovery handshake; the ECN/SACK extension (28 -> 40) is
+   this codec's second epoch-style bump: a CE bit set by congested
+   switches, a CE-echo bit carried back on acks, and up to three SACK
+   blocks advertising out-of-order runs the receiver already holds.  A
+   28-byte pre-ECN header no longer decodes at all (the length check
+   fails first), which is the intended total failure — old and new
+   format must never misparse as each other.
 
    [Params.header_bytes] stays the modelled per-packet cost; this codec
    is the bit-level contract the property-based tests pin down. *)
 
-let header_len = 28
+let header_len = 40
+let max_sack_blocks = 3
 
 exception Decode_error of string
 
@@ -101,9 +115,14 @@ let encode pkt =
   let b = Bytes.make header_len '\000' in
   Bytes.set_uint8 b 0 (kind_tag pkt.kind);
   let sync = match pkt.kind with Data { sync; _ } -> sync | _ -> false in
+  let ce_echo =
+    match pkt.kind with Chan_ack { ce_echo; _ } -> ce_echo | _ -> false
+  in
   let flags =
     (if sync then 1 else 0)
     lor (match pkt.chan_seq with Some _ -> 2 | None -> 0)
+    lor (if pkt.ce then 4 else 0)
+    lor if ce_echo then 8 else 0
   in
   Bytes.set_uint8 b 1 flags;
   put16 b 2 pkt.src;
@@ -134,11 +153,31 @@ let encode pkt =
       check_range "port" port 0 0xffff;
       put16 b 10 port;
       put_frag frag
-  | Chan_ack { cum_seq; window } ->
+  | Chan_ack { cum_seq; window; ce_echo = _; sacks } ->
       check_range "cum_seq" cum_seq 0 0x7fffffff;
       check_range "window" window 0 0x7fffffff;
       put32 b 12 cum_seq;
-      put32 b 16 window
+      put32 b 16 window;
+      check_range "sack block count" (List.length sacks) 0 max_sack_blocks;
+      Bytes.set_uint8 b 26 (List.length sacks);
+      let prev_end = ref cum_seq in
+      List.iteri
+        (fun i (start, stop) ->
+          if start <= !prev_end then
+            invalid_arg
+              (Printf.sprintf
+                 "Wire.encode: sack block %d start %d not past previous end %d"
+                 i start !prev_end);
+          if stop <= start then
+            invalid_arg
+              (Printf.sprintf "Wire.encode: sack block %d empty [%d, %d)" i
+                 start stop);
+          check_range "sack start offset" (start - cum_seq) 1 0xffff;
+          check_range "sack length" (stop - start) 1 0xffff;
+          put16 b (28 + (4 * i)) (start - cum_seq);
+          put16 b (28 + (4 * i) + 2) (stop - start);
+          prev_end := stop)
+        sacks
   | Msg_ack { msg_id } ->
       check_range "msg_id" msg_id 0 0x7fffffff;
       put32 b 12 msg_id);
@@ -153,9 +192,11 @@ let decode b =
             header_len));
   let tag = Bytes.get_uint8 b 0 in
   let flags = Bytes.get_uint8 b 1 in
-  if flags land lnot 0x3 <> 0 then
+  if flags land lnot 0xf <> 0 then
     raise (Decode_error (Printf.sprintf "unknown flags 0x%x" flags));
   let sync = flags land 1 <> 0 in
+  let ce = flags land 4 <> 0 in
+  let ce_echo = flags land 8 <> 0 in
   let src = get16 b 2 in
   let chan_seq = if flags land 2 <> 0 then Some (get32 b 4) else None in
   let data_bytes = get16 b 8 in
@@ -170,23 +211,62 @@ let decode b =
               frag_count));
     { msg_id = get32 b 12; msg_bytes = get32 b 16; frag_index; frag_count }
   in
+  let sack_count = Bytes.get_uint8 b 26 in
+  if sack_count > max_sack_blocks then
+    raise
+      (Decode_error (Printf.sprintf "sack block count %d > %d" sack_count
+                       max_sack_blocks));
+  if sack_count > 0 && tag <> 3 then
+    raise (Decode_error "sack blocks on a non-chan-ack kind");
+  let sacks cum_seq =
+    let prev_end = ref cum_seq in
+    List.init sack_count (fun i ->
+        let rel = get16 b (28 + (4 * i)) in
+        let len = get16 b (28 + (4 * i) + 2) in
+        if rel = 0 then
+          raise
+            (Decode_error (Printf.sprintf "sack block %d start offset 0" i));
+        if len = 0 then
+          raise (Decode_error (Printf.sprintf "sack block %d length 0" i));
+        let start = cum_seq + rel in
+        if start <= !prev_end then
+          raise
+            (Decode_error
+               (Printf.sprintf
+                  "sack block %d start %d not past previous end %d" i start
+                  !prev_end));
+        prev_end := start + len;
+        (start, start + len))
+  in
   let kind =
     match tag with
     | 0 -> Data { port = get16 b 10; sync; frag = frag () }
     | 1 -> Remote_write { region = get16 b 10; frag = frag () }
     | 2 -> Bcast { port = get16 b 10; frag = frag () }
-    | 3 -> Chan_ack { cum_seq = get32 b 12; window = get32 b 16 }
+    | 3 ->
+        let cum_seq = get32 b 12 in
+        Chan_ack { cum_seq; window = get32 b 16; ce_echo; sacks = sacks cum_seq }
     | 4 -> Msg_ack { msg_id = get32 b 12 }
     | t -> raise (Decode_error (Printf.sprintf "unknown kind tag %d" t))
   in
   if sync && tag <> 0 then
     raise (Decode_error "sync flag on a non-data kind");
+  if ce_echo && tag <> 3 then
+    raise (Decode_error "ce-echo flag on a non-chan-ack kind");
   let epoch = get16 b 24 in
-  if get16 b 26 <> 0 then
+  if Bytes.get_uint8 b 27 <> 0 then
     raise
       (Decode_error
-         (Printf.sprintf "reserved bytes 26-27 not zero (0x%04x)" (get16 b 26)));
-  { src; epoch; chan_seq; data_bytes; kind }
+         (Printf.sprintf "reserved byte 27 not zero (0x%02x)"
+            (Bytes.get_uint8 b 27)));
+  for off = 28 + (4 * sack_count) to header_len - 1 do
+    if Bytes.get_uint8 b off <> 0 then
+      raise
+        (Decode_error
+           (Printf.sprintf "unused sack byte %d not zero (0x%02x)" off
+              (Bytes.get_uint8 b off)))
+  done;
+  { src; epoch; chan_seq; data_bytes; ce; kind }
 
 let pp fmt pkt =
   let kind_str =
@@ -198,10 +278,21 @@ let pp fmt pkt =
         Printf.sprintf "rwrite(region=%d msg=%d)" region frag.msg_id
     | Bcast { port; frag } ->
         Printf.sprintf "bcast(port=%d msg=%d)" port frag.msg_id
-    | Chan_ack { cum_seq; window } ->
-        Printf.sprintf "ack(%d win=%d)" cum_seq window
+    | Chan_ack { cum_seq; window; ce_echo; sacks } ->
+        Printf.sprintf "ack(%d win=%d%s%s)" cum_seq window
+          (if ce_echo then " ce-echo" else "")
+          (match sacks with
+          | [] -> ""
+          | _ ->
+              " sack="
+              ^ String.concat ","
+                  (List.map
+                     (fun (a, z) -> Printf.sprintf "%d-%d" a (z - 1))
+                     sacks))
     | Msg_ack { msg_id } -> Printf.sprintf "msg-ack(%d)" msg_id
   in
-  Format.fprintf fmt "clic[src=%d ep=%d seq=%s %dB %s]" pkt.src pkt.epoch
+  Format.fprintf fmt "clic[src=%d ep=%d seq=%s %dB%s %s]" pkt.src pkt.epoch
     (match pkt.chan_seq with None -> "-" | Some s -> string_of_int s)
-    pkt.data_bytes kind_str
+    pkt.data_bytes
+    (if pkt.ce then " CE" else "")
+    kind_str

@@ -24,10 +24,20 @@ type kind =
   | Bcast of { port : int; frag : frag }
       (** broadcast/multicast fragment (unreliable, Ethernet data-link
           multicast) *)
-  | Chan_ack of { cum_seq : int; window : int }
+  | Chan_ack of {
+      cum_seq : int;
+      window : int;
+      ce_echo : bool;
+      sacks : (int * int) list;
+    }
       (** cumulative channel acknowledgement (unsequenced); [window] is
           the receiver's advertised transmit window — shrunk below
-          {!Params.tx_window} while its kernel pool is under pressure *)
+          {!Params.tx_window} while its kernel pool is under pressure.
+          [ce_echo] reflects congestion-experienced marks back to the
+          sender (DCTCP-style); [sacks] advertises up to
+          {!max_sack_blocks} out-of-order runs the receiver already
+          holds, as half-open absolute ranges [[start, stop)] strictly
+          above [cum_seq], ascending and non-mergeable *)
   | Msg_ack of { msg_id : int }
       (** end-to-end confirmation for a [sync] message (sequenced) *)
 
@@ -40,6 +50,9 @@ type packet = {
           cannot corrupt the re-established channel *)
   chan_seq : int option;  (** [None] for unsequenced kinds *)
   data_bytes : int;  (** payload carried by this packet *)
+  ce : bool;
+      (** congestion experienced: set by a switch whose egress occupancy
+          crossed its ECN threshold while this packet sat in the queue *)
   kind : kind;
 }
 
@@ -67,19 +80,26 @@ val pp : Format.formatter -> packet -> unit
     produced. *)
 
 val header_len : int
-(** 28 bytes: the pre-epoch header was 24; the boot epoch (2 bytes) and
-    2 reserved zero bytes were appended for crash recovery.  The length
-    check makes old-format headers fail to decode entirely rather than
+(** 40 bytes.  The pre-epoch header was 24; the boot epoch grew it to
+    28; the ECN/SACK extension (CE and CE-echo flag bits, a SACK block
+    count and three 4-byte SACK blocks) grew it to 40.  The length check
+    makes both older formats fail to decode entirely rather than
     misparse. *)
+
+val max_sack_blocks : int
+(** 3 — the most SACK blocks a chan-ack can carry. *)
 
 exception Decode_error of string
 
 val encode : packet -> bytes
 (** @raise Invalid_argument when a field exceeds its wire width
-    (e.g. [src] beyond 16 bits, [frag_index >= frag_count]). *)
+    (e.g. [src] beyond 16 bits, [frag_index >= frag_count], more than
+    {!max_sack_blocks} SACK blocks, empty / overlapping / non-ascending
+    SACK blocks, a block not strictly above [cum_seq]). *)
 
 val decode : bytes -> packet
 (** @raise Decode_error on a malformed header (wrong length — including
-    the old 24-byte pre-epoch format — unknown kind tag or flags, zero
-    [frag_count], sync flag on a non-data kind, nonzero reserved
-    bytes). *)
+    the old 24- and 28-byte pre-ECN formats — unknown kind tag or flags,
+    zero [frag_count], sync flag on a non-data kind, ce-echo flag or
+    SACK blocks on a non-chan-ack kind, malformed SACK blocks, nonzero
+    reserved or unused-block bytes). *)

@@ -96,6 +96,10 @@ type event =
       ingress : bool;
       protected : bool;
     }
+  | Ecn_mark of { switch : string; port : int; occupied : int; threshold : int }
+  | Sack_tx of { chan : int; node : int; peer : int; blocks : (int * int) list }
+  | Sack_rx of { chan : int; node : int; peer : int; blocks : (int * int) list }
+  | Chan_retx of { chan : int; node : int; peer : int; seq : int }
 
 let sink : (event -> unit) option ref = ref None
 
@@ -212,3 +216,16 @@ let to_string = function
       Printf.sprintf "switch-drop %s port=%d %s%s" switch port
         (if ingress then "ingress" else "egress")
         (if protected then " (protected!)" else "")
+  | Ecn_mark { switch; port; occupied; threshold } ->
+      Printf.sprintf "ecn-mark %s port=%d occupied=%d threshold=%d" switch
+        port occupied threshold
+  | Sack_tx { chan; node; peer; blocks } ->
+      Printf.sprintf "sack-tx chan#%d %d->%d %s" chan node peer
+        (String.concat ","
+           (List.map (fun (a, z) -> Printf.sprintf "%d-%d" a (z - 1)) blocks))
+  | Sack_rx { chan; node; peer; blocks } ->
+      Printf.sprintf "sack-rx chan#%d %d<-%d %s" chan node peer
+        (String.concat ","
+           (List.map (fun (a, z) -> Printf.sprintf "%d-%d" a (z - 1)) blocks))
+  | Chan_retx { chan; node; peer; seq } ->
+      Printf.sprintf "chan-retx chan#%d %d->%d seq=%d" chan node peer seq

@@ -145,6 +145,20 @@ type event =
               this drop impossible — any such drop is an invariant
               violation *)
     }
+  | Ecn_mark of { switch : string; port : int; occupied : int; threshold : int }
+      (** a switch set a frame's CE bit: the egress port's backlog
+          ([occupied], including the frame itself) was at or above the
+          configured [threshold] at enqueue — the CE-honesty monitor
+          convicts marks where it was not *)
+  | Sack_tx of { chan : int; node : int; peer : int; blocks : (int * int) list }
+      (** a receiver advertised SACK blocks (absolute half-open
+          [[start, stop)] ranges) on an outgoing ack *)
+  | Sack_rx of { chan : int; node : int; peer : int; blocks : (int * int) list }
+      (** a sender processed SACK blocks from an incoming ack *)
+  | Chan_retx of { chan : int; node : int; peer : int; seq : int }
+      (** a sender queued segment [seq] for retransmission (RTO or fast
+          retransmit); the SACK monitor convicts retransmissions of
+          still-SACKed segments *)
 
 val on : bool ref
 (** True iff a sink is installed.  Hot emit sites read this directly —

@@ -17,6 +17,7 @@ type t = {
   frag : frag option;
   corrupted : bool;
   hops : int;  (* switch traversals so far; not on the wire *)
+  ce : bool;  (* congestion experienced, set by ECN-marking switches *)
 }
 
 let header_bytes = 14
@@ -28,10 +29,10 @@ let standard_mtu = 1500
 let jumbo_mtu = 9000
 let ethertype_mac_control = 0x8808
 
-let make ~src ~dst ~ethertype ~payload_bytes ?frag ?(corrupted = false) payload
-    =
+let make ~src ~dst ~ethertype ~payload_bytes ?frag ?(corrupted = false)
+    ?(ce = false) payload =
   if payload_bytes < 0 then invalid_arg "Eth_frame.make: negative payload";
-  { src; dst; ethertype; payload_bytes; payload; frag; corrupted; hops = 0 }
+  { src; dst; ethertype; payload_bytes; payload; frag; corrupted; hops = 0; ce }
 
 let padded_payload t = max t.payload_bytes min_payload
 

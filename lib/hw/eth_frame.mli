@@ -37,6 +37,11 @@ type t = {
       (** switch traversals so far — incremented by each switch that
           forwards the frame, and dropped once it reaches the switch TTL.
           Bookkeeping only: contributes nothing to the wire size. *)
+  ce : bool;
+      (** congestion experienced — set by a switch whose ECN threshold
+          was crossed while enqueuing this frame.  Models the switch
+          rewriting the CE bit of the carried protocol header in flight,
+          so like [hops] it contributes nothing to the wire size. *)
 }
 
 val header_bytes : int
@@ -70,9 +75,10 @@ val make :
   payload_bytes:int ->
   ?frag:frag ->
   ?corrupted:bool ->
+  ?ce:bool ->
   payload ->
   t
-(** [corrupted] defaults to [false].
+(** [corrupted] and [ce] default to [false].
     @raise Invalid_argument on a negative payload size. *)
 
 val on_wire_bytes : t -> int

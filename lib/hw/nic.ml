@@ -39,7 +39,14 @@ type rx_desc = {
 
 let next_rx_id = ref 0
 
-type reasm = { mutable seen : int; mutable template : Eth_frame.t option }
+type reasm = {
+  mutable seen : int;
+  mutable template : Eth_frame.t option;
+  mutable ce_any : bool;
+      (* a CE mark on any fragment survives reassembly: the congestion
+         signal must not be lost because only part of the packet sat in
+         the hot queue *)
+}
 
 type t = {
   sim : Sim.t;
@@ -335,18 +342,19 @@ let reassemble t (frame : Eth_frame.t) =
         match Hashtbl.find_opt t.reassembly key with
         | Some r -> r
         | None ->
-            let r = { seen = 0; template = None } in
+            let r = { seen = 0; template = None; ce_any = false } in
             Hashtbl.add t.reassembly key r;
             r
       in
       slot.seen <- slot.seen + 1;
       slot.template <- Some frame;
+      slot.ce_any <- slot.ce_any || frame.ce;
       if slot.seen = frag.count then begin
         Hashtbl.remove t.reassembly key;
         Some
           (Eth_frame.make ~src:frame.src ~dst:frame.dst
              ~ethertype:frame.ethertype ~payload_bytes:frag.packet_bytes
-             frame.payload)
+             ~ce:slot.ce_any frame.payload)
       end
       else None
 

@@ -12,6 +12,7 @@ type buffer = {
   pause : bool;
   pause_quanta : int;
   max_frame_bytes : int;
+  ecn_threshold : int;
 }
 
 let default_buffer =
@@ -23,6 +24,7 @@ let default_buffer =
     pause = true;
     pause_quanta = Mac_control.max_quanta;
     max_frame_bytes = 1518;
+    ecn_threshold = 0;
   }
 
 let validate_buffer b =
@@ -36,7 +38,8 @@ let validate_buffer b =
   if b.pause_quanta <= 0 || b.pause_quanta > Mac_control.max_quanta then
     invalid_arg "Switch: buffer pause_quanta out of range";
   if b.max_frame_bytes <= 0 then
-    invalid_arg "Switch: buffer max_frame_bytes <= 0"
+    invalid_arg "Switch: buffer max_frame_bytes <= 0";
+  if b.ecn_threshold < 0 then invalid_arg "Switch: buffer ecn_threshold < 0"
 
 (* Ports come in two kinds sharing one record: station ports ([node] >= 0,
    the node id) and trunk ports toward a peer switch ([node] < 0, a
@@ -92,6 +95,7 @@ type t = {
   mutable down_drops : int;
   mutable pause_frames_tx : int;
   mutable pause_frames_rx : int;
+  mutable ecn_marked : int;
 }
 
 let create sim ~name ~bits_per_s ?(forward_latency = Time.us 2.)
@@ -131,6 +135,7 @@ let create sim ~name ~bits_per_s ?(forward_latency = Time.us 2.)
     down_drops = 0;
     pause_frames_tx = 0;
     pause_frames_rx = 0;
+    ecn_marked = 0;
   }
 
 let name t = t.name
@@ -333,6 +338,31 @@ let enqueue t p ~ingress frame =
   probe_fifo t p;
   pump_port t p
 
+(* ECN marking, checked after admission so the egress ledger already
+   includes the frame being enqueued: once the per-egress backlog reaches
+   the configured threshold, the switch sets the frame's CE bit (modelling
+   an in-flight rewrite of the carried protocol header).  Marking instead
+   of dropping or PAUSEing is the whole point — the congestion signal
+   reaches the sender while the frame still reaches the receiver. *)
+let maybe_mark_ce t p frame =
+  match t.buffer with
+  | Some b
+    when b.ecn_threshold > 0
+         && p.egress_bytes >= b.ecn_threshold
+         && not frame.Eth_frame.ce ->
+      t.ecn_marked <- t.ecn_marked + 1;
+      if !Probe.on then
+        Probe.emit
+          (Probe.Ecn_mark
+             {
+               switch = t.name;
+               port = p.node;
+               occupied = p.egress_bytes;
+               threshold = b.ecn_threshold;
+             });
+      { frame with Eth_frame.ce = true }
+  | _ -> frame
+
 (* Deterministic flow hash for ECMP: frames of one (src, dst) flow always
    pick the same member of an equal-cost trunk set, so per-flow ordering
    survives multipath. *)
@@ -348,7 +378,8 @@ let flood t ~ingress frame =
     (fun port ->
       if port.node <> ingress then begin
         t.frames_flooded <- t.frames_flooded + 1;
-        if admit t ~ingress port frame then enqueue t port ~ingress frame
+        if admit t ~ingress port frame then
+          enqueue t port ~ingress (maybe_mark_ce t port frame)
       end)
     t.port_list
 
@@ -374,7 +405,8 @@ let forward t ~ingress frame =
     | Mac.Node node -> (
         let unicast port =
           t.frames_forwarded <- t.frames_forwarded + 1;
-          if admit t ~ingress port frame then enqueue t port ~ingress frame
+          if admit t ~ingress port frame then
+            enqueue t port ~ingress (maybe_mark_ce t port frame)
         in
         match find_port t node with
         | Some port -> unicast port
@@ -649,6 +681,7 @@ let ingress_drops t =
 
 let pause_frames_tx t = t.pause_frames_tx
 let pause_frames_rx t = t.pause_frames_rx
+let ecn_marked t = t.ecn_marked
 let buffer_occupied t = t.occupied
 let peak_buffer_occupied t = t.peak_occupied
 

@@ -40,11 +40,15 @@ type buffer = {
   pause : bool;  (** generate 802.3x PAUSE; [false] = tail-drop only *)
   pause_quanta : int;  (** quanta per XOFF, 1..0xffff *)
   max_frame_bytes : int;  (** provisioning unit for {!protected_provisioning} *)
+  ecn_threshold : int;
+      (** per-egress-port marking watermark, bytes; frames enqueued while
+          the egress backlog (including themselves) is at or above it get
+          their CE bit set.  [0] disables marking. *)
 }
 
 val default_buffer : buffer
 (** 256 KiB total, 8 KiB reserve, 16/8 KiB watermarks, PAUSE on with
-    maximum quanta, 1518-byte frames. *)
+    maximum quanta, 1518-byte frames, ECN marking off. *)
 
 type t
 
@@ -168,6 +172,10 @@ val pause_frames_tx : t -> int
 
 val pause_frames_rx : t -> int
 (** PAUSE frames received from stations or peer switches. *)
+
+val ecn_marked : t -> int
+(** Frames whose CE bit this switch set (0 unless the buffer config has a
+    positive [ecn_threshold]). *)
 
 val buffer_occupied : t -> int
 (** Bytes currently held in the shared buffer (0 when unbuffered). *)

@@ -1,6 +1,6 @@
 (* Time-series metrics derived from a recorded probe stream.
 
-   Ten instrument families:
+   Twelve instrument families:
 
    - [cpu-utilization]   gauge, per CPU: busy fraction per time bucket,
                          from [Busy] spans on "cpuN" hosts
@@ -18,6 +18,11 @@
    - [pause]             mixed, per host: [.state] gauge (1 while the
                          transmit path is PAUSEd) and [.tx]/[.rx] PAUSE
                          frame counters
+   - [ecn-mark]          counter, per switch port: frames CE-marked on
+                         enqueue above the ECN threshold
+   - [sack]              counter, per channel direction: acks carrying
+                         SACK blocks, [.tx] as advertised by receivers
+                         and [.rx] as honoured by senders
 
    Series are sampled either at event time (gauges driven by a probe
    event) or over fixed buckets (utilization and rates, where an
@@ -147,6 +152,12 @@ let build ?bucket_ns recorder =
           push_gauge "pause" (host ^ ".state") at (if paused then 1. else 0.)
       | Probe.Pause_frame { host; sent; _ } ->
           bump "pause" (host ^ if sent then ".tx" else ".rx") at
+      | Probe.Ecn_mark { switch; port; _ } ->
+          bump "ecn-mark" (Printf.sprintf "%s.port%d" switch port) at
+      | Probe.Sack_tx { chan; node; peer; _ } ->
+          bump "sack" (Printf.sprintf "chan%d:%d->%d.tx" chan node peer) at
+      | Probe.Sack_rx { chan; node; peer; _ } ->
+          bump "sack" (Printf.sprintf "chan%d:%d->%d.rx" chan node peer) at
       | _ -> ())
     (Recorder.events recorder);
   let util_family host =
@@ -183,7 +194,7 @@ let build ?bucket_ns recorder =
               s_name = Printf.sprintf "%s/%s" family name;
               s_kind =
                 (match family with
-                | "msg-count" | "switch-drop" -> Counter
+                | "msg-count" | "switch-drop" | "ecn-mark" | "sack" -> Counter
                 | "pause" ->
                     if Filename.check_suffix name ".state" then Gauge
                     else Counter
@@ -193,7 +204,8 @@ let build ?bucket_ns recorder =
                 | "queue-depth" -> "frames"
                 | "channel-window" -> "packets"
                 | "pool-bytes" | "switch-buffer" -> "bytes"
-                | "switch-drop" -> "frames"
+                | "switch-drop" | "ecn-mark" -> "frames"
+                | "sack" -> "acks"
                 | "pause" ->
                     if Filename.check_suffix name ".state" then "state"
                     else "frames"

@@ -160,7 +160,56 @@ val fabric :
     form hop by hop (spine XOFFs ToRs, ToRs XOFF senders) with zero
     switch loss. *)
 
+type congestion_cell = {
+  cg_regime : string;  (** "tail-drop" | "pause" | "ecn" *)
+  cg_topo : string;  (** "incast" | "cross-rack" *)
+  cg_scheme : string;  (** "gbn" | "sack" *)
+  cg_sent : int;
+  cg_delivered : int;
+  cg_elapsed_ms : float;
+  cg_retx : int;  (** retransmissions, all nodes *)
+  cg_retx_bytes : int;  (** payload bytes retransmitted, all nodes *)
+  cg_switch_drops : int;  (** ingress + egress drops, all switches *)
+  cg_pause_tx : int;  (** PAUSE frames generated, all switches *)
+  cg_ecn_marks : int;  (** frames CE-marked, all switches *)
+  cg_ce_echoes : int;  (** CE echoes received by senders *)
+  cg_sacked : int;  (** segments covered by received SACK blocks *)
+}
+
+type bursty_row = {
+  bu_scheme : string;
+  bu_delivered : int;
+  bu_elapsed_ms : float;
+  bu_retx : int;
+  bu_retx_bytes : int;
+  bu_retx_bytes_saved : int;  (** bytes RTO skipped thanks to SACKs *)
+  bu_sacked : int;
+  bu_timeouts : int;
+}
+
+val congestion_config :
+  regime:[ `Tail_drop | `Pause | `Ecn ] ->
+  scheme:[ `Go_back_n | `Sack ] ->
+  Cluster.Node.config
+(** The congestion-matrix fabric: the incast geometry (bounded 6-frame
+    uplinks, server-class PCI, congestion-tuned CLIC) under one of three
+    congestion answers.  [`Tail_drop] keeps capped 12-frame egress FIFOs;
+    [`Pause] runs 802.3x end to end; [`Ecn] uncaps the egress, marks CE
+    above the shared-buffer threshold with PAUSE generation off, and turns
+    the CLIC senders into DCTCP (the NICs stay flow-control capable so
+    they respect uplink backpressure instead of blind-dumping). *)
+
+val congestion_matrix :
+  ?quick:bool -> Format.formatter -> congestion_cell list * bursty_row list
+(** The robustness matrix: {tail-drop, PAUSE, ECN/DCTCP} × {incast star,
+    cross-rack leaf/spine} × {go-back-N, SACK} incast runs, then a
+    same-seed Gilbert–Elliott bursty-loss stream comparing the two
+    retransmit schemes byte for byte.  Contract: every cell delivers all
+    messages; ECN cells lose nothing at the switch and never emit a PAUSE
+    frame while marking CE; under identical bursty weather the SACK run
+    retransmits strictly fewer bytes than go-back-N. *)
+
 val all_ids : string list
 val run : string -> Format.formatter -> unit
-(** Run one experiment by id ("fig4" ... "fabric").
+(** Run one experiment by id ("fig4" ... "congestion").
     @raise Invalid_argument on unknown ids. *)

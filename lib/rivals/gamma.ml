@@ -89,14 +89,16 @@ let rec get_channel t peer =
           ~params:channel_params
           ~transmit:(fun pkt ~retransmission:_ -> transmit t ~dst:peer pkt)
           ~deliver:(fun pkt -> deliver t pkt)
-          ~send_ack:(fun ~cum_seq ->
+          ~send_ack:(fun ~cum_seq ~sacks:_ ~ce_echo:_ ->
             Cpu.work (cpu t) (Time.us 0.5);
             transmit t ~dst:peer
               { Clic.Wire.src = node t; epoch = 0; chan_seq = None;
-                data_bytes = 0;
+                data_bytes = 0; ce = false;
                 kind =
                   Clic.Wire.Chan_ack
-                    { cum_seq; window = channel_params.Clic.Params.tx_window } })
+                    { cum_seq;
+                      window = channel_params.Clic.Params.tx_window;
+                      ce_echo = false; sacks = [] } })
           ()
       in
       Hashtbl.add t.channels peer chan;
@@ -135,7 +137,7 @@ let rx t (desc : Nic.rx_desc) =
   | Gamma pkt -> (
       Cpu.work ~priority:`High (cpu t) (Time.us 1.0);
       match pkt.Clic.Wire.kind with
-      | Clic.Wire.Chan_ack { cum_seq; window = _ } ->
+      | Clic.Wire.Chan_ack { cum_seq; _ } ->
           Clic.Channel.rx_ack (get_channel t pkt.Clic.Wire.src) cum_seq
       | _ -> Clic.Channel.rx (get_channel t pkt.Clic.Wire.src) pkt)
   | _ -> ()

@@ -33,13 +33,14 @@ let channel_rig ?(params = Params.default) () =
       ~transmit:(fun pkt ~retransmission ->
         sent := (pkt, retransmission) :: !sent)
       ~deliver:(fun pkt -> delivered := pkt :: !delivered)
-      ~send_ack:(fun ~cum_seq -> acks := cum_seq :: !acks)
+      ~send_ack:(fun ~cum_seq ~sacks:_ ~ce_echo:_ -> acks := cum_seq :: !acks)
       ()
   in
   (sim, chan, sent, delivered, acks)
 
 let mk_data ?(bytes = 100) seq =
   { Wire.src = 1; epoch = 0; chan_seq = Some seq; data_bytes = bytes;
+    ce = false;
     kind =
       Wire.Data
         { port = 1; sync = false;
@@ -119,7 +120,10 @@ let test_channel_rejects_unreliable_kind () =
   let _, chan, _, _, _ = channel_rig () in
   Alcotest.check_raises "unreliable"
     (Invalid_argument "Channel.next_seq: unreliable kind") (fun () ->
-      ignore (Channel.next_seq chan ~data_bytes:0 (Wire.Chan_ack { cum_seq = 0; window = 8 })))
+      ignore
+        (Channel.next_seq chan ~data_bytes:0
+           (Wire.Chan_ack
+              { cum_seq = 0; window = 8; ce_echo = false; sacks = [] })))
 
 let test_channel_rtt_adaptation () =
   let params = { Params.default with rto_min = Time.us 200. } in
@@ -155,7 +159,7 @@ let test_channel_rto_backoff_growth () =
       ~transmit:(fun _ ~retransmission ->
         if retransmission then retx_at := Sim.now sim :: !retx_at)
       ~deliver:(fun _ -> ())
-      ~send_ack:(fun ~cum_seq -> ignore cum_seq)
+      ~send_ack:(fun ~cum_seq ~sacks:_ ~ce_echo:_ -> ignore cum_seq)
       ()
   in
   Process.spawn sim (fun () ->
@@ -253,6 +257,116 @@ let test_channel_ooo_duplicate_counted () =
   check_int "held duplicate counted" 1 (Channel.duplicates_dropped chan);
   (* the out-of-order arrival provoked an immediate ack naming the hole *)
   check_bool "hole announced" true (List.mem 0 !acks)
+
+let test_channel_rto_resends_ascending () =
+  (* Regression for the retransmit ordering contract: a timeout under
+     go-back-N must resend the outstanding window oldest-first, so the
+     receiver's cumulative sequence can advance on every arrival instead
+     of parking everything in the hold queue. *)
+  let params =
+    { Params.default with retransmit_timeout = Time.ms 1.;
+      rto_min = Time.us 500.; rto_max = Time.ms 2.; max_retries = 2 }
+  in
+  let sim, chan, sent, _, _ = channel_rig ~params () in
+  Process.spawn sim (fun () ->
+      for i = 0 to 3 do
+        ignore
+          (Channel.next_seq chan ~data_bytes:10 (Wire.Msg_ack { msg_id = i }))
+      done);
+  Sim.run sim;
+  check_bool "declared dead after the retry cap" true (Channel.is_dead chan);
+  let retx_seqs =
+    List.rev !sent
+    |> List.filter_map (fun (p, retx) -> if retx then p.Wire.chan_seq else None)
+  in
+  Alcotest.(check (list int))
+    "each timeout resent the window in ascending order"
+    [ 0; 1; 2; 3; 0; 1; 2; 3 ] retx_seqs
+
+let test_channel_sack_rto_skips_held_segments () =
+  (* SACK mode: the peer advertises [2, 4) as held, so the timeout resends
+     only the holes 0 and 1 (ascending), credits the skipped segments to
+     [retx_bytes_saved], and never re-sends a still-SACKed segment. *)
+  let params =
+    { Params.default with retx_scheme = `Sack;
+      retransmit_timeout = Time.ms 1.; rto_min = Time.us 500.;
+      rto_max = Time.ms 4.; max_retries = 4 }
+  in
+  let sim, chan, sent, _, _ = channel_rig ~params () in
+  Process.spawn sim (fun () ->
+      for i = 0 to 3 do
+        ignore
+          (Channel.next_seq chan ~data_bytes:10 (Wire.Msg_ack { msg_id = i }))
+      done;
+      Channel.rx_ack chan ~sacks:[ (2, 4) ] 0;
+      check_int "both held segments marked" 2 (Channel.sacked_segments chan);
+      (* one RTO fires at +1ms; the ack then retires everything *)
+      Process.delay (Time.ms 1.5);
+      Channel.rx_ack chan 4);
+  Sim.run sim;
+  check_bool "completed without teardown" true (not (Channel.is_dead chan));
+  check_int "one timeout" 1 (Channel.timeouts chan);
+  let retx_seqs =
+    List.rev !sent
+    |> List.filter_map (fun (p, retx) -> if retx then p.Wire.chan_seq else None)
+  in
+  Alcotest.(check (list int)) "only the holes, oldest first" [ 0; 1 ]
+    retx_seqs;
+  check_bool "skipped bytes credited" true (Channel.retx_bytes_saved chan > 0);
+  check_bool "resent bytes billed" true (Channel.retx_bytes chan > 0)
+
+let test_channel_receiver_echoes_ce () =
+  (* The receiver notes a CE-marked arrival and raises the echo bit on the
+     next ack it emits — and only that one (DCTCP needs the echo stream to
+     mirror the mark stream, not to latch). *)
+  let sim = Sim.create () in
+  let echoes = ref [] in
+  let chan =
+    Channel.create sim ~self:0 ~peer:1 ~params:Params.default
+      ~transmit:(fun _ ~retransmission:_ -> ())
+      ~deliver:(fun _ -> ())
+      ~send_ack:(fun ~cum_seq ~sacks:_ ~ce_echo ->
+        echoes := (cum_seq, ce_echo) :: !echoes)
+      ()
+  in
+  Process.spawn sim (fun () ->
+      Channel.rx chan { (mk_data 0) with Wire.ce = true };
+      Channel.rx chan (mk_data 1);
+      (* ack_every = 2: the echo-carrying ack covers both *)
+      Channel.rx chan (mk_data 2);
+      Channel.rx chan (mk_data 3));
+  Sim.run sim;
+  check_int "one CE mark seen" 1 (Channel.ce_marks_rx chan);
+  Alcotest.(check (list (pair int bool)))
+    "echo raised once, then clear"
+    [ (2, true); (4, false) ]
+    (List.rev !echoes)
+
+let test_channel_dctcp_alpha_and_window_cut () =
+  let params = { Params.default with dctcp = true; tx_window = 8 } in
+  let sim, chan, _, _, _ = channel_rig ~params () in
+  let alpha_after_mark = ref 0. in
+  Process.spawn sim (fun () ->
+      for i = 0 to 3 do
+        ignore
+          (Channel.next_seq chan ~data_bytes:10 (Wire.Msg_ack { msg_id = i }))
+      done;
+      check_int "cwnd starts at the transmit window" 8 (Channel.cwnd chan);
+      (* a marked window: alpha rises from 0, cwnd is cut *)
+      Channel.rx_ack chan ~ce_echo:true 4;
+      alpha_after_mark := Channel.dctcp_alpha chan;
+      check_bool "alpha learned the mark" true (!alpha_after_mark > 0.);
+      check_bool "window cut below tx_window" true (Channel.cwnd chan < 8);
+      check_int "echo counted" 1 (Channel.ce_echoes chan);
+      (* a clean window: alpha decays, additive increase resumes *)
+      for i = 4 to 5 do
+        ignore
+          (Channel.next_seq chan ~data_bytes:10 (Wire.Msg_ack { msg_id = i }))
+      done;
+      Channel.rx_ack chan 6);
+  Sim.run sim;
+  check_bool "alpha decays on an unmarked window" true
+    (Channel.dctcp_alpha chan < !alpha_after_mark)
 
 (* ------------------------------------------------------------------ *)
 (* CLIC end to end *)
@@ -592,6 +706,13 @@ let test_params_validate_rejections () =
   rejected "hard watermark above 1" { p with kmem_hard_frac = 1.5 };
   rejected "soft_window_frac = 0" { p with soft_window_frac = 0. };
   rejected "soft_window_frac > 1" { p with soft_window_frac = 1.01 };
+  rejected "ecn_threshold = 0" { p with ecn_threshold = 0 };
+  rejected "negative ecn_threshold" { p with ecn_threshold = -4096 };
+  rejected "dctcp_g = 0" { p with dctcp_g = 0. };
+  rejected "dctcp_g > 1" { p with dctcp_g = 1.5 };
+  rejected "sack_blocks = 0" { p with sack_blocks = 0 };
+  rejected "sack_blocks beyond the wire limit"
+    { p with sack_blocks = Wire.max_sack_blocks + 1 };
   (* the exact complaint names the field and both values *)
   Alcotest.check_raises "watermark message"
     (Invalid_argument
@@ -696,7 +817,7 @@ let inject nb pkt =
        (Wire.Clic pkt))
 
 let forged_data ~epoch ~seq ~msg_id =
-  { Wire.src = 0; epoch; chan_seq = Some seq; data_bytes = 64;
+  { Wire.src = 0; epoch; chan_seq = Some seq; data_bytes = 64; ce = false;
     kind =
       Wire.Data
         { port = 5; sync = false;
@@ -745,7 +866,7 @@ let prop_channel_model_in_order =
           ~transmit:(fun _ ~retransmission:_ -> ())
           ~deliver:(fun pkt ->
             delivered := Option.get pkt.Wire.chan_seq :: !delivered)
-          ~send_ack:(fun ~cum_seq:_ -> ())
+          ~send_ack:(fun ~cum_seq:_ ~sacks:_ ~ce_echo:_ -> ())
           ()
       in
       Process.spawn sim (fun () ->
@@ -778,6 +899,38 @@ let prop_clic_exactly_once_under_loss =
       Net.run c;
       !count = 5 && !bytes = 50_000)
 
+let prop_clic_sack_exactly_once_under_bursty_loss =
+  (* SACK mode under composed Gilbert–Elliott burst loss and reordering
+     jitter: the distinct, increasing sizes prove delivery stayed in-order
+     exactly-once even though the holes were filled selectively. *)
+  QCheck.Test.make ~count:8
+    ~name:"sack mode exactly-once under bursty loss + reordering"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let fault () =
+        let rng = Rng.create ~seed in
+        Hw.Fault.compose
+          [
+            Hw.Fault.gilbert_elliott ~rng:(Rng.split rng)
+              ~p_good_to_bad:0.01 ~p_bad_to_good:0.05 ~loss_bad:0.5 ();
+            Hw.Fault.jitter ~rng:(Rng.split rng) ~max_delay:(Time.us 30.);
+          ]
+      in
+      let clic = { Params.default with retx_scheme = `Sack } in
+      let c, na, nb = two_nodes ~config:(config_with ~clic ~fault ()) () in
+      let sizes = ref [] in
+      Node.spawn nb (fun () ->
+          for _ = 1 to 5 do
+            sizes :=
+              (Api.recv nb.Node.clic ~port:5).Clic_module.msg_bytes :: !sizes
+          done);
+      Node.spawn na (fun () ->
+          for i = 1 to 5 do
+            Api.send na.Node.clic ~dst:1 ~port:5 (i * 4_000)
+          done);
+      Net.run c;
+      List.rev !sizes = [ 4_000; 8_000; 12_000; 16_000; 20_000 ])
+
 let prop_clic_any_size_roundtrips =
   QCheck.Test.make ~count:12 ~name:"clic delivers any message size"
     QCheck.(int_range 0 300_000)
@@ -793,7 +946,8 @@ let prop_clic_any_size_roundtrips =
 let qprops =
   List.map QCheck_alcotest.to_alcotest
     [ prop_clic_any_size_roundtrips; prop_clic_exactly_once_under_loss;
-      prop_channel_model_in_order ]
+      prop_channel_model_in_order;
+      prop_clic_sack_exactly_once_under_bursty_loss ]
 
 let suite =
   [
@@ -808,6 +962,10 @@ let suite =
     ("channel fast retransmit", `Quick, test_channel_fast_retransmit_on_dup_acks);
     ("channel dead teardown", `Quick, test_channel_dead_releases_blocked_senders);
     ("channel held duplicate", `Quick, test_channel_ooo_duplicate_counted);
+    ("channel rto ascending order", `Quick, test_channel_rto_resends_ascending);
+    ("channel sack skips held", `Quick, test_channel_sack_rto_skips_held_segments);
+    ("channel ce echo", `Quick, test_channel_receiver_echoes_ce);
+    ("channel dctcp window", `Quick, test_channel_dctcp_alpha_and_window_cut);
     ("clic roundtrip", `Quick, test_clic_roundtrip_message);
     ("clic multi-fragment", `Quick, test_clic_multi_fragment_message);
     ("clic try_recv", `Quick, test_clic_try_recv_nonblocking);

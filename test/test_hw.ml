@@ -710,6 +710,7 @@ let shared_buffer ?(total = 256 * 1024) ?(reserve = 0) ?(high = 16 * 1024)
     pause;
     pause_quanta = Hw.Mac_control.max_quanta;
     max_frame_bytes = 1518;
+    ecn_threshold = 0;
   }
 
 let test_switch_buffer_ledger_balances () =

@@ -171,6 +171,19 @@ let gen_frag rng =
     msg_bytes = Rng.int rng 0x40000000;
   }
 
+(* Random but wire-legal SACK blocks: ascending, non-mergeable, start
+   offsets and lengths in [1, 0xffff] relative to [cum_seq]. *)
+let gen_sacks rng cum_seq =
+  let count = Rng.int rng (Clic.Wire.max_sack_blocks + 1) in
+  let blocks = ref [] and prev_end = ref cum_seq in
+  for _ = 1 to count do
+    let start = !prev_end + 1 + Rng.int rng 1_000 in
+    let stop = start + 1 + Rng.int rng 1_000 in
+    blocks := (start, stop) :: !blocks;
+    prev_end := stop
+  done;
+  List.rev !blocks
+
 let gen_packet rng =
   let kind =
     match Rng.int rng 5 with
@@ -180,8 +193,10 @@ let gen_packet rng =
     | 1 -> Clic.Wire.Remote_write { region = Rng.int rng 0x10000; frag = gen_frag rng }
     | 2 -> Clic.Wire.Bcast { port = Rng.int rng 0x10000; frag = gen_frag rng }
     | 3 ->
+        let cum_seq = Rng.int rng 0x40000000 in
         Clic.Wire.Chan_ack
-          { cum_seq = Rng.int rng 0x40000000; window = Rng.int rng 0x40000000 }
+          { cum_seq; window = Rng.int rng 0x40000000;
+            ce_echo = Rng.bool rng; sacks = gen_sacks rng cum_seq }
     | _ -> Clic.Wire.Msg_ack { msg_id = Rng.int rng 0x40000000 }
   in
   {
@@ -189,6 +204,7 @@ let gen_packet rng =
     epoch = Rng.int rng 0x10000;
     chan_seq = (if Rng.bool rng then Some (Rng.int rng 0x40000000) else None);
     data_bytes = Rng.int rng 0x10000;
+    ce = Rng.bool rng;
     kind;
   }
 
@@ -215,6 +231,7 @@ let sample_data =
     epoch = 1;
     chan_seq = Some 41;
     data_bytes = 1400;
+    ce = false;
     kind =
       Clic.Wire.Data
         {
@@ -253,11 +270,76 @@ let test_wire_decode_rejects_malformed () =
     Clic.Wire.encode { sample_data with kind = Clic.Wire.Msg_ack { msg_id = 7 } }
   in
   Bytes.set_uint8 sync_ack 1 (Bytes.get_uint8 sync_ack 1 lor 1);
-  check_bool "sync on non-data" true (decode_fails sync_ack)
+  check_bool "sync on non-data" true (decode_fails sync_ack);
+  (* CE-echo is an ack-only flag *)
+  let ce_echo_data = Bytes.copy enc in
+  Bytes.set_uint8 ce_echo_data 1 (Bytes.get_uint8 ce_echo_data 1 lor 8);
+  check_bool "ce-echo on non-ack" true (decode_fails ce_echo_data)
+
+let sample_ack =
+  {
+    sample_data with
+    Clic.Wire.chan_seq = None;
+    data_bytes = 0;
+    kind =
+      Clic.Wire.Chan_ack
+        { cum_seq = 100; window = 8; ce_echo = true;
+          sacks = [ (103, 105); (110, 111) ] };
+  }
+
+let test_wire_decode_rejects_malformed_sacks () =
+  let enc = Clic.Wire.encode sample_ack in
+  check_bool "well-formed ack decodes" true
+    (Clic.Wire.decode enc = sample_ack);
+  let too_many = Bytes.copy enc in
+  Bytes.set_uint8 too_many 26 (Clic.Wire.max_sack_blocks + 1);
+  check_bool "sack count > 3" true (decode_fails too_many);
+  let on_data = Clic.Wire.encode sample_data in
+  Bytes.set_uint8 on_data 26 1;
+  check_bool "sack count on a data packet" true (decode_fails on_data);
+  let zero_start = Bytes.copy enc in
+  (* first block's start offset := 0: a block cannot begin at cum_seq *)
+  Bytes.set_uint8 zero_start 28 0;
+  Bytes.set_uint8 zero_start 29 0;
+  check_bool "zero start offset" true (decode_fails zero_start);
+  let zero_len = Bytes.copy enc in
+  Bytes.set_uint8 zero_len 30 0;
+  Bytes.set_uint8 zero_len 31 0;
+  check_bool "zero block length" true (decode_fails zero_len);
+  let out_of_order = Bytes.copy enc in
+  (* second block's start offset := 1, inside the first block *)
+  Bytes.set_uint8 out_of_order 32 0;
+  Bytes.set_uint8 out_of_order 33 1;
+  check_bool "blocks out of order" true (decode_fails out_of_order);
+  let dirty_tail = Bytes.copy enc in
+  (* a byte past the two declared blocks must stay zero *)
+  Bytes.set_uint8 dirty_tail 38 0x5a;
+  check_bool "unused sack bytes nonzero" true (decode_fails dirty_tail);
+  (match
+     Clic.Wire.encode
+       { sample_ack with
+         kind =
+           Clic.Wire.Chan_ack
+             { cum_seq = 100; window = 8; ce_echo = false;
+               sacks = [ (103, 105); (105, 107) ] } }
+   with
+  | _ -> Alcotest.fail "mergeable sack blocks accepted"
+  | exception Invalid_argument _ -> ());
+  match
+    Clic.Wire.encode
+      { sample_ack with
+        kind =
+          Clic.Wire.Chan_ack
+            { cum_seq = 100; window = 8; ce_echo = false;
+              sacks = [ (100, 105) ] } }
+  with
+  | _ -> Alcotest.fail "sack block starting at cum_seq accepted"
+  | exception Invalid_argument _ -> ()
 
 let test_wire_epoch_field_and_old_format () =
-  (* the epoch rides at offsets 24-25, reserved zeros at 26-27 *)
-  check_int "header grew to 28 bytes for the epoch" 28 Clic.Wire.header_len;
+  (* epoch at offsets 24-25, sack count at 26, reserved zero at 27,
+     sack blocks at 28-39 *)
+  check_int "header grew to 40 bytes for ECN/SACK" 40 Clic.Wire.header_len;
   List.iter
     (fun epoch ->
       let p = { sample_data with Clic.Wire.epoch } in
@@ -271,17 +353,20 @@ let test_wire_epoch_field_and_old_format () =
   | _ -> Alcotest.fail "negative epoch accepted"
   | exception Invalid_argument _ -> ());
   let enc = Clic.Wire.encode sample_data in
-  (* a pre-epoch 24-byte header — exactly what an old peer would emit —
+  (* older fixed-size layouts — exactly what an old peer would emit —
      must fail to decode entirely, never misparse into a packet *)
-  check_bool "old 24-byte format rejected outright" true
+  check_bool "pre-epoch 24-byte format rejected outright" true
     (decode_fails (Bytes.sub enc 0 24));
-  (* nonzero reserved bytes are from the future: reject, don't guess *)
+  check_bool "pre-ECN 28-byte format rejected outright" true
+    (decode_fails (Bytes.sub enc 0 28));
+  (* a nonzero reserved byte is from the future: reject, don't guess *)
   let future = Bytes.copy enc in
-  Bytes.set_uint8 future 26 1;
-  check_bool "nonzero reserved byte rejected" true (decode_fails future);
-  let future2 = Bytes.copy enc in
-  Bytes.set_uint8 future2 27 0x80;
-  check_bool "second reserved byte rejected" true (decode_fails future2)
+  Bytes.set_uint8 future 27 0x80;
+  check_bool "reserved byte 27 rejected" true (decode_fails future);
+  (* the CE bit roundtrips on every kind that can carry it *)
+  let marked = { sample_data with Clic.Wire.ce = true } in
+  check_bool "CE bit roundtrips" true
+    (Clic.Wire.(decode (encode marked)) = marked)
 
 let test_wire_encode_rejects_out_of_range () =
   let encode_fails p =
@@ -631,6 +716,7 @@ let suite =
     ("wire roundtrip (1000 random packets)", `Quick, test_wire_roundtrip_property);
     ("wire header length", `Quick, test_wire_header_len);
     ("wire rejects malformed headers", `Quick, test_wire_decode_rejects_malformed);
+    ("wire rejects malformed sacks", `Quick, test_wire_decode_rejects_malformed_sacks);
     ("wire epoch & old-format rejection", `Quick, test_wire_epoch_field_and_old_format);
     ("wire rejects out-of-range fields", `Quick, test_wire_encode_rejects_out_of_range);
     ("histogram invariants", `Quick, test_histogram_properties);

@@ -216,6 +216,58 @@ let test_fabric_acceptance () =
   check_bool "survivor outcarried the corpse" true
     (reroute.rr_spine1_tx > reroute.rr_spine0_tx)
 
+(* The PR-9 acceptance contract: the congestion matrix must show every
+   regime delivering everything; the ECN/DCTCP cells must stay lossless at
+   the switch without a single PAUSE frame while really marking CE and
+   really echoing it; and under the same-seed bursty loss run, SACK must
+   retransmit strictly fewer bytes than go-back-N, with the savings
+   accounted segment by segment. *)
+let test_congestion_acceptance () =
+  let null_fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let cells, bursty = Report.Figures.congestion_matrix ~quick:true null_fmt in
+  let open Report.Figures in
+  check_int "full matrix" 12 (List.length cells);
+  List.iter
+    (fun c ->
+      let cell =
+        Printf.sprintf "%s/%s/%s" c.cg_regime c.cg_topo c.cg_scheme
+      in
+      check_int (cell ^ " delivers everything") c.cg_sent c.cg_delivered;
+      match c.cg_regime with
+      | "ecn" ->
+          check_int (cell ^ " loses nothing at the switch") 0
+            c.cg_switch_drops;
+          check_int (cell ^ " emits no PAUSE frames") 0 c.cg_pause_tx;
+          check_bool (cell ^ " really marks CE") true (c.cg_ecn_marks > 0);
+          check_bool (cell ^ " echoes reach the senders") true
+            (c.cg_ce_echoes > 0)
+      | "pause" ->
+          check_int (cell ^ " loses nothing at the switch") 0
+            c.cg_switch_drops;
+          check_int (cell ^ " never marks CE") 0 c.cg_ecn_marks
+      | _ ->
+          (* the tail-drop baseline is where the contrast comes from *)
+          check_int (cell ^ " never marks CE") 0 c.cg_ecn_marks)
+    cells;
+  (* the baseline must actually collapse somewhere, or the matrix shows
+     three regimes surviving a non-event *)
+  check_bool "tail-drop loses frames somewhere" true
+    (List.exists
+       (fun c -> c.cg_regime = "tail-drop" && c.cg_switch_drops > 0)
+       cells);
+  match
+    ( List.find_opt (fun r -> r.bu_scheme = "gbn") bursty,
+      List.find_opt (fun r -> r.bu_scheme = "sack") bursty )
+  with
+  | Some gbn, Some sack ->
+      check_bool "bursty weather forced timeouts" true (gbn.bu_timeouts > 0);
+      check_bool "sack retransmits fewer bytes than go-back-N" true
+        (sack.bu_retx_bytes < gbn.bu_retx_bytes);
+      check_bool "sack really sacked segments" true (sack.bu_sacked > 0);
+      check_bool "savings accounted" true (sack.bu_retx_bytes_saved > 0);
+      check_int "go-back-N never sacks" 0 gbn.bu_sacked
+  | _ -> Alcotest.fail "bursty panel missing a scheme row"
+
 let suite =
   [
     ("table alignment", `Quick, test_table_alignment);
@@ -228,4 +280,5 @@ let suite =
     ("fig5 invariants", `Slow, test_fig5_quick_invariants);
     ("incast acceptance", `Slow, test_incast_acceptance);
     ("fabric acceptance", `Slow, test_fabric_acceptance);
+    ("congestion acceptance", `Slow, test_congestion_acceptance);
   ]
