@@ -7,6 +7,7 @@
      chaos      reliability soak under fault injection (sweep or custom)
      incast     N->1 collapse through the switch, tail-drop vs 802.3x PAUSE
      fabric     cross-rack incast + spine failure on a leaf/spine fabric
+     slo        open-loop SLOs under gray failure + degradation contract
      figure     regenerate a paper figure/table by id
      check      run the analysis passes over the paper experiments
      timeline   export a scenario's Perfetto/Chrome trace timeline
@@ -458,6 +459,77 @@ let fabric_cmd =
           delivery across the failure all hold.")
     Term.(const run_fabric $ verbose_arg $ quick)
 
+(* The SLO gate: the CLIC-vs-TCP panel under gray failure, then the
+   degradation contract on the canonical open-loop run.  The exit-status
+   contract is the point: healthy CLIC meets its p999 bound, the
+   fail-slow window bleeds the tail no further than the bounded ratio,
+   the tail recovers within the deadline once the fault clears, and the
+   verdict is void unless every injected fail-slow mechanism actually
+   engaged. *)
+let run_slo verbose quick =
+  ignore (verbose : bool);
+  let rows = Report.Figures.slo ~quick Format.std_formatter in
+  let bad = ref [] in
+  let complain fmt = Printf.ksprintf (fun m -> bad := m :: !bad) fmt in
+  List.iter
+    (fun r ->
+      let open Report.Figures in
+      if r.sl_system = "clic" then begin
+        if r.sl_completed <> r.sl_requests then
+          complain "clic/%s: %d of %d requests unanswered" r.sl_condition
+            (r.sl_requests - r.sl_completed)
+            r.sl_requests;
+        if r.sl_stranded > 0 then
+          complain "clic/%s: %d request(s) stranded at drain" r.sl_condition
+            r.sl_stranded
+      end)
+    rows;
+  (match
+     ( List.find_opt
+         (fun r ->
+           r.Report.Figures.sl_system = "clic"
+           && r.Report.Figures.sl_condition = "healthy")
+         rows,
+       List.find_opt
+         (fun r ->
+           r.Report.Figures.sl_system = "clic"
+           && r.Report.Figures.sl_condition = "fail-slow")
+         rows )
+   with
+  | Some h, Some d ->
+      if d.Report.Figures.sl_p999_us <= h.Report.Figures.sl_p999_us then
+        complain
+          "panel: the fail-slow window left no mark on the p999 tail \
+           (%.1f us degraded vs %.1f us healthy)"
+          d.Report.Figures.sl_p999_us h.Report.Figures.sl_p999_us
+  | _ -> complain "panel: missing a clic row");
+  let verdict, _slo = Check.Slo.run_contract ~quick () in
+  Format.printf "@.%a" Check.Slo.pp_verdict verdict;
+  if not (Check.Slo.ok verdict) then
+    List.iter
+      (fun v -> complain "contract: %s" (Check.Violation.to_string v))
+      verdict.Check.Slo.v_violations;
+  if !bad <> [] then begin
+    List.iter (fun m -> Printf.eprintf "clic-sim slo: %s\n" m) !bad;
+    exit 1
+  end
+
+let slo_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced request counts.")
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Production SLOs under gray failure: CLIC vs TCP serving an \
+          identical open-loop request-response workload while links \
+          sag, NICs slow down and a switch port stalls — none of which \
+          announces itself.  Then the degradation contract: healthy \
+          p999 under its bound, bounded tail bleed while the fault is \
+          active, recovery within the deadline after it clears, and \
+          proof that every fail-slow mechanism actually engaged.")
+    Term.(const run_slo $ verbose_arg $ quick)
+
 (* Run the sanitizer, invariant monitors and determinism detector over the
    selected scenarios; non-zero exit on any finding so CI can gate on it. *)
 let run_check verbose scenarios seeds list hashes =
@@ -755,5 +827,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ latency_cmd; bandwidth_cmd; stream_cmd; chaos_cmd; incast_cmd;
-            congestion_cmd; fabric_cmd; figure_cmd; check_cmd; soak_cmd;
-            timeline_cmd; metrics_cmd; list_cmd ]))
+            congestion_cmd; fabric_cmd; slo_cmd; figure_cmd; check_cmd;
+            soak_cmd; timeline_cmd; metrics_cmd; list_cmd ]))

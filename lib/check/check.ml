@@ -27,6 +27,7 @@ module Invariants = Invariants
 module Determinism = Determinism
 module Scenario = Scenario
 module Soak = Soak
+module Slo = Slo
 
 type report = {
   scenario : string;

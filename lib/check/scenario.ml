@@ -59,6 +59,10 @@ let all : t list =
     sc "congestion"
       "congestion-regime matrix + same-seed GBN vs SACK bursty loss (quick)"
       (fun fmt -> ignore (Report.Figures.congestion_matrix ~quick:true fmt));
+    sc "slo"
+      "one-way open-loop SLO traffic under gray failure (quick; the \
+       trace-pinned companion of `clic-sim slo`)"
+      (fun fmt -> ignore (Report.Figures.slo_trace ~quick:true fmt));
   ]
 
 let names = List.map (fun s -> s.name) all

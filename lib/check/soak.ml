@@ -45,6 +45,10 @@ type evidence = {
   mutable ev_switch_failures : int;  (* switches failed mid-trial *)
   mutable ev_ecn_marks : int;  (* frames CE-marked above the ECN threshold *)
   mutable ev_sacked_segments : int;  (* segments covered by SACK blocks *)
+  mutable ev_open_loop : int;  (* open-loop requests answered under grayness *)
+  mutable ev_brownout_slowed : int;  (* frames delayed by link brownouts *)
+  mutable ev_nic_slow_ns : int;  (* service time added by fail-slow NICs *)
+  mutable ev_switch_stall_ns : int;  (* egress pump time lost to stalls *)
 }
 
 let fresh_evidence () =
@@ -67,6 +71,10 @@ let fresh_evidence () =
     ev_switch_failures = 0;
     ev_ecn_marks = 0;
     ev_sacked_segments = 0;
+    ev_open_loop = 0;
+    ev_brownout_slowed = 0;
+    ev_nic_slow_ns = 0;
+    ev_switch_stall_ns = 0;
   }
 
 (* Bank the counters of one node's *current boot*.  Called at the end of a
@@ -399,6 +407,57 @@ let ecn_collapse ~quick ~seed ev =
   Net.run net;
   bank_final ev net
 
+(* 8. Gray soak: open-loop request-response traffic across a fail-slow
+   window — every link sags to a fifth of its rate, two NICs serve 5x
+   slower, one switch port stalls its egress pump periodically.  Nothing
+   drops and nothing announces itself, so the only acceptable outcomes
+   are "every request answered" and "every mechanism demonstrably
+   engaged"; a stranded request is a harness failure. *)
+let gray_soak ~quick ~seed ev =
+  let from_ = Time.us 400. and until_ = Time.ms 3. in
+  let faults = ref [] in
+  let config =
+    {
+      Node.default_config with
+      link_fault =
+        Some
+          (fun () ->
+            let f = Fault.brownout ~fraction:0.2 ~from_ ~until_ () in
+            faults := f :: !faults;
+            f);
+    }
+  in
+  let net = Net.create ~config ~n:4 () in
+  Workload.inject_gray net ~nic_nodes:[ 1; 2 ] ~nic_factor:5.0
+    ~stall_nodes:[ 3 ] ~from_ ~until_ ();
+  let rng = Rng.create ~seed in
+  let _, slo =
+    Workload.open_loop net
+      ~seed:(Rng.int rng 1_000_000)
+      ~arrival:(Workload.Poisson { mean_gap = Time.us 250. })
+      ~requests_per_node:(scale ~quick 60) ~req_size:512 ~resp_size:2048
+      ~port:88 ()
+  in
+  if slo.Workload.slo_stranded > 0 then
+    failwith
+      (Printf.sprintf "gray-soak: %d open-loop request(s) stranded"
+         slo.Workload.slo_stranded);
+  ev.ev_open_loop <- ev.ev_open_loop + slo.Workload.slo_completed;
+  List.iter
+    (fun f -> ev.ev_brownout_slowed <- ev.ev_brownout_slowed + Fault.slowed f)
+    !faults;
+  Array.iter
+    (fun node ->
+      List.iter
+        (fun nic -> ev.ev_nic_slow_ns <- ev.ev_nic_slow_ns + Nic.slow_extra_ns nic)
+        node.Node.nics)
+    net.Net.nodes;
+  List.iter
+    (fun sw ->
+      ev.ev_switch_stall_ns <- ev.ev_switch_stall_ns + Switch.egress_stall_ns sw)
+    net.Net.switches;
+  bank_final ev net
+
 let templates =
   [
     {
@@ -435,6 +494,11 @@ let templates =
       tp_name = "ecn-collapse";
       tp_descr = "incast on the ECN/DCTCP fabric + SACK under bursty loss";
       tp_run = ecn_collapse;
+    };
+    {
+      tp_name = "gray-soak";
+      tp_descr = "open-loop SLO traffic across a fail-slow (gray) window";
+      tp_run = gray_soak;
     };
   ]
 
@@ -483,6 +547,10 @@ let missing_evidence r =
       need "no switch was ever failed mid-trial" (ev.ev_switch_failures > 0);
       need "no frame was ever CE-marked" (ev.ev_ecn_marks > 0);
       need "no segment was ever SACKed" (ev.ev_sacked_segments > 0);
+      need "no open-loop request was ever answered" (ev.ev_open_loop > 0);
+      need "no link brownout ever slowed a frame" (ev.ev_brownout_slowed > 0);
+      need "no NIC ever served fail-slow" (ev.ev_nic_slow_ns > 0);
+      need "no switch egress pump ever stalled" (ev.ev_switch_stall_ns > 0);
     ]
 
 let ok ?(require_evidence = true) r =
@@ -606,4 +674,8 @@ let pp_summary fmt r =
   line "switches failed mid-trial" ev.ev_switch_failures;
   line "frames CE-marked (ECN)" ev.ev_ecn_marks;
   line "segments covered by SACK blocks" ev.ev_sacked_segments;
+  line "open-loop requests answered (gray)" ev.ev_open_loop;
+  line "frames slowed by link brownouts" ev.ev_brownout_slowed;
+  line "NIC fail-slow service added (ns)" ev.ev_nic_slow_ns;
+  line "egress pump time stalled (ns)" ev.ev_switch_stall_ns;
   List.iter (fun n -> Format.fprintf fmt "  note: %s@." n) r.s_notes

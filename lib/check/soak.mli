@@ -34,6 +34,14 @@ type evidence = {
       (** frames CE-marked above the ECN threshold *)
   mutable ev_sacked_segments : int;
       (** segments a sender saw covered by received SACK blocks *)
+  mutable ev_open_loop : int;
+      (** open-loop requests answered across a gray (fail-slow) window *)
+  mutable ev_brownout_slowed : int;
+      (** frames delayed by link brownouts, never dropped *)
+  mutable ev_nic_slow_ns : int;
+      (** extra service time charged by fail-slow NICs *)
+  mutable ev_switch_stall_ns : int;
+      (** egress pump time lost to injected stalls *)
 }
 
 type trial_result = {
@@ -54,7 +62,7 @@ type report = {
 
 val template_names : string list
 (** ["crash-reboot"; "pool-crunch"; "irq-storm"; "faults-mesh";
-    "incast-storm"; "fabric-cut"; "ecn-collapse"]. *)
+    "incast-storm"; "fabric-cut"; "ecn-collapse"; "gray-soak"]. *)
 
 val default_seeds : int list
 (** [[101; 202; 303]] — the seeds CI pins. *)

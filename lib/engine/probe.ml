@@ -100,6 +100,7 @@ type event =
   | Sack_tx of { chan : int; node : int; peer : int; blocks : (int * int) list }
   | Sack_rx of { chan : int; node : int; peer : int; blocks : (int * int) list }
   | Chan_retx of { chan : int; node : int; peer : int; seq : int }
+  | Gray_fault of { host : string; mode : string; active : bool }
 
 let sink : (event -> unit) option ref = ref None
 
@@ -229,3 +230,6 @@ let to_string = function
            (List.map (fun (a, z) -> Printf.sprintf "%d-%d" a (z - 1)) blocks))
   | Chan_retx { chan; node; peer; seq } ->
       Printf.sprintf "chan-retx chan#%d %d->%d seq=%d" chan node peer seq
+  | Gray_fault { host; mode; active } ->
+      Printf.sprintf "gray-fault %s %s %s" host mode
+        (if active then "on" else "off")

@@ -159,6 +159,12 @@ type event =
       (** a sender queued segment [seq] for retransmission (RTO or fast
           retransmit); the SACK monitor convicts retransmissions of
           still-SACKed segments *)
+  | Gray_fault of { host : string; mode : string; active : bool }
+      (** a fail-slow (gray) failure engaged ([active = true]) or cleared
+          on [host]: [mode] is ["link-brownout"], ["nic-slow"] or
+          ["switch-stall"].  SLO monitors use these edges to split latency
+          samples into healthy / degraded / recovery phases, and the
+          gray-soak demands evidence that each mode actually fired *)
 
 val on : bool ref
 (** True iff a sink is installed.  Hot emit sites read this directly —

@@ -35,6 +35,13 @@ let exponential t ~mean =
   if !u = 0. then u := 1e-300;
   -.mean *. log !u
 
+let pareto t ~shape ~scale =
+  if shape <= 0. then invalid_arg "Rng.pareto: shape <= 0";
+  if scale <= 0. then invalid_arg "Rng.pareto: scale <= 0";
+  let u = ref (float t 1.0) in
+  if !u = 0. then u := 1e-300;
+  scale *. (!u ** (-1. /. shape))
+
 let pick t arr =
   if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
   arr.(int t (Array.length arr))

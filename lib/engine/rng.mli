@@ -23,5 +23,12 @@ val bool : t -> bool
 val exponential : t -> mean:float -> float
 (** Exponentially distributed with the given mean (> 0). *)
 
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto(Type I) distributed: values are [>= scale] with tail
+    [P(X > x) = (scale / x) ^ shape].  The mean [shape * scale /
+    (shape - 1)] exists only for [shape > 1]; callers that need a finite
+    mean (open-loop arrival schedules) must validate that themselves.
+    [shape] and [scale] must be positive. *)
+
 val pick : t -> 'a array -> 'a
 (** Uniform choice from a non-empty array. *)

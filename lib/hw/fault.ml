@@ -16,6 +16,14 @@ type kind =
   | Jitter of { rng : Rng.t; max_delay : Time.span }
   | Flap of { up : Time.span; down : Time.span; phase : Time.span }
   | Corrupt of { rng : Rng.t; prob : float }
+  | Brownout of {
+      fraction : float;
+      from_ : Time.t;
+      until_ : Time.t;
+      label : string;
+      mutable busy_until : Time.t;
+      mutable was_active : bool;
+    }
   | Compose of t list
 
 and t = {
@@ -23,11 +31,14 @@ and t = {
   mutable drops : int;
   mutable duplicates : int;
   mutable corruptions : int;
+  mutable slowed : int;
+  mutable slow_ns : int;
 }
 
 type copy = { delay : Time.span; corrupt : bool }
 
-let make kind = { kind; drops = 0; duplicates = 0; corruptions = 0 }
+let make kind =
+  { kind; drops = 0; duplicates = 0; corruptions = 0; slowed = 0; slow_ns = 0 }
 let none = make None_
 
 let check_prob name prob =
@@ -68,13 +79,22 @@ let corrupt ~rng ~prob =
   check_prob "corrupt" prob;
   make (Corrupt { rng; prob })
 
+let brownout ~fraction ~from_ ~until_ ?(label = "link") () =
+  if fraction <= 0. || fraction > 1. then
+    invalid_arg "Fault.brownout: fraction outside (0,1]";
+  if from_ < 0 || until_ <= from_ then
+    invalid_arg "Fault.brownout: empty or negative window";
+  make
+    (Brownout
+       { fraction; from_; until_; label; busy_until = 0; was_active = false })
+
 let compose stages = make (Compose stages)
 
 let clean = { delay = 0; corrupt = false }
 
 (* One copy of a frame passing one stage: the fates (relative to an
    undisturbed delivery) of the copies that survive; [] means dropped. *)
-let rec stage_copy t ~now =
+let rec stage_copy t ~now ~ser =
   let dropped () =
     t.drops <- t.drops + 1;
     []
@@ -112,6 +132,35 @@ let rec stage_copy t ~now =
         [ { clean with corrupt = true } ]
       end
       else [ clean ]
+  | Brownout b ->
+      let active = now >= b.from_ && now < b.until_ in
+      if active <> b.was_active then begin
+        b.was_active <- active;
+        if !Probe.on then
+          Probe.emit (Probe.Gray_fault
+                        { host = b.label; mode = "link-brownout"; active })
+      end;
+      if not active then [ clean ]
+      else begin
+        (* The sagging link serves frames at [fraction] of its rate: each
+           frame owes (1/fraction - 1) extra wire time, and frames queue
+           behind one another in a virtual slow queue ([busy_until]) so
+           FIFO order — and therefore the channel's sequencing — is
+           preserved while the backlog compounds, exactly like a slower
+           transmitter. *)
+        let extra =
+          int_of_float (float_of_int ser *. (1. /. b.fraction -. 1.))
+        in
+        let start = if b.busy_until > now then b.busy_until else now in
+        let free = start + extra in
+        b.busy_until <- free;
+        let delay = free - now in
+        if delay > 0 then begin
+          t.slowed <- t.slowed + 1;
+          t.slow_ns <- t.slow_ns + delay
+        end;
+        [ { clean with delay } ]
+      end
   | Compose stages ->
       List.fold_left
         (fun copies stage ->
@@ -123,11 +172,11 @@ let rec stage_copy t ~now =
                     delay = copy.delay + c.delay;
                     corrupt = copy.corrupt || c.corrupt;
                   })
-                (stage_copy stage ~now))
+                (stage_copy stage ~now ~ser))
             copies)
         [ clean ] stages
 
-let frame t ~now = stage_copy t ~now
+let frame t ~now ?(ser = 0) () = stage_copy t ~now ~ser
 
 let rec drops t =
   match t.kind with
@@ -143,3 +192,13 @@ let rec corruptions t =
   match t.kind with
   | Compose stages -> List.fold_left (fun acc s -> acc + corruptions s) 0 stages
   | _ -> t.corruptions
+
+let rec slowed t =
+  match t.kind with
+  | Compose stages -> List.fold_left (fun acc s -> acc + slowed s) 0 stages
+  | _ -> t.slowed
+
+let rec slow_ns t =
+  match t.kind with
+  | Compose stages -> List.fold_left (fun acc s -> acc + slow_ns s) 0 stages
+  | _ -> t.slow_ns

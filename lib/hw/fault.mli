@@ -60,6 +60,26 @@ val flap : up:Time.span -> down:Time.span -> ?phase:Time.span -> unit -> t
     by [down] of total loss, offset by [phase] (default 0) into the
     cycle. *)
 
+val brownout :
+  fraction:float ->
+  from_:Engine.Time.t ->
+  until_:Engine.Time.t ->
+  ?label:string ->
+  unit ->
+  t
+(** Fail-slow link: between [from_] (inclusive) and [until_] (exclusive)
+    the link's effective rate sags to [fraction] of nominal — it keeps
+    delivering, just slower.  Each frame in the window owes
+    [(1/fraction - 1)] extra wire time and frames queue behind one another
+    in a virtual slow queue, so the backlog compounds like a genuinely
+    slower transmitter and FIFO order is preserved (no reordering, unlike
+    {!jitter}).  Engagement and clearing are emitted as
+    [Probe.Gray_fault { mode = "link-brownout" }] edges under [label]
+    (default ["link"]), and slowed frames are counted ({!slowed},
+    {!slow_ns}) so soak evidence can demand the sag actually bit.
+    @raise Invalid_argument unless [fraction] is in (0,1] and
+    [0 <= from_ < until_]. *)
+
 val corrupt : rng:Rng.t -> prob:float -> t
 (** Flips bits in each frame independently with probability [prob]: the
     copy still occupies the wire and the receiver's ring, but the MAC's
@@ -71,12 +91,14 @@ val compose : t list -> t
     survives every stage, delays add, corruption flags accumulate, and
     duplicated copies fan out through later stages independently. *)
 
-val frame : t -> now:Time.t -> copy list
+val frame : t -> now:Time.t -> ?ser:Time.span -> unit -> copy list
 (** The fate of one frame at simulation time [now]: one element per
     delivered copy, carrying that copy's extra delay and corruption flag
     ([[{ delay = 0; corrupt = false }]] is an undisturbed delivery; [[]]
-    means the frame was dropped).  Stateful: call exactly once per
-    frame. *)
+    means the frame was dropped).  [ser] (default 0) is the frame's
+    uncontended serialization time on the link, which rate-sensitive
+    stages ({!brownout}) scale their extra service from.  Stateful: call
+    exactly once per frame. *)
 
 val drops : t -> int
 (** Frames dropped so far (summed over composed stages). *)
@@ -86,3 +108,11 @@ val duplicates : t -> int
 
 val corruptions : t -> int
 (** Frames whose bits were flipped so far (summed over composed stages). *)
+
+val slowed : t -> int
+(** Frames delayed by a {!brownout} so far (summed over composed
+    stages). *)
+
+val slow_ns : t -> int
+(** Total extra nanoseconds {!brownout} stages have injected (summed over
+    composed stages). *)

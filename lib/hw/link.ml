@@ -58,7 +58,10 @@ let deliver t frame =
   (* Fault-injected drops and duplications are counted inside [t.fault];
      each surviving copy arrives after its own extra delay (jitter), so
      copies of different frames may reorder. *)
-  match Fault.frame t.fault ~now:(Sim.now t.sim) with
+  match
+    Fault.frame t.fault ~now:(Sim.now t.sim) ~ser:(serialization_time t frame)
+      ()
+  with
   | [] -> ()
   | copies -> (
       match t.receiver with

@@ -84,6 +84,9 @@ type t = {
   mutable pause_resume : Sim.handle option;
   mutable pause_wake : unit Ivar.t;
   mutable gen_xoff_sent : bool;
+  (* gray failure: fail-slow service inflation *)
+  mutable slow_factor : float;
+  mutable slow_extra_ns : int;
   (* statistics *)
   mutable interrupts_raised : int;
   mutable tx_packets : int;
@@ -106,6 +109,16 @@ let[@clic.hot] probe_ring_depth t =
 
 let internal_move_time t bytes =
   Time.of_bytes_at_rate ~bytes_per_s:t.internal_bytes_per_s bytes
+
+(* Fail-slow inflation of a firmware/DMA service span.  At the default
+   factor of 1.0 this is exactly [base], so healthy runs are untouched. *)
+let service_span t base =
+  if t.slow_factor = 1.0 then base
+  else begin
+    let inflated = int_of_float (float_of_int base *. t.slow_factor) in
+    t.slow_extra_ns <- t.slow_extra_ns + (inflated - base);
+    inflated
+  end
 
 (* --------------------------------------------------------------- *)
 (* Interrupt coalescing *)
@@ -293,11 +306,12 @@ let tx_phy_pump t () =
     let desc = Mailbox.recv t.phy_queue in
     let frame = desc.frame in
     let host_bytes = Eth_frame.header_bytes + frame.payload_bytes in
-    if desc.internal_copy then Process.delay (internal_move_time t host_bytes);
+    if desc.internal_copy then
+      Process.delay (service_span t (internal_move_time t host_bytes));
     let frames = wire_frames t frame in
     List.iter
       (fun f ->
-        Process.delay t.firmware_per_frame;
+        Process.delay (service_span t t.firmware_per_frame);
         (* A powered-off NIC cannot reach the wire, but completion still
            runs so the posted buffer is released through the normal path. *)
         match t.uplink with
@@ -364,7 +378,7 @@ let[@clic.hot] admit_host_bytes t bytes =
 let rx_pump t () =
   let rec loop () =
     let frame = Mailbox.recv t.rx_wire in
-    Process.delay t.firmware_per_frame;
+    Process.delay (service_span t t.firmware_per_frame);
     (if t.down then ()
      else if frame.Eth_frame.corrupted then
        (* The MAC recomputes the FCS over the damaged bits and discards
@@ -509,6 +523,8 @@ let create sim ~name ~mtu ~pci ~membus ?(tx_ring = 64) ?(rx_ring = 128)
       pause_resume = None;
       pause_wake = Ivar.create ();
       gen_xoff_sent = false;
+      slow_factor = 1.0;
+      slow_extra_ns = 0;
       interrupts_raised = 0;
       tx_packets = 0;
       rx_packets = 0;
@@ -613,3 +629,16 @@ let tx_paused_ns t =
 
 let pause_frames_rx t = t.pause_frames_rx
 let pause_frames_tx t = t.pause_frames_tx
+
+let set_slow_factor t factor =
+  if factor < 1.0 then invalid_arg "Nic.set_slow_factor: factor < 1";
+  if factor <> t.slow_factor then begin
+    t.slow_factor <- factor;
+    if !Probe.on then
+      Probe.emit
+        (Probe.Gray_fault
+           { host = t.name; mode = "nic-slow"; active = factor > 1.0 })
+  end
+
+let slow_factor t = t.slow_factor
+let slow_extra_ns t = t.slow_extra_ns

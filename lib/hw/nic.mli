@@ -191,3 +191,20 @@ val tx_paused_ns : t -> int
 
 val pause_frames_rx : t -> int
 val pause_frames_tx : t -> int
+
+(** {1 Gray failure: fail-slow service inflation} *)
+
+val set_slow_factor : t -> float -> unit
+(** Inflates every firmware/DMA-adjacent per-frame service span (ISR-side
+    receive service, transmit firmware passes and internal copies) by the
+    given factor — a NIC that has gone {e fail-slow} without dying.  A
+    factor of 1.0 restores healthy service.  Transitions are emitted as
+    [Probe.Gray_fault { mode = "nic-slow" }] edges.
+    @raise Invalid_argument if [factor < 1]. *)
+
+val slow_factor : t -> float
+
+val slow_extra_ns : t -> int
+(** Total extra service nanoseconds the inflation has injected — the
+    soak's evidence that the fail-slow NIC actually served traffic while
+    degraded. *)

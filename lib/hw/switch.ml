@@ -60,6 +60,7 @@ type port = {
   mutable paused_rx : bool;  (* we have XOFFed this port's peer *)
   mutable xoff_at : Time.t;
   mutable tx_paused_until : Time.t;  (* peer has PAUSEd this egress *)
+  mutable stalled_until : Time.t;  (* gray failure: egress pump stalled *)
   mutable resume : Sim.handle option;
   mutable gate_start : Time.t;
   mutable egress_paused_ns : int;
@@ -96,6 +97,8 @@ type t = {
   mutable pause_frames_tx : int;
   mutable pause_frames_rx : int;
   mutable ecn_marked : int;
+  mutable egress_stalls : int;
+  mutable egress_stall_ns : int;
 }
 
 let create sim ~name ~bits_per_s ?(forward_latency = Time.us 2.)
@@ -136,6 +139,8 @@ let create sim ~name ~bits_per_s ?(forward_latency = Time.us 2.)
     pause_frames_tx = 0;
     pause_frames_rx = 0;
     ecn_marked = 0;
+    egress_stalls = 0;
+    egress_stall_ns = 0;
   }
 
 let name t = t.name
@@ -246,9 +251,14 @@ let maybe_xon t b q =
   end
 
 let egress_gated t p = Sim.now t.sim < p.tx_paused_until
+let egress_stalled t p = Sim.now t.sim < p.stalled_until
 
 let rec pump_port t p =
-  if (not t.down) && p.wire_count = 0 && not (egress_gated t p) then
+  if
+    (not t.down) && p.wire_count = 0
+    && (not (egress_gated t p))
+    && not (egress_stalled t p)
+  then
     match Queue.take_opt p.fifo with
     | None -> ()
     | Some (frame, ingress_pid) ->
@@ -494,6 +504,7 @@ let blank_port ~node ~label ~uplink ~downlink =
     paused_rx = false;
     xoff_at = 0;
     tx_paused_until = 0;
+    stalled_until = 0;
     resume = None;
     gate_start = 0;
     egress_paused_ns = 0;
@@ -687,3 +698,40 @@ let peak_buffer_occupied t = t.peak_occupied
 
 let egress_paused_ns t =
   List.fold_left (fun acc p -> acc + p.egress_paused_ns) 0 t.port_list
+
+(* Gray failure: an egress pump that intermittently stops serving its FIFO
+   (a wedged scheduler pass, a firmware hiccup) while the rest of the
+   switch keeps forwarding.  Unlike PAUSE gating this is invisible to the
+   peer — no MAC control frame announces it — which is what makes it
+   gray.  Frames already handed to the downlink finish serializing. *)
+let inject_stall t ~node ~span =
+  if span <= 0 then invalid_arg "Switch.inject_stall: span <= 0";
+  let p = get_port t node in
+  let now = Sim.now t.sim in
+  let until_ = now + span in
+  if until_ > p.stalled_until then begin
+    let prev = if p.stalled_until > now then p.stalled_until else now in
+    if not (egress_stalled t p) && !Probe.on then
+      Probe.emit
+        (Probe.Gray_fault
+           { host = t.name ^ "/" ^ p.label; mode = "switch-stall";
+             active = true });
+    t.egress_stalls <- t.egress_stalls + 1;
+    t.egress_stall_ns <- t.egress_stall_ns + (until_ - prev);
+    p.stalled_until <- until_;
+    ignore
+      (Sim.schedule t.sim ~after:span (fun () ->
+           if not (egress_stalled t p) then begin
+             if !Probe.on then
+               Probe.emit
+                 (Probe.Gray_fault
+                    { host = t.name ^ "/" ^ p.label; mode = "switch-stall";
+                      active = false });
+             pump_port t p
+           end))
+  end
+
+let egress_stalls t = t.egress_stalls
+let egress_stall_ns t = t.egress_stall_ns
+let has_node t node =
+  match find_port t node with Some p -> p.node >= 0 | None -> false

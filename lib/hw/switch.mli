@@ -191,3 +191,23 @@ val protected_provisioning : t -> bool
     per-switch proof does not compose across hops), and a shared buffer
     large enough for every port's high watermark plus its worst-case
     in-flight spill. *)
+
+(** {1 Gray failure: intermittent egress stall} *)
+
+val inject_stall : t -> node:int -> span:Engine.Time.span -> unit
+(** Freezes the egress pump of the port facing [node] for [span] from now:
+    the port stops serving its FIFO (frames already handed to the wire
+    finish), with no MAC-control announcement to the peer — a gray stall,
+    not a PAUSE.  Overlapping injections extend the stall.  Engagement and
+    clearing are emitted as [Probe.Gray_fault { mode = "switch-stall" }]
+    edges.
+    @raise Invalid_argument if [span <= 0] or no port faces [node]. *)
+
+val egress_stalls : t -> int
+(** Stall injections accepted so far. *)
+
+val egress_stall_ns : t -> int
+(** Total egress time frozen by injected stalls. *)
+
+val has_node : t -> int -> bool
+(** Whether a station port for [node] exists on this switch. *)

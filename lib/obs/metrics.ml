@@ -1,6 +1,6 @@
 (* Time-series metrics derived from a recorded probe stream.
 
-   Twelve instrument families:
+   Thirteen instrument families:
 
    - [cpu-utilization]   gauge, per CPU: busy fraction per time bucket,
                          from [Busy] spans on "cpuN" hosts
@@ -23,6 +23,11 @@
    - [sack]              counter, per channel direction: acks carrying
                          SACK blocks, [.tx] as advertised by receivers
                          and [.rx] as honoured by senders
+   - [latency-quantile]  gauge, per receiving node: running p50/p99/p999
+                         of message delivery latency (send syscall to
+                         application delivery), matched by
+                         (src, dst, msg id, epoch), one sample per
+                         delivery
 
    Series are sampled either at event time (gauges driven by a probe
    event) or over fixed buckets (utilization and rates, where an
@@ -99,6 +104,8 @@ let build ?bucket_ns recorder =
     | None -> max 1 (horizon / bucket_count)
   in
   let busy = Hashtbl.create 16 (* host -> intervals, reverse order *) in
+  let msg_pending = Hashtbl.create 256 (* (src,dst,id,epoch) -> send ns *) in
+  let msg_lats = Hashtbl.create 8 (* dst node -> latency list, us *) in
   let irqs = Hashtbl.create 16 (* host -> stamps, reverse order *) in
   let gauges = Hashtbl.create 64 (* (family, name) -> points, reverse *) in
   let counts = Hashtbl.create 16 (* (family, name) -> running count *) in
@@ -137,10 +144,32 @@ let build ?bucket_ns recorder =
       | Probe.Pool_alloc { pool; used; _ } | Probe.Pool_free { pool; used; _ }
         ->
           push_gauge "pool-bytes" pool at (float_of_int used)
-      | Probe.Msg_send { node; _ } ->
+      | Probe.Msg_send { node; dst; msg_id; epoch; _ } ->
+          Hashtbl.replace msg_pending (node, dst, msg_id, epoch) at;
           bump "msg-count" (Printf.sprintf "node%d.sent" node) at
-      | Probe.Msg_deliver { node; _ } ->
-          bump "msg-count" (Printf.sprintf "node%d.delivered" node) at
+      | Probe.Msg_deliver { node; src; msg_id; epoch; _ } -> (
+          bump "msg-count" (Printf.sprintf "node%d.delivered" node) at;
+          match Hashtbl.find_opt msg_pending (src, node, msg_id, epoch) with
+          | None -> ()
+          | Some t0 ->
+              Hashtbl.remove msg_pending (src, node, msg_id, epoch);
+              let lats =
+                float_of_int (at - t0) /. 1e3
+                :: Option.value (Hashtbl.find_opt msg_lats node) ~default:[]
+              in
+              Hashtbl.replace msg_lats node lats;
+              let sorted = List.sort compare lats in
+              let arr = Array.of_list sorted in
+              let n = Array.length arr in
+              let q p =
+                arr.(min (n - 1) (int_of_float (p /. 100. *. float_of_int n)))
+              in
+              List.iter
+                (fun (tag, p) ->
+                  push_gauge "latency-quantile"
+                    (Printf.sprintf "node%d.%s" node tag)
+                    at (q p))
+                [ ("p50", 50.); ("p99", 99.); ("p999", 99.9) ])
       | Probe.Switch_buffer { switch; occupied; _ } ->
           push_gauge "switch-buffer" switch at (float_of_int occupied)
       | Probe.Switch_drop { switch; port; ingress; _ } ->
@@ -209,6 +238,7 @@ let build ?bucket_ns recorder =
                 | "pause" ->
                     if Filename.check_suffix name ".state" then "state"
                     else "frames"
+                | "latency-quantile" -> "us"
                 | _ -> "messages");
               s_points = List.rev pts;
             })

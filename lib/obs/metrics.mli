@@ -1,15 +1,19 @@
 (** Time-series metrics derived from a recorded probe stream.
 
-    Ten instrument families: [cpu-utilization] and [bus-utilization]
-    (bucketed busy fractions from resource-occupancy spans), [irq-rate]
-    (interrupts per second per NIC), [queue-depth] (NIC rx rings, switch
-    egress buffers, link queues), [channel-window] (packets in flight per
-    channel direction), [pool-bytes] (kernel staging memory in use),
-    [msg-count] (cumulative messages sent / delivered per node),
-    [switch-buffer] (shared-buffer bytes occupied per switch),
-    [switch-drop] (frames dropped per switch port and direction) and
-    [pause] (802.3x flow control: a [.state] gauge that is 1 while a
-    host's transmit path is PAUSEd, plus [.tx]/[.rx] frame counters).
+    Thirteen instrument families: [cpu-utilization] and
+    [bus-utilization] (bucketed busy fractions from resource-occupancy
+    spans), [irq-rate] (interrupts per second per NIC), [queue-depth]
+    (NIC rx rings, switch egress buffers, link queues), [channel-window]
+    (packets in flight per channel direction), [pool-bytes] (kernel
+    staging memory in use), [msg-count] (cumulative messages sent /
+    delivered per node), [switch-buffer] (shared-buffer bytes occupied
+    per switch), [switch-drop] (frames dropped per switch port and
+    direction), [pause] (802.3x flow control: a [.state] gauge that is
+    1 while a host's transmit path is PAUSEd, plus [.tx]/[.rx] frame
+    counters), [ecn-mark] (frames CE-marked per switch port), [sack]
+    (acks carrying SACK blocks per channel direction) and
+    [latency-quantile] (running p50/p99/p999 of message delivery
+    latency per receiving node, one sample per delivery).
 
     Exports are deterministic: series sorted by name, fixed float
     formatting. *)

@@ -209,7 +209,38 @@ val congestion_matrix :
     frame while marking CE; under identical bursty weather the SACK run
     retransmits strictly fewer bytes than go-back-N. *)
 
+type slo_row = {
+  sl_system : string;  (** "clic" | "tcp" *)
+  sl_condition : string;  (** "healthy" | "fail-slow" | "fail-slow+loss" *)
+  sl_requests : int;
+  sl_completed : int;
+  sl_stranded : int;  (** requests never answered when the run drained *)
+  sl_timeouts : int;  (** completions slower than the 1 ms deadline *)
+  sl_p50_us : float;
+  sl_p99_us : float;
+  sl_p999_us : float;
+  sl_goodput_mbps : float;
+}
+
+
+val slo : ?quick:bool -> Format.formatter -> slo_row list
+(** CLIC vs TCP serving the same seeded open-loop request-response
+    workload (4 nodes, Poisson arrivals) under three conditions:
+    healthy; fail-slow (links sag to an eighth of their rate for a
+    mid-run window, two NICs serve 6x slower, one switch port stalls
+    its egress pump); and fail-slow plus 0.5% random frame loss.  The gray window
+    drops nothing by itself, so the damage is visible only in the
+    latency tail — six rows of p50/p99/p999 and goodput. *)
+
+val slo_trace :
+  ?quick:bool -> Format.formatter -> (string * Cluster.Workload.slo) list
+(** Trace-pinned companion to {!slo}: one-way open-loop CLIC traffic
+    (no response leg) under the same three conditions.  Each node's send
+    order is its arrival schedule, so the logical trace is invariant
+    under seeded same-instant permutations — this is what the checker's
+    "slo" scenario hashes. *)
+
 val all_ids : string list
 val run : string -> Format.formatter -> unit
-(** Run one experiment by id ("fig4" ... "congestion").
+(** Run one experiment by id ("fig4" ... "slo-trace").
     @raise Invalid_argument on unknown ids. *)

@@ -486,6 +486,129 @@ let test_probe_on_off_equivalence () =
   Alcotest.(check string) "identical rendered trace with probes on" off on_
 
 (* ------------------------------------------------------------------ *)
+(* SLO degradation contracts: validation and phase classification
+   against a hand-built latency record *)
+
+let mk_slo samples =
+  let lats = Array.map snd samples in
+  {
+    Cluster.Workload.slo_requests = Array.length samples;
+    slo_completed = Array.length samples;
+    slo_timeouts = 0;
+    slo_stranded = 0;
+    slo_p50_us = Cluster.Workload.quantile lats 50.;
+    slo_p99_us = Cluster.Workload.quantile lats 99.;
+    slo_p999_us = Cluster.Workload.quantile lats 99.9;
+    slo_mean_us = 0.;
+    slo_max_us = 0.;
+    slo_goodput_mbps = 0.;
+    slo_elapsed = Time.ms 1.;
+    slo_samples = samples;
+  }
+
+let test_slo_validate () =
+  let expect msg c =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        Check.Slo.validate c)
+  in
+  let d = Check.Slo.default in
+  Check.Slo.validate d;
+  expect "Slo.validate: healthy_p999_us <= 0"
+    { d with Check.Slo.healthy_p999_us = 0. };
+  expect "Slo.validate: bleed_ratio < 1" { d with Check.Slo.bleed_ratio = 0.9 };
+  expect "Slo.validate: recovery_deadline <= 0"
+    { d with Check.Slo.recovery_deadline = 0 }
+
+(* A hand-built record: fault window [100us, 200us), recovery deadline
+   50us.  Arrivals at 10/50us are healthy, 120/180us degraded, 210/240us
+   inside the (unjudged) recovery window, 260/300us recovered. *)
+let test_slo_evaluate_phases () =
+  let c =
+    {
+      Check.Slo.healthy_p999_us = 100.;
+      bleed_ratio = 3.;
+      recovery_deadline = Time.us 50.;
+    }
+  in
+  let us = Time.us in
+  let eval lat_recovering lat_recovered =
+    Check.Slo.evaluate c
+      ~slo:
+        (mk_slo
+           [|
+             (us 10., 40.);
+             (us 50., 80.);
+             (us 120., 250.);
+             (us 180., 290.);
+             (us 210., lat_recovering);
+             (us 240., lat_recovering);
+             (us 260., lat_recovered);
+             (us 300., 60.);
+           |])
+      ~fault_from:(us 100.) ~fault_until:(us 200.)
+  in
+  let v = eval 9_000. 90. in
+  check_int "healthy samples" 2 v.Check.Slo.v_healthy;
+  check_int "degraded samples" 2 v.Check.Slo.v_degraded;
+  check_int "recovered samples" 2 v.Check.Slo.v_recovered;
+  Alcotest.(check (float 0.001)) "healthy p999" 80. v.Check.Slo.v_healthy_p999_us;
+  Alcotest.(check (float 0.001)) "degraded p999" 290.
+    v.Check.Slo.v_degraded_p999_us;
+  check_bool "contract holds: recovery-window samples are never judged" true
+    (Check.Slo.ok v);
+  (* push the recovered tail over the healthy bound *)
+  let v = eval 10. 900. in
+  (match v.Check.Slo.v_violations with
+  | [ viol ] ->
+      Alcotest.(check string) "rule" "recovery-deadline"
+        viol.Check.Violation.rule
+  | l -> Alcotest.failf "expected one violation, got %d" (List.length l));
+  (* a degraded tail above bleed_ratio * healthy bound trips
+     bounded-bleed; healthy stays under its absolute bound *)
+  let v =
+    Check.Slo.evaluate c
+      ~slo:
+        (mk_slo
+           [| (us 10., 40.); (us 120., 500.); (us 260., 60.) |])
+      ~fault_from:(us 100.) ~fault_until:(us 200.)
+  in
+  (match v.Check.Slo.v_violations with
+  | [ viol ] ->
+      Alcotest.(check string) "rule" "bounded-bleed" viol.Check.Violation.rule
+  | l -> Alcotest.failf "expected one violation, got %d" (List.length l));
+  (* an empty phase voids the certification *)
+  let v =
+    Check.Slo.evaluate c
+      ~slo:(mk_slo [| (us 120., 50.); (us 260., 50.) |])
+      ~fault_from:(us 100.) ~fault_until:(us 200.)
+  in
+  (match v.Check.Slo.v_violations with
+  | [ viol ] ->
+      Alcotest.(check string) "rule" "phase-empty" viol.Check.Violation.rule
+  | l -> Alcotest.failf "expected one violation, got %d" (List.length l));
+  Alcotest.check_raises "window validation"
+    (Invalid_argument "Slo.evaluate: empty or negative fault window")
+    (fun () ->
+      ignore
+        (Check.Slo.evaluate c
+           ~slo:(mk_slo [||])
+           ~fault_from:(us 200.) ~fault_until:(us 100.)))
+
+let test_slo_contract_run () =
+  let v, slo = Check.Slo.run_contract ~quick:true () in
+  check_int "no stranded requests" 0 slo.Cluster.Workload.slo_stranded;
+  check_bool "healthy phase populated" true (v.Check.Slo.v_healthy > 0);
+  check_bool "degraded phase populated" true (v.Check.Slo.v_degraded > 0);
+  check_bool "recovered phase populated" true (v.Check.Slo.v_recovered > 0);
+  List.iter
+    (fun viol ->
+      Printf.printf "unexpected violation: %s\n"
+        (Check.Violation.to_string viol))
+    v.Check.Slo.v_violations;
+  check_bool "default contract holds on the canonical run" true
+    (Check.Slo.ok v)
+
+(* ------------------------------------------------------------------ *)
 (* Satellite: the clic-lint static analyzer *)
 
 module Lint = Lint_core.Lint_project
@@ -622,6 +745,11 @@ let suite =
       test_soak_incast_storm_focused;
     Alcotest.test_case "soak: fabric-cut focused" `Quick
       test_soak_fabric_cut_focused;
+    Alcotest.test_case "slo: contract validation" `Quick test_slo_validate;
+    Alcotest.test_case "slo: phase classification by arrival" `Quick
+      test_slo_evaluate_phases;
+    Alcotest.test_case "slo: canonical contract run holds" `Quick
+      test_slo_contract_run;
     Alcotest.test_case "check: scenario trace hashes pinned" `Slow
       test_scenario_hashes_pinned;
     Alcotest.test_case "probe on/off trace equivalence" `Quick

@@ -112,6 +112,7 @@ let test_workload_uniform_random_conserves () =
   let s = Workload.uniform_random c ~seed:3 ~messages_per_node:20 () in
   check_int "sent" 80 s.Workload.sent;
   check_int "all delivered" 80 s.Workload.delivered;
+  check_int "no stranded messages" 0 s.Workload.stranded;
   check_bool "bytes moved" true (s.Workload.bytes > 0)
 
 let test_workload_uniform_random_under_loss () =
@@ -135,7 +136,8 @@ let test_workload_ring_rounds () =
   let c = Net.create ~n:4 () in
   let s = Workload.ring c ~rounds:10 () in
   check_int "sent" 40 s.Workload.sent;
-  check_int "delivered" 40 s.Workload.delivered
+  check_int "delivered" 40 s.Workload.delivered;
+  check_int "no stranded messages" 0 s.Workload.stranded
 
 let test_workload_determinism () =
   let run () =
@@ -608,6 +610,198 @@ let test_workload_hotspot_explicit_senders () =
         (Workload.hotspot c2 ~seed:3 ~target:0 ~senders:[ 0 ]
            ~messages_per_node:1 ()))
 
+(* ------------------------------------------------------------------ *)
+(* Open-loop SLO workloads *)
+
+let test_workload_open_loop_completes () =
+  let c = Net.create ~n:4 () in
+  let s, slo =
+    Workload.open_loop c ~seed:11
+      ~arrival:(Workload.Poisson { mean_gap = Time.us 20. })
+      ~requests_per_node:25 ()
+  in
+  check_int "all requests fired" 100 slo.Workload.slo_requests;
+  check_int "all requests answered" 100 slo.Workload.slo_completed;
+  check_int "no stranded requests" 0 slo.Workload.slo_stranded;
+  check_int "no stranded messages" 0 s.Workload.stranded;
+  check_int "one sample per completion" 100
+    (Array.length slo.Workload.slo_samples);
+  check_bool "quantiles ordered" true
+    (slo.Workload.slo_p50_us <= slo.Workload.slo_p99_us
+    && slo.Workload.slo_p99_us <= slo.Workload.slo_p999_us
+    && slo.Workload.slo_p999_us <= slo.Workload.slo_max_us);
+  check_bool "goodput positive" true (slo.Workload.slo_goodput_mbps > 0.)
+
+let test_workload_open_loop_deterministic () =
+  let run seed =
+    let c = Net.create ~n:3 () in
+    let _, slo =
+      Workload.open_loop c ~seed
+        ~arrival:(Workload.Poisson { mean_gap = Time.us 15. })
+        ~requests_per_node:20 ()
+    in
+    (slo.Workload.slo_p999_us, slo.Workload.slo_elapsed)
+  in
+  check_bool "same seed, same tail" true (run 21 = run 21);
+  check_bool "different seed, different run" true (run 21 <> run 22)
+
+let test_workload_open_loop_pareto_and_deadline () =
+  let c = Net.create ~n:3 () in
+  let _, slo =
+    Workload.open_loop c ~seed:5
+      ~arrival:(Workload.Pareto { shape = 2.5; min_gap = Time.us 10. })
+      ~requests_per_node:15 ~deadline:1 ()
+  in
+  check_int "completed under heavy-tailed arrivals" slo.Workload.slo_requests
+    slo.Workload.slo_completed;
+  (* a 1 ns deadline is unmeetable: every completion is a timeout *)
+  check_int "deadline counts timeouts" slo.Workload.slo_completed
+    slo.Workload.slo_timeouts
+
+let test_workload_open_loop_oneway () =
+  let run () =
+    let c = Net.create ~n:4 () in
+    Workload.open_loop_oneway c ~seed:17
+      ~arrival:(Workload.Poisson { mean_gap = Time.us 20. })
+      ~requests_per_node:25 ()
+  in
+  let s, slo = run () in
+  check_int "all requests fired" 100 slo.Workload.slo_requests;
+  check_int "all requests delivered" 100 slo.Workload.slo_completed;
+  check_int "no stranded requests" 0 slo.Workload.slo_stranded;
+  check_int "no stranded messages" 0 s.Workload.stranded;
+  check_bool "quantiles ordered" true
+    (slo.Workload.slo_p50_us <= slo.Workload.slo_p99_us
+    && slo.Workload.slo_p99_us <= slo.Workload.slo_p999_us);
+  (* one-way latency has no response leg: cheaper than the echo variant *)
+  check_bool "latency measured" true (slo.Workload.slo_p50_us > 0.);
+  let _, slo2 = run () in
+  check_bool "same seed, same samples" true
+    (slo.Workload.slo_samples = slo2.Workload.slo_samples)
+
+let test_workload_arrival_validation () =
+  Alcotest.check_raises "poisson gap"
+    (Invalid_argument "Workload: Poisson mean_gap <= 0") (fun () ->
+      Workload.validate_arrival (Workload.Poisson { mean_gap = 0 }));
+  Alcotest.check_raises "pareto shape"
+    (Invalid_argument
+       "Workload: Pareto shape <= 1 (mean inter-arrival time would not \
+        exist)") (fun () ->
+      Workload.validate_arrival
+        (Workload.Pareto { shape = 1.0; min_gap = Time.us 5. }));
+  Alcotest.check_raises "pareto gap"
+    (Invalid_argument "Workload: Pareto min_gap <= 0") (fun () ->
+      Workload.validate_arrival (Workload.Pareto { shape = 2.; min_gap = 0 }))
+
+let test_workload_quantile_hand_computed () =
+  let samples = [| 9.; 1.; 8.; 2.; 7.; 3.; 6.; 4.; 5.; 10. |] in
+  check_bool "p0 is the minimum" true (Workload.quantile samples 0. = 1.);
+  (* nearest-rank on n=10: index floor(50/100*10) = 5 of the sorted array *)
+  check_bool "p50 by hand" true (Workload.quantile samples 50. = 6.);
+  check_bool "p99 is the maximum" true (Workload.quantile samples 99. = 10.);
+  check_bool "p100 clamps to the maximum" true
+    (Workload.quantile samples 100. = 10.);
+  check_bool "empty array" true (Workload.quantile [||] 50. = 0.);
+  Alcotest.check_raises "percentile range"
+    (Invalid_argument "Workload.quantile: percentile outside [0,100]")
+    (fun () -> ignore (Workload.quantile samples 101.))
+
+let test_workload_partition_aggregate () =
+  let c = Net.create ~n:5 () in
+  let s, slo, fo =
+    Workload.partition_aggregate c ~seed:8 ~queries:15 ()
+  in
+  check_int "queries fired" 15 fo.Workload.fo_queries;
+  check_int "queries completed" 15 fo.Workload.fo_completed;
+  check_int "slo mirrors queries" 15 slo.Workload.slo_completed;
+  (* each query fans out to all 4 leaves: 15 requests + 60 leaf responses
+     were matched, nothing stranded *)
+  check_int "no stranded messages" 0 s.Workload.stranded;
+  check_int "no stranded queries" 0 slo.Workload.slo_stranded;
+  check_bool "leaf tail measured" true (fo.Workload.fo_leaf_p99_us > 0.)
+
+let test_workload_elephants_mice () =
+  let c = Net.create ~n:4 () in
+  let m = Workload.elephants_mice c ~seed:6 ~requests_per_node:20 () in
+  check_int "elephants conserved" m.Workload.mix_elephants.Workload.sent
+    m.Workload.mix_elephants.Workload.delivered;
+  check_int "no stranded elephants" 0
+    m.Workload.mix_elephants.Workload.stranded;
+  check_int "no stranded mice" 0 m.Workload.mix_mice.Workload.stranded;
+  check_int "mice answered" 80 m.Workload.mix_slo.Workload.slo_completed;
+  check_bool "mice tail measured" true (m.Workload.mix_slo.Workload.slo_p99_us > 0.)
+
+let test_gray_failures_degrade_tail_with_evidence () =
+  let arrival = Workload.Poisson { mean_gap = Time.us 25. } in
+  let healthy =
+    let c = Net.create ~n:4 () in
+    let _, slo = Workload.open_loop c ~seed:31 ~arrival
+        ~requests_per_node:40 () in
+    slo
+  in
+  (* same offered load, but the fabric is quietly sick: every link sags
+     to an eighth of its rate mid-run, NICs 1 and 2 serve 6x slower, and
+     node 3's switch port stalls periodically *)
+  let faults = ref [] in
+  let config =
+    { Node.default_config with
+      link_fault =
+        Some
+          (fun () ->
+            let f =
+              Hw.Fault.brownout ~fraction:0.125 ~from_:(Time.us 100.)
+                ~until_:(Time.ms 2.) ()
+            in
+            faults := f :: !faults;
+            f)
+    }
+  in
+  let c = Net.create ~config ~n:4 () in
+  Workload.inject_gray c ~nic_nodes:[ 1; 2 ] ~nic_factor:6.0
+    ~stall_nodes:[ 3 ] ~from_:(Time.us 100.) ~until_:(Time.ms 2.) ();
+  let s, slo = Workload.open_loop c ~seed:31 ~arrival
+      ~requests_per_node:40 () in
+  check_int "every request still answered" slo.Workload.slo_requests
+    slo.Workload.slo_completed;
+  check_int "no stranded messages" 0 s.Workload.stranded;
+  check_bool "gray failures fatten the tail" true
+    (slo.Workload.slo_p99_us > healthy.Workload.slo_p99_us);
+  (* evidence: each fail-slow mechanism actually engaged *)
+  let brownout_frames =
+    List.fold_left (fun acc f -> acc + Hw.Fault.slowed f) 0 !faults
+  in
+  check_bool "link brownout engaged" true (brownout_frames > 0);
+  let nic_extra =
+    List.fold_left
+      (fun acc i ->
+        List.fold_left
+          (fun acc nic -> acc + Hw.Nic.slow_extra_ns nic)
+          acc (Net.node c i).Node.nics)
+      0 [ 1; 2 ]
+  in
+  check_bool "nic fail-slow engaged" true (nic_extra > 0);
+  let stall_ns =
+    List.fold_left
+      (fun acc sw -> acc + Hw.Switch.egress_stall_ns sw)
+      0 c.Net.switches
+  in
+  check_bool "switch stalls engaged" true (stall_ns > 0)
+
+let test_gray_validation () =
+  let c = Net.create ~n:3 () in
+  Alcotest.check_raises "factor below one"
+    (Invalid_argument "Workload.inject_gray: nic_factor < 1") (fun () ->
+      Workload.inject_gray c ~nic_nodes:[ 0 ] ~nic_factor:0.5 ~from_:0
+        ~until_:(Time.us 1.) ());
+  Alcotest.check_raises "empty window"
+    (Invalid_argument "Workload.inject_gray: empty or negative window")
+    (fun () ->
+      Workload.inject_gray c ~nic_nodes:[ 0 ] ~from_:(Time.us 2.)
+        ~until_:(Time.us 2.) ());
+  Alcotest.check_raises "unknown node"
+    (Invalid_argument "Workload.inject_gray: unknown node 7") (fun () ->
+      Workload.inject_gray c ~nic_nodes:[ 7 ] ~from_:0 ~until_:(Time.us 1.) ())
+
 let fabric_qprops =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -632,6 +826,18 @@ let suite =
     ("workload ring", `Quick, test_workload_ring_rounds);
     ("workload determinism", `Quick, test_workload_determinism);
     ("incast + finite buffers", `Quick, test_incast_with_finite_switch_buffers);
+    ("open-loop completes", `Quick, test_workload_open_loop_completes);
+    ("open-loop deterministic", `Quick, test_workload_open_loop_deterministic);
+    ("open-loop pareto/deadline", `Quick,
+      test_workload_open_loop_pareto_and_deadline);
+    ("open-loop one-way", `Quick, test_workload_open_loop_oneway);
+    ("arrival validation", `Quick, test_workload_arrival_validation);
+    ("quantile by hand", `Quick, test_workload_quantile_hand_computed);
+    ("partition-aggregate", `Quick, test_workload_partition_aggregate);
+    ("elephants and mice", `Quick, test_workload_elephants_mice);
+    ("gray failures degrade tail", `Quick,
+      test_gray_failures_degrade_tail_with_evidence);
+    ("gray injection validation", `Quick, test_gray_validation);
     ("node crash & recovery", `Quick, test_node_crash_recovery_reestablishes);
     ("crash/reboot guards", `Quick, test_node_crash_reboot_guards);
     ("topology star compat", `Quick, test_topology_star_compat);

@@ -109,7 +109,7 @@ let test_fault_gilbert_elliott_bursts () =
       ~p_bad_to_good:0.2 ~loss_bad:1. ()
   in
   let n = 2000 in
-  let pattern = List.init n (fun _ -> Fault.frame fault ~now:0 = []) in
+  let pattern = List.init n (fun _ -> Fault.frame fault ~now:0 () = []) in
   let drops = List.length (List.filter Fun.id pattern) in
   check_int "drops counted" drops (Fault.drops fault);
   (* stationary bad-state fraction is 0.05 / (0.05 + 0.2) = 20%, and the
@@ -128,13 +128,13 @@ let test_fault_gilbert_elliott_bursts () =
 
 let test_fault_flap_windows () =
   let fault = Fault.flap ~up:(Time.us 10.) ~down:(Time.us 5.) () in
-  check_bool "up at t=0" true (Fault.frame fault ~now:0 <> []);
+  check_bool "up at t=0" true (Fault.frame fault ~now:0 () <> []);
   check_bool "still up late in the window" true
-    (Fault.frame fault ~now:(Time.us 9.) <> []);
+    (Fault.frame fault ~now:(Time.us 9.) () <> []);
   check_bool "down between windows" true
-    (Fault.frame fault ~now:(Time.us 12.) = []);
+    (Fault.frame fault ~now:(Time.us 12.) () = []);
   check_bool "up again next period" true
-    (Fault.frame fault ~now:(Time.us 16.) <> []);
+    (Fault.frame fault ~now:(Time.us 16.) () <> []);
   check_int "the outage counted one drop" 1 (Fault.drops fault)
 
 let test_fault_jitter_reorders () =
@@ -178,7 +178,7 @@ let test_fault_compose_stages () =
 let test_fault_corruption_flags_copies () =
   let fault = Fault.corrupt ~rng:(Rng.create ~seed:13) ~prob:1. in
   for _ = 1 to 5 do
-    match Fault.frame fault ~now:0 with
+    match Fault.frame fault ~now:0 () with
     | [ { Fault.delay = 0; corrupt = true } ] -> ()
     | _ -> Alcotest.fail "expected one corrupted zero-delay copy"
   done;
@@ -193,7 +193,7 @@ let test_fault_corruption_flags_copies () =
         Fault.jitter ~rng:(Rng.create ~seed:3) ~max_delay:(Time.us 10.);
       ]
   in
-  match Fault.frame composed ~now:0 with
+  match Fault.frame composed ~now:0 () with
   | [ { Fault.corrupt = true; _ } ] -> ()
   | _ -> Alcotest.fail "corruption flag lost through compose"
 
@@ -1273,6 +1273,92 @@ let test_switch_set_down_drains () =
   check_bool "power-up is visible" false (Switch.is_down sw);
   check_int "revived switch forwards again" (!down_mark + 3) !got
 
+(* ------------------------------------------------------------------ *)
+(* Gray failures: fail-slow without failing *)
+
+let test_fault_brownout_slows_without_dropping () =
+  let fault =
+    Fault.brownout ~fraction:0.5 ~from_:(Time.us 10.) ~until_:(Time.us 20.) ()
+  in
+  (* outside the window: untouched *)
+  (match Fault.frame fault ~now:0 ~ser:1000 () with
+  | [ { Fault.delay = 0; corrupt = false } ] -> ()
+  | _ -> Alcotest.fail "expected a clean copy before the window");
+  (* inside the window at fraction 0.5 a 1000 ns frame pays 1000 ns extra,
+     and a second back-to-back frame queues behind the first's virtual
+     residency — FIFO is preserved, nothing is dropped *)
+  (match Fault.frame fault ~now:(Time.us 10.) ~ser:1000 () with
+  | [ { Fault.delay = 1000; corrupt = false } ] -> ()
+  | _ -> Alcotest.fail "expected 1000 ns sag on first frame");
+  (match Fault.frame fault ~now:(Time.us 10.) ~ser:1000 () with
+  | [ { Fault.delay = 2000; corrupt = false } ] -> ()
+  | _ -> Alcotest.fail "expected queued 2000 ns sag on second frame");
+  check_int "slowed frames counted" 2 (Fault.slowed fault);
+  check_int "sag nanoseconds counted" 3000 (Fault.slow_ns fault);
+  check_int "a brownout never drops" 0 (Fault.drops fault);
+  (* after the window: clean again *)
+  match Fault.frame fault ~now:(Time.us 30.) ~ser:1000 () with
+  | [ { Fault.delay = 0; corrupt = false } ] -> ()
+  | _ -> Alcotest.fail "expected a clean copy after the window"
+
+let test_fault_brownout_validation () =
+  Alcotest.check_raises "fraction zero"
+    (Invalid_argument "Fault.brownout: fraction outside (0,1]") (fun () ->
+      ignore (Fault.brownout ~fraction:0. ~from_:0 ~until_:(Time.us 1.) ()));
+  Alcotest.check_raises "fraction above one"
+    (Invalid_argument "Fault.brownout: fraction outside (0,1]") (fun () ->
+      ignore (Fault.brownout ~fraction:1.5 ~from_:0 ~until_:(Time.us 1.) ()));
+  Alcotest.check_raises "empty window"
+    (Invalid_argument "Fault.brownout: empty or negative window") (fun () ->
+      ignore
+        (Fault.brownout ~fraction:0.5 ~from_:(Time.us 2.) ~until_:(Time.us 2.)
+           ()))
+
+let test_nic_slow_factor_inflates_service () =
+  let sim, a, b = nic_rig ~coalesce:Nic.no_coalesce () in
+  check_bool "factor starts at 1" true (Nic.slow_factor a = 1.0);
+  check_int "no inflation before the knob turns" 0 (Nic.slow_extra_ns a);
+  Nic.set_slow_factor a 3.0;
+  post sim a (raw ~src:0 ~dst:1 1000);
+  Sim.run sim;
+  check_int "frame still delivered" 1 (Nic.rx_pending b);
+  check_bool "inflated service time accounted" true (Nic.slow_extra_ns a > 0);
+  let inflated = Nic.slow_extra_ns a in
+  (* back to healthy: the multiplier path is an exact no-op at 1.0 *)
+  Nic.set_slow_factor a 1.0;
+  post sim a (raw ~src:0 ~dst:1 1000);
+  Sim.run sim;
+  check_int "no further inflation at factor 1" inflated (Nic.slow_extra_ns a);
+  Alcotest.check_raises "factor below one"
+    (Invalid_argument "Nic.set_slow_factor: factor < 1") (fun () ->
+      Nic.set_slow_factor a 0.5)
+
+let test_switch_egress_stall_delays_pump () =
+  let sim = Sim.create () in
+  let sw = make_switch sim [ 0; 1 ] in
+  let arrivals = ref [] in
+  Switch.connect_node sw ~node:1 (fun _ ->
+      arrivals := Sim.now sim :: !arrivals);
+  (* stall node 1's egress for 50 us, then inject a frame; the pump must
+     hold the frame until the stall clears *)
+  Switch.inject_stall sw ~node:1 ~span:(Time.us 50.);
+  Sim.post sim ~after:0 (fun () ->
+      Link.send (Switch.uplink sw ~node:0) (raw ~src:0 ~dst:1 500));
+  Sim.run sim;
+  (match !arrivals with
+  | [ t ] -> check_bool "held until the stall cleared" true (t >= Time.us 50.)
+  | _ -> Alcotest.fail "expected exactly one delivery");
+  check_int "stall counted" 1 (Switch.egress_stalls sw);
+  check_bool "stall span accounted" true
+    (Switch.egress_stall_ns sw >= Time.us 50.);
+  check_int "nothing dropped" 0 (Switch.egress_drops sw);
+  Alcotest.check_raises "non-positive span"
+    (Invalid_argument "Switch.inject_stall: span <= 0") (fun () ->
+      Switch.inject_stall sw ~node:1 ~span:0);
+  Alcotest.check_raises "unknown node"
+    (Invalid_argument "Switch: unknown node 9") (fun () ->
+      Switch.inject_stall sw ~node:9 ~span:(Time.us 1.))
+
 let qprops = List.map QCheck_alcotest.to_alcotest [ prop_fragmentation_counts ]
 
 let suite =
@@ -1340,5 +1426,10 @@ let suite =
       test_switch_trunk_pause_propagates);
     ("switch trunk hol blocking", `Quick, test_switch_trunk_hol_blocking);
     ("switch set_down drains", `Quick, test_switch_set_down_drains);
+    ("fault brownout fail-slow", `Quick,
+      test_fault_brownout_slows_without_dropping);
+    ("fault brownout validation", `Quick, test_fault_brownout_validation);
+    ("nic slow factor", `Quick, test_nic_slow_factor_inflates_service);
+    ("switch egress stall", `Quick, test_switch_egress_stall_delays_pump);
   ]
   @ qprops
